@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"testing"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/core"
+	"edm/internal/device"
+	"edm/internal/dist"
+	"edm/internal/experiment"
+	"edm/internal/mapper"
+	"edm/internal/mitigate"
+	"edm/internal/optimize"
+	"edm/internal/rng"
+	"edm/internal/selector"
+	"edm/internal/transform"
+	"edm/internal/workloads"
+)
+
+// This file holds the ablation benchmarks called out in DESIGN.md: each
+// removes or inverts one design ingredient and reports how the EDM gain
+// responds.
+
+// ablationRun executes baseline + an ensemble policy over the campaign
+// and returns the median IST of each.
+func ablationRun(b *testing.B, s experiment.Setup, name string, cfg core.Config,
+	pick func(r *experiment.Round, w workloads.Workload) []*mapper.Executable) (baseIST, ensIST float64) {
+	b.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %s", name)
+	}
+	var base, ens []float64
+	for i := 0; i < s.Rounds; i++ {
+		r := s.Round(i)
+		seed := r.RNG.Derive("ablation")
+		bm, err := r.Runner.RunSingleBest(w.Circuit, s.Trials, seed.Derive("base"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = append(base, bm.Output.IST(w.Correct))
+
+		var execs []*mapper.Executable
+		if pick != nil {
+			execs = pick(r, w)
+		} else {
+			execs, err = r.Compiler.TopK(w.Circuit, cfg.K)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := r.Runner.RunExecutables(execs, cfg, seed.Derive("ens"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ens = append(ens, res.Merged.IST(w.Correct))
+	}
+	return experiment.Median(base), experiment.Median(ens)
+}
+
+// BenchmarkAblationIIDNoise removes every systematic (coherent) error
+// channel, leaving only IID depolarizing + damping + unbiased readout —
+// the noise model of the simulators the paper dismisses in Section 4.4.
+// Expectation: baseline IST rises sharply (few correlated errors to
+// suffer) and the EDM gain collapses toward 1x.
+func BenchmarkAblationIIDNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{K: 4, Trials: benchSetup().Trials, Weighting: core.WeightUniform}
+
+		corr := benchSetup()
+		base1, edm1 := ablationRun(b, corr, "bv-6", cfg, nil)
+
+		iid := benchSetup()
+		p := iid.Profile
+		p.CohYMax, p.CohZMax, p.CXCohMax, p.CrossMax = 0, 0, 0, 0
+		p.ReadoutCorr = 0
+		// Symmetrize readout so no data-dependent bias remains.
+		mean := (p.Meas01Mean + p.Meas10Mean) / 2
+		p.Meas01Mean, p.Meas10Mean = mean, mean
+		iid.Profile = p
+		base2, edm2 := ablationRun(b, iid, "bv-6", cfg, nil)
+
+		b.ReportMetric(ratioOr1(edm1, base1), "gain-correlated")
+		b.ReportMetric(ratioOr1(edm2, base2), "gain-iid")
+		b.ReportMetric(base2, "baseline-IST-iid")
+		b.ReportMetric(base1, "baseline-IST-corr")
+	}
+}
+
+// BenchmarkAblationWeighting compares the three merge rules on one
+// campaign: uniform (EDM), divergence-weighted (WEDM) and
+// inverse-divergence (control). Expectation: WEDM >= EDM > inverse.
+func BenchmarkAblationWeighting(b *testing.B) {
+	s := benchSetup()
+	// Median-of-3 is too noisy to resolve the EDM-vs-inverse gap reliably;
+	// this ablation doubles the rounds.
+	s.Rounds *= 2
+	for i := 0; i < b.N; i++ {
+		for _, wgt := range []core.Weighting{core.WeightUniform, core.WeightDivergence, core.WeightInverseDivergence} {
+			cfg := core.Config{K: 4, Trials: s.Trials, Weighting: wgt}
+			base, ens := ablationRun(b, s, "bv-6", cfg, nil)
+			b.ReportMetric(ratioOr1(ens, base), "gain-"+wgt.String())
+		}
+	}
+}
+
+// BenchmarkAblationRandomK replaces the top-K-by-ESP ensemble with K
+// random valid placements. Random placements add diversity but squander
+// ESP; the paper's top-K selection should win (Section 5.3).
+func BenchmarkAblationRandomK(b *testing.B) {
+	s := benchSetup()
+	cfg := core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform}
+	for i := 0; i < b.N; i++ {
+		_, top := ablationRun(b, s, "bv-6", cfg, nil)
+		_, random := ablationRun(b, s, "bv-6", cfg,
+			func(r *experiment.Round, w workloads.Workload) []*mapper.Executable {
+				all, err := r.Compiler.Placements(w.Circuit, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perm := r.RNG.Derive("random-k").Perm(len(all))
+				out := make([]*mapper.Executable, 0, 4)
+				for _, idx := range perm[:4] {
+					out = append(out, all[idx])
+				}
+				return out
+			})
+		b.ReportMetric(top, "IST-topK")
+		b.ReportMetric(random, "IST-randomK")
+	}
+}
+
+// BenchmarkAblationUniformityFilter drives the machine into extreme noise
+// (footnote 2's regime) and compares EDM with and without the
+// relative-standard-deviation discard filter.
+func BenchmarkAblationUniformityFilter(b *testing.B) {
+	s := benchSetup()
+	p := s.Profile
+	p.CXErrMean *= 4 // extreme noise: some members degrade to uniform
+	p.Meas10Mean *= 2
+	p.Meas01Mean *= 2
+	s.Profile = p
+	for i := 0; i < b.N; i++ {
+		plain := core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform}
+		filtered := plain
+		filtered.UniformityFilter = 0.15
+		_, off := ablationRun(b, s, "bv-6", plain, nil)
+		_, on := ablationRun(b, s, "bv-6", filtered, nil)
+		b.ReportMetric(off, "IST-no-filter")
+		b.ReportMetric(on, "IST-filter")
+	}
+}
+
+// BenchmarkBackendTrial measures the raw cost of one noisy trajectory of
+// the compiled BV-6 executable — the unit of work everything above
+// multiplies.
+func BenchmarkBackendTrial(b *testing.B) {
+	s := benchSetup()
+	r := s.Round(0)
+	w, _ := workloads.ByName("bv-6")
+	execs, err := r.Compiler.TopK(w.Circuit, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Machine.Run(execs[0].Circuit, 1, seed.DeriveN("t", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompilerTopK measures the compile + VF2 enumeration + ESP
+// ranking pipeline.
+func BenchmarkCompilerTopK(b *testing.B) {
+	s := benchSetup()
+	r := s.Round(0)
+	w, _ := workloads.ByName("bv-6")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Compiler.TopK(w.Circuit, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeWEDM measures the WEDM weight computation and merge on
+// realistic 6-bit distributions.
+func BenchmarkMergeWEDM(b *testing.B) {
+	r := rng.New(3)
+	members := make([]*dist.Dist, 4)
+	for i := range members {
+		d := dist.New(6)
+		for v := uint64(0); v < 64; v++ {
+			d.Set(bitstrOf(v), r.Float64()+0.01)
+		}
+		d.Normalize()
+		members[i] = d
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := core.MergeWeights(members, core.WeightDivergence)
+		_ = dist.WeightedMerge(members, w)
+	}
+}
+
+func bitstrOf(v uint64) bitstr.BitString { return bitstr.New(v, 6) }
+
+// BenchmarkExtensionInvertMeasure evaluates the paper's future-work
+// direction implemented in internal/transform: composing EDM with the
+// Invert-and-Measure basis transform. Reported: median IST of plain EDM-4
+// versus the (4 mappings x 2 bases) grid on a ones-heavy BV key, the case
+// measurement bias hurts most.
+func BenchmarkExtensionInvertMeasure(b *testing.B) {
+	s := benchSetup()
+	w := workloads.BV("110111")
+	for i := 0; i < b.N; i++ {
+		var edm, grid []float64
+		for round := 0; round < s.Rounds; round++ {
+			r := s.Round(round)
+			execs, err := r.Compiler.TopK(w.Circuit, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed := r.RNG.Derive("ext-im")
+			plain, err := transform.Ensemble(r.Machine, execs,
+				func(c *circuit.Circuit) []transform.Variant {
+					return []transform.Variant{transform.Identity(c)}
+				}, s.Trials, core.WeightUniform, seed.Derive("edm"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			both, err := transform.Ensemble(r.Machine, execs, transform.BothBases,
+				s.Trials, core.WeightUniform, seed.Derive("grid"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			edm = append(edm, plain.Merged.IST(w.Correct))
+			grid = append(grid, both.Merged.IST(w.Correct))
+		}
+		b.ReportMetric(experiment.Median(edm), "IST-EDM")
+		b.ReportMetric(experiment.Median(grid), "IST-EDM+IM")
+	}
+}
+
+// BenchmarkExtensionPredictedIST evaluates the Section 5.3 alternative
+// the paper set aside: choosing ensemble members by exactly simulated
+// compile-time IST (internal/selector) instead of top-K ESP. Reported:
+// run-time median IST of both ensembles under calibration drift. The
+// interesting question is whether the exact predictor survives the
+// compile-to-run drift that motivated top-K in the first place.
+func BenchmarkExtensionPredictedIST(b *testing.B) {
+	s := benchSetup()
+	w, _ := workloads.ByName("bv-6")
+	for i := 0; i < b.N; i++ {
+		var esp, pred []float64
+		for round := 0; round < s.Rounds; round++ {
+			r := s.Round(round)
+			cand, err := r.Compiler.TopK(w.Circuit, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed := r.RNG.Derive("ext-pred")
+			cfg := core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform}
+
+			espRes, err := r.Runner.RunExecutables(cand[:4], cfg, seed.Derive("esp"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			esp = append(esp, espRes.Merged.IST(w.Correct))
+
+			chosen, _, err := selector.Select(r.Compiler.Calibration(), cand, 4, w.Correct,
+				selector.Options{MaxCandidates: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.K = len(chosen)
+			predRes, err := r.Runner.RunExecutables(chosen, cfg, seed.Derive("pred"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pred = append(pred, predRes.Merged.IST(w.Correct))
+		}
+		b.ReportMetric(experiment.Median(esp), "IST-topK-ESP")
+		b.ReportMetric(experiment.Median(pred), "IST-predicted")
+	}
+}
+
+// BenchmarkAblationOptimizer measures what the peephole optimizer buys on
+// a routed executable: gate-count reduction on the Toffoli-heavy decode24
+// workload and the resulting IST change on the machine. Removing gates
+// removes noise, so IST should not fall.
+func BenchmarkAblationOptimizer(b *testing.B) {
+	s := benchSetup()
+	w, _ := workloads.ByName("decode24")
+	for i := 0; i < b.N; i++ {
+		var rawIST, optIST []float64
+		var rawCX, optCX int
+		for round := 0; round < s.Rounds; round++ {
+			r := s.Round(round)
+			exe, err := r.Compiler.Compile(w.Circuit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lowered := exe.Circuit.LowerSwaps()
+			opt, _ := optimize.Circuit(lowered)
+			rawCX = lowered.Stats().CX
+			optCX = opt.Stats().CX
+			seed := r.RNG.Derive("ablation-opt")
+			dRaw, err := r.Machine.RunDist(lowered, s.Trials, seed.Derive("raw"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dOpt, err := r.Machine.RunDist(opt, s.Trials, seed.Derive("opt"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rawIST = append(rawIST, dRaw.IST(w.Correct))
+			optIST = append(optIST, dOpt.IST(w.Correct))
+		}
+		b.ReportMetric(float64(rawCX), "CX-raw")
+		b.ReportMetric(float64(optCX), "CX-optimized")
+		b.ReportMetric(experiment.Median(rawIST), "IST-raw")
+		b.ReportMetric(experiment.Median(optIST), "IST-optimized")
+	}
+}
+
+// BenchmarkExtensionMitigation composes EDM with readout-error mitigation
+// (internal/mitigate): each member's output log is pushed through the
+// inverse confusion matrix of its own measured qubits before merging.
+// Mitigation raises P(correct) where ensembling suppresses P(strongest
+// wrong), so the two attack the inference problem from both sides.
+func BenchmarkExtensionMitigation(b *testing.B) {
+	s := benchSetup()
+	w, _ := workloads.ByName("bv-6")
+	for i := 0; i < b.N; i++ {
+		var plain, stale, oracle []float64
+		for round := 0; round < s.Rounds; round++ {
+			r := s.Round(round)
+			res, err := r.Runner.Run(w.Circuit,
+				core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform},
+				r.RNG.Derive("ext-mit"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			plain = append(plain, res.Merged.IST(w.Correct))
+			// Stale arm: invert with the compile-time calibration (what a
+			// real user has). Oracle arm: invert with the machine's true
+			// drifted rates, isolating how calibration-sensitive the
+			// technique is.
+			stale = append(stale, mitigatedIST(b, res, r.Compiler.Calibration(), w))
+			oracle = append(oracle, mitigatedIST(b, res, r.Machine.Calibration(), w))
+		}
+		b.ReportMetric(experiment.Median(plain), "IST-EDM")
+		b.ReportMetric(experiment.Median(stale), "IST+mit-stale-cal")
+		b.ReportMetric(experiment.Median(oracle), "IST+mit-oracle-cal")
+	}
+}
+
+func mitigatedIST(b *testing.B, res *core.Result, cal *device.Calibration, w workloads.Workload) float64 {
+	b.Helper()
+	outs := make([]*dist.Dist, 0, len(res.Members))
+	for _, mem := range res.Members {
+		chans, err := mitigate.ChannelsFor(mem.Exec.Circuit, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := mitigate.InvertCounts(mem.Counts, chans)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outs = append(outs, d)
+	}
+	return dist.Merge(outs).IST(w.Correct)
+}

@@ -1,0 +1,97 @@
+// Command edm regenerates the paper's tables and figures on the simulated
+// IBMQ-14 machine.
+//
+// Usage:
+//
+//	edm [flags] <experiment>
+//
+// Experiments: table1 table2 fig1 fig3 fig4 fig6 fig7 fig8 fig9 fig11
+// fig13 all
+//
+// Flags scale the campaign; the defaults match the paper's protocol
+// (16384 trials, 10 rounds, 4-member ensembles, median reported).
+// Use -quick for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edm/internal/experiment"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 2019, "campaign seed (full reproducibility)")
+		rounds = flag.Int("rounds", 10, "calibration rounds (paper: 10)")
+		trials = flag.Int("trials", 16384, "trials per policy per round (paper: 16384)")
+		k      = flag.Int("k", 4, "default ensemble size (paper: 4)")
+		drift  = flag.Float64("drift", 0.2, "calibration drift between compile and run time")
+		quick  = flag.Bool("quick", false, "small fast campaign (3 rounds, 2048 trials)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: edm [flags] <experiment>\n\nexperiments:\n")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run every experiment in order")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := experiment.Default()
+	if *quick {
+		s = experiment.Quick()
+	}
+	s.Seed = *seed
+	if !*quick {
+		s.Rounds = *rounds
+		s.Trials = *trials
+	}
+	s.K = *k
+	s.Drift = *drift
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			e.run(s)
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			e.run(s)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "edm: unknown experiment %q\n", name)
+	flag.Usage()
+	os.Exit(2)
+}
+
+type exp struct {
+	name string
+	desc string
+	run  func(experiment.Setup)
+}
+
+var experiments = []exp{
+	{"table1", "benchmark characteristics (gate counts, ESP)", printTable1},
+	{"table2", "Appendix-B KL-divergence worked example", func(experiment.Setup) { printTable2() }},
+	{"fig1", "BV-2 output: ideal vs NISQ correct vs NISQ wrong", printFig1},
+	{"fig3", "sorted output distribution of BV-6 (single best mapping)", printFig3},
+	{"fig4", "pairwise KL: same mapping vs diverse mappings", printFig4},
+	{"fig6", "IST of mappings A..H and the EDM ensemble", printFig6},
+	{"fig7", "EDM vs single-best (compile-time and post-execution)", printFig7},
+	{"fig8", "compile-time ESP vs run-time PST", printFig8},
+	{"fig9", "ensemble-size sensitivity (EDM-2/4/6)", printFig9},
+	{"fig11", "EDM and WEDM IST improvement over baseline", printFig11},
+	{"fig13", "buckets-and-balls: IST vs PST, frontiers, experimental scatter", printFig13},
+}

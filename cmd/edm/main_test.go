@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edm/internal/experiment"
+)
+
+// microSetup is the smallest campaign that exercises every printer.
+func microSetup() experiment.Setup {
+	s := experiment.Quick()
+	s.Rounds = 1
+	s.Trials = 256
+	return s
+}
+
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	var sb strings.Builder
+	old := out
+	out = &sb
+	defer func() { out = old }()
+	f()
+	return sb.String()
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range experiments {
+		if e.name == "" || e.desc == "" || e.run == nil {
+			t.Fatalf("incomplete registry entry: %+v", e.name)
+		}
+		if names[e.name] {
+			t.Fatalf("duplicate experiment %q", e.name)
+		}
+		names[e.name] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig1", "fig3", "fig4",
+		"fig6", "fig7", "fig8", "fig9", "fig11", "fig13"} {
+		if !names[want] {
+			t.Errorf("experiment %q missing from registry", want)
+		}
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	got := capture(t, func() { printTable1(microSetup()) })
+	for _, want := range []string{"bv-6", "qaoa-7", "decode24", "ESP", "110011"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPrintTable2(t *testing.T) {
+	got := capture(t, func() { printTable2() })
+	if !strings.Contains(got, "0.046") || !strings.Contains(got, "D(P||Q)") {
+		t.Errorf("table2 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig3(t *testing.T) {
+	got := capture(t, func() { printFig3(microSetup()) })
+	if !strings.Contains(got, "PST") || !strings.Contains(got, "#") {
+		t.Errorf("fig3 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig6(t *testing.T) {
+	got := capture(t, func() { printFig6(microSetup()) })
+	if !strings.Contains(got, "map-A") || !strings.Contains(got, "EDM(A+B+C+D)") {
+		t.Errorf("fig6 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig8(t *testing.T) {
+	got := capture(t, func() { printFig8(microSetup()) })
+	if !strings.Contains(got, "Pearson correlation") {
+		t.Errorf("fig8 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig13(t *testing.T) {
+	got := capture(t, func() { printFig13(microSetup()) })
+	for _, want := range []string{"frontiers", "Qcor=10%", "qaoa-6"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fig13 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPrintFig1(t *testing.T) {
+	s := microSetup()
+	s.Rounds = 2
+	s.Trials = 1024
+	got := capture(t, func() { printFig1(s) })
+	if !strings.Contains(got, "ideal machine") {
+		t.Errorf("fig1 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig4(t *testing.T) {
+	s := microSetup()
+	got := capture(t, func() { printFig4(s) })
+	if !strings.Contains(got, "diversity ratio") || !strings.Contains(got, "scale:") {
+		t.Errorf("fig4 output wrong:\n%s", got)
+	}
+}
+
+func TestPrintFig7(t *testing.T) {
+	got := capture(t, func() { printFig7(microSetup()) })
+	if !strings.Contains(got, "EDM/compile") || !strings.Contains(got, "qaoa-5") {
+		t.Errorf("fig7 output wrong:\n%s", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Command tune is a development diagnostic: it measures the four policies
+// of Figure 11 at configurable scale and prints per-round detail, so noise
+// -model changes can be judged on real statistics instead of 3-round medians.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"edm/internal/core"
+	"edm/internal/dist"
+	"edm/internal/experiment"
+	"edm/internal/stats"
+	"edm/internal/workloads"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 10, "rounds")
+	trials := flag.Int("trials", 8192, "trials")
+	name := flag.String("w", "bv-6", "workload")
+	ci := flag.Bool("ci", false, "print a bootstrap 95% confidence interval for each EDM IST")
+	flag.Parse()
+	s := experiment.Default()
+	s.Rounds = *rounds
+	s.Trials = *trials
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		w = workloads.BV("110011")
+	}
+	var base, post, edm, wedm []float64
+	for i := 0; i < s.Rounds; i++ {
+		r := s.Round(i)
+		seed := r.RNG.Derive("tune")
+		bm, err := r.Runner.RunSingleBest(w.Circuit, s.Trials, seed.Derive("base"))
+		ck(err)
+		res, err := r.Runner.Run(w.Circuit, core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform}, seed.Derive("edm"))
+		ck(err)
+		pm, err := r.Runner.BestPostExec(res, w.Correct, s.Trials, seed.Derive("post"))
+		ck(err)
+		wd := dist.WeightedMerge(res.MemberOutputs(), core.MergeWeights(res.MemberOutputs(), core.WeightDivergence))
+		b := bm.Output.IST(w.Correct)
+		p := pm.Output.IST(w.Correct)
+		e := res.Merged.IST(w.Correct)
+		we := wd.IST(w.Correct)
+		base, post, edm, wedm = append(base, b), append(post, p), append(edm, e), append(wedm, we)
+		var mists []string
+		for _, m := range res.Members {
+			mists = append(mists, fmt.Sprintf("%.2f", m.Output.IST(w.Correct)))
+		}
+		fmt.Printf("round %2d: base %.3f post %.3f EDM %.3f WEDM %.3f members %v\n", i, b, p, e, we, mists)
+		if *ci {
+			merged := dist.NewCounts(w.Correct.Len())
+			for _, m := range res.Members {
+				merged.Merge(m.Counts)
+			}
+			iv := stats.ISTInterval(merged, w.Correct, 300, 0.95, seed.Derive("ci"))
+			fmt.Printf("          EDM IST %v -> inference %s\n", iv, stats.InferenceDecision(iv))
+		}
+	}
+	fmt.Printf("\nmedians: base %.3f post %.3f EDM %.3f WEDM %.3f\n", med(base), med(post), med(edm), med(wedm))
+	fmt.Printf("gains:   EDM/base %.3f  EDM/post %.3f  WEDM/base %.3f\n",
+		med(edm)/med(base), med(edm)/med(post), med(wedm)/med(base))
+}
+
+func med(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func ck(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

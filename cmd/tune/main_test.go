@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestMedian(t *testing.T) {
+	if got := med([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("med = %v", got)
+	}
+	if got := med([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("med = %v", got)
+	}
+}
+
+func TestCkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ck(nil error) semantics wrong")
+		}
+	}()
+	ck(errFake{})
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "x" }

@@ -1,0 +1,58 @@
+// How many trials are enough? NISQ inference is a statistics problem:
+// with too few trials even a healthy machine cannot separate the correct
+// answer from the strongest wrong one. This example sweeps the trial
+// budget for an EDM run, bootstraps a confidence interval for the
+// ensemble's IST at every scale, and prints the point at which the
+// inference verdict stops being "uncertain".
+//
+//	go run ./examples/confidence
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edm/internal/backend"
+	"edm/internal/core"
+	"edm/internal/device"
+	"edm/internal/dist"
+	"edm/internal/mapper"
+	"edm/internal/report"
+	"edm/internal/rng"
+	"edm/internal/stats"
+	"edm/internal/workloads"
+)
+
+func main() {
+	w := workloads.BV("1011")
+	fmt.Printf("workload: %s\n\n", w.Description)
+
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(11))
+	runner := core.NewRunner(mapper.NewCompiler(cal), backend.New(cal.Drift(0.15, rng.New(12))))
+
+	headers := []string{"trials", "EDM IST (95% CI)", "verdict"}
+	var rows [][]string
+	for _, trials := range []int{512, 2048, 8192, 32768} {
+		res, err := runner.Run(w.Circuit,
+			core.Config{K: 4, Trials: trials, Weighting: core.WeightUniform},
+			rng.New(uint64(100+trials)))
+		if err != nil {
+			panic(err)
+		}
+		// The ensemble's merged log: concatenating member histograms is
+		// the uniform merge when members share the trial split.
+		merged := dist.NewCounts(w.Correct.Len())
+		for _, m := range res.Members {
+			merged.Merge(m.Counts)
+		}
+		iv := stats.ISTInterval(merged, w.Correct, 400, 0.95, rng.New(uint64(200+trials)))
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", trials),
+			iv.String(),
+			stats.InferenceDecision(iv),
+		})
+	}
+	report.Table(os.Stdout, headers, rows)
+	fmt.Println("\n'yes' means the whole interval clears IST = 1: the most frequent outcome")
+	fmt.Println("can be trusted to be the correct answer at this confidence level.")
+}

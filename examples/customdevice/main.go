@@ -1,0 +1,120 @@
+// Custom device: EDM is not tied to the IBMQ-14 ladder. This example
+// defines a 4x4 grid machine with a user-supplied noise profile, runs the
+// grey-code decoder on it, and sweeps the ensemble size — the sensitivity
+// study a user should run on their own hardware before fixing K (paper
+// Section 5.5 recommends exactly that).
+//
+//	go run ./examples/customdevice
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edm/internal/backend"
+	"edm/internal/core"
+	"edm/internal/device"
+	"edm/internal/mapper"
+	"edm/internal/report"
+	"edm/internal/rng"
+	"edm/internal/workloads"
+)
+
+func main() {
+	// A 16-qubit grid with a noise profile quieter than melbourne on
+	// gates but with very uneven readout — say, a fab with good couplers
+	// and inconsistent resonators.
+	topo := device.Grid(4, 4)
+	profile := device.MelbourneProfile()
+	profile.CXErrMean = 0.02
+	profile.Meas10Mean = 0.12
+	profile.Meas10Spread = 1.2
+	profile.Meas01Spread = 1.2
+	profile.BadQubits = 3
+
+	w := workloads.Greycode("101001")
+	fmt.Printf("device: %s (%d qubits, %d couplings)\n", topo.Name, topo.Qubits, len(topo.Edges()))
+	fmt.Printf("workload: %s\n\n", w.Description)
+
+	const rounds = 5
+	const trials = 8192
+	headers := []string{"policy", "median IST", "median PST", "rounds with correct inference"}
+	type stat struct {
+		ist, pst []float64
+		wins     int
+	}
+	stats := map[string]*stat{}
+	policies := []string{"best-1", "EDM-2", "EDM-4", "EDM-6", "WEDM-4"}
+	for _, p := range policies {
+		stats[p] = &stat{}
+	}
+
+	for round := 0; round < rounds; round++ {
+		cal := device.Generate(topo, profile, rng.New(uint64(10+round)))
+		machine := backend.New(cal.Drift(0.2, rng.New(uint64(20+round))))
+		runner := core.NewRunner(mapper.NewCompiler(cal), machine)
+		seed := rng.New(uint64(30 + round))
+
+		record := func(policy string, ist, pst float64, correct bool) {
+			s := stats[policy]
+			s.ist = append(s.ist, ist)
+			s.pst = append(s.pst, pst)
+			if correct {
+				s.wins++
+			}
+		}
+
+		base, err := runner.RunSingleBest(w.Circuit, trials, seed.Derive("base"))
+		check(err)
+		record("best-1", base.Output.IST(w.Correct), base.Output.PST(w.Correct),
+			base.Output.MostLikely().Value.Equal(w.Correct))
+
+		for _, k := range []int{2, 4, 6} {
+			res, err := runner.Run(w.Circuit,
+				core.Config{K: k, Trials: trials, Weighting: core.WeightUniform},
+				seed.DeriveN("edm", k))
+			check(err)
+			record(fmt.Sprintf("EDM-%d", k),
+				res.Merged.IST(w.Correct), res.Merged.PST(w.Correct),
+				res.Merged.MostLikely().Value.Equal(w.Correct))
+		}
+
+		wres, err := runner.Run(w.Circuit,
+			core.Config{K: 4, Trials: trials, Weighting: core.WeightDivergence},
+			seed.Derive("wedm"))
+		check(err)
+		record("WEDM-4", wres.Merged.IST(w.Correct), wres.Merged.PST(w.Correct),
+			wres.Merged.MostLikely().Value.Equal(w.Correct))
+	}
+
+	var rows [][]string
+	for _, p := range policies {
+		s := stats[p]
+		rows = append(rows, []string{
+			p, report.F(median(s.ist)), report.Pct(median(s.pst)),
+			fmt.Sprintf("%d/%d", s.wins, rounds),
+		})
+	}
+	report.Table(os.Stdout, headers, rows)
+	fmt.Println("\npick the smallest K whose IST clears 1 with margin on *your* device;")
+	fmt.Println("the paper found K=4 right for IBMQ-14 but warns it is machine-specific.")
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Calibration drift study: why the compiler's "best" mapping is not the
+// machine's best mapping, and why an ensemble is robust to the gap.
+//
+// The compiler ranks placements by ESP computed from calibration-cycle
+// data; the machine's behaviour drifts before and during the run (paper
+// Section 5.3, Figure 8). This example measures, across increasing drift,
+// how often the compile-time favourite is still the run-time winner, and
+// what that does to single-mapping versus ensemble inference.
+//
+//	go run ./examples/drift
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"edm/internal/backend"
+	"edm/internal/core"
+	"edm/internal/device"
+	"edm/internal/mapper"
+	"edm/internal/report"
+	"edm/internal/rng"
+	"edm/internal/workloads"
+)
+
+func main() {
+	w := workloads.BV("110011")
+	const rounds = 4
+	const trials = 2048
+
+	fmt.Println("workload:", w.Description)
+	fmt.Println()
+	headers := []string{"drift", "ESP->PST corr", "favourite wins", "median IST best", "median IST EDM"}
+	var rows [][]string
+
+	for _, drift := range []float64{0.0, 0.15, 0.3, 0.5} {
+		var corrSum float64
+		favouriteWins := 0
+		var bestISTs, edmISTs []float64
+		for round := 0; round < rounds; round++ {
+			cal := device.Generate(device.Melbourne(), device.MelbourneProfile(),
+				rng.New(uint64(1000+round)))
+			runtimeCal := cal.Drift(drift, rng.New(uint64(2000+round)))
+			comp := mapper.NewCompiler(cal)
+			machine := backend.New(runtimeCal)
+			runner := core.NewRunner(comp, machine)
+			seed := rng.New(uint64(3000+round)).DeriveN("drift", int(drift*100))
+
+			execs, err := comp.TopK(w.Circuit, 4)
+			check(err)
+			// Run each candidate with an equal share to observe run-time PST.
+			psts := make([]float64, len(execs))
+			esps := make([]float64, len(execs))
+			for i, e := range execs {
+				d, err := machine.RunDist(e.Circuit, trials/len(execs), seed.DeriveN("probe", i))
+				check(err)
+				psts[i] = d.PST(w.Correct)
+				esps[i] = e.ESP
+			}
+			if argmax(psts) == 0 {
+				favouriteWins++ // the compile-time best (index 0) won at run time
+			}
+			corrSum += pearson(esps, psts)
+
+			base, err := runner.RunSingleBest(w.Circuit, trials, seed.Derive("base"))
+			check(err)
+			res, err := runner.Run(w.Circuit,
+				core.Config{K: 4, Trials: trials, Weighting: core.WeightUniform},
+				seed.Derive("edm"))
+			check(err)
+			bestISTs = append(bestISTs, base.Output.IST(w.Correct))
+			edmISTs = append(edmISTs, res.Merged.IST(w.Correct))
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", drift),
+			report.F(corrSum / rounds),
+			fmt.Sprintf("%d/%d", favouriteWins, rounds),
+			report.F(median(bestISTs)),
+			report.F(median(edmISTs)),
+		})
+	}
+	report.Table(os.Stdout, headers, rows)
+	fmt.Println("\n'favourite wins' counts rounds where the top-ESP mapping also had the top run-time PST.")
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

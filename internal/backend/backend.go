@@ -1,0 +1,496 @@
+// Package backend is the simulated NISQ machine. It stands in for the
+// paper's ibmq-16-melbourne: it accepts a *physical* executable (a circuit
+// whose qubit indices are device qubits and whose two-qubit gates respect
+// the coupling map), runs it for N trials under the device's noise model,
+// and returns the histogram of measured outcomes — the "output log" of the
+// NISQ execution model (paper Section 2.2).
+//
+// Two execution paths share one compiled schedule:
+//
+//   - Run: Monte-Carlo trajectories through the statevector engine, one
+//     stochastic sample per trial. This is the path used by all
+//     experiments; its sampling noise is the paper's shot noise.
+//   - ExactDist: exact channel evolution through the density-matrix
+//     engine, used by tests to validate the trajectory path and by
+//     analyses that need noise-free-of-shot-noise distributions.
+//
+// Only the qubits the executable touches are simulated; crosstalk onto
+// untouched spectator qubits is folded into an equivalent local phase
+// (a spectator stuck in |0> turns a ZZ kick into a Z rotation).
+package backend
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/density"
+	"edm/internal/device"
+	"edm/internal/dist"
+	"edm/internal/noise"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+// Machine simulates one device with one (runtime) calibration.
+type Machine struct {
+	cal *device.Calibration
+}
+
+// New returns a machine with the given runtime calibration. The
+// calibration passed here may differ from the one the compiler used — that
+// gap is exactly the compile-time/run-time drift of paper Section 5.3.
+func New(cal *device.Calibration) *Machine {
+	if err := cal.Validate(); err != nil {
+		panic(fmt.Sprintf("backend: invalid calibration: %v", err))
+	}
+	return &Machine{cal: cal}
+}
+
+// Calibration returns the machine's runtime calibration.
+func (m *Machine) Calibration() *device.Calibration { return m.cal }
+
+// stepKind discriminates compiled schedule steps.
+type stepKind int
+
+const (
+	stepU1      stepKind = iota // deterministic one-qubit unitary
+	stepU2                      // deterministic two-qubit unitary
+	stepPauli1                  // stochastic one-qubit depolarizing event
+	stepPauli2                  // stochastic two-qubit depolarizing event
+	stepDamp                    // T1/T2 damping over a time window
+	stepMeasure                 // projective measurement into a classical bit
+)
+
+// step is one schedule entry; qubit indices are *local* (compacted).
+type step struct {
+	kind stepKind
+	m2   circuit.Matrix2
+	m4   circuit.Matrix4
+	q0   int
+	q1   int
+	p    float64 // depolarizing probability for stepPauli*
+	ampK []circuit.Matrix2
+	phK  []circuit.Matrix2
+	cbit int
+	phys int // physical qubit, for readout handling of measurements
+}
+
+// program is a compiled, noise-annotated schedule for one executable.
+type program struct {
+	nLocal    int
+	numClbits int
+	steps     []step
+	measPhys  []int // classical bit -> physical qubit (-1 if unwritten)
+}
+
+// compile lowers the executable onto the machine: SWAPs become CX
+// triples, coherent errors are folded into the gate unitaries, stochastic
+// and damping events are inserted per the device calibration, and qubit
+// indices are compacted to the touched subset.
+func (m *Machine) compile(exe *circuit.Circuit) (*program, error) {
+	if err := exe.Validate(); err != nil {
+		return nil, err
+	}
+	if exe.NumQubits > m.cal.Topo.Qubits {
+		return nil, fmt.Errorf("backend: executable uses %d qubits, device has %d", exe.NumQubits, m.cal.Topo.Qubits)
+	}
+	lowered := exe.LowerSwaps()
+	active := lowered.UsedQubits()
+	if len(active) > statevec.MaxQubits {
+		return nil, fmt.Errorf("backend: %d active qubits exceed simulator limit %d", len(active), statevec.MaxQubits)
+	}
+	local := make(map[int]int, len(active))
+	for i, q := range active {
+		local[q] = i
+	}
+	activeSet := make(map[int]bool, len(active))
+	for _, q := range active {
+		activeSet[q] = true
+	}
+
+	p := &program{nLocal: len(active), numClbits: lowered.NumClbits}
+	p.measPhys = make([]int, lowered.NumClbits)
+	for i := range p.measPhys {
+		p.measPhys[i] = -1
+	}
+
+	cal := m.cal
+	clock := make(map[int]float64, len(active)) // ns per physical qubit
+	measured := make(map[int]bool)
+
+	idleTo := func(q int, until float64) {
+		dt := until - clock[q]
+		if dt <= 0 {
+			return
+		}
+		p.addDamp(cal, local[q], q, dt)
+		// Idle coherent phase drift, scaled by elapsed time.
+		if cal.CohZ[q] != 0 {
+			angle := cal.CohZ[q] * dt / cal.Gate1QTimeNs
+			p.steps = append(p.steps, step{kind: stepU1, m2: noise.RZMatrix(angle), q0: local[q]})
+		}
+		clock[q] = until
+	}
+
+	for i, op := range lowered.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			qs := op.Qubits
+			if len(qs) == 0 {
+				qs = active
+			}
+			var maxT float64
+			for _, q := range qs {
+				if activeSet[q] && clock[q] > maxT {
+					maxT = clock[q]
+				}
+			}
+			// A barrier makes its qubits wait for the slowest one, and the
+			// wait is real time during which they decohere.
+			for _, q := range qs {
+				if activeSet[q] {
+					idleTo(q, maxT)
+				}
+			}
+			continue
+
+		case op.Kind == circuit.Measure:
+			q := op.Qubits[0]
+			if measured[q] {
+				return nil, fmt.Errorf("backend: op %d measures qubit %d twice", i, q)
+			}
+			// All measurements start together at the latest clock so far:
+			// hardware reads the whole register out at the end of the
+			// shot, and earlier-finished qubits idle (and decohere) until
+			// readout begins.
+			var maxT float64
+			for _, a := range active {
+				if clock[a] > maxT {
+					maxT = clock[a]
+				}
+			}
+			idleTo(q, maxT)
+			// Decoherence during the measurement window itself.
+			p.addDamp(cal, local[q], q, cal.MeasTimeNs)
+			clock[q] += cal.MeasTimeNs
+			p.steps = append(p.steps, step{kind: stepMeasure, q0: local[q], cbit: op.Cbit, phys: q})
+			p.measPhys[op.Cbit] = q
+			measured[q] = true
+
+		case op.Kind.IsTwoQubit():
+			a, b := op.Qubits[0], op.Qubits[1]
+			if measured[a] || measured[b] {
+				return nil, fmt.Errorf("backend: op %d acts on a measured qubit", i)
+			}
+			if !cal.Topo.HasEdge(a, b) {
+				return nil, fmt.Errorf("backend: op %d (%v %d %d) violates the coupling map", i, op.Kind, a, b)
+			}
+			e := device.NewEdge(a, b)
+			start := clock[a]
+			if clock[b] > start {
+				start = clock[b]
+			}
+			idleTo(a, start)
+			idleTo(b, start)
+			// Fold systematic errors into the gate unitary:
+			// (RY_a ⊗ RY_b) · ZZ(over-rotation) · GATE.
+			m4 := circuit.Matrix2Q(op.Kind)
+			m4 = noise.Mul4(noise.ZZMatrix(cal.CXCohZZ[e]), m4)
+			m4 = noise.Mul4(noise.Kron(noise.RYMatrix(cal.CohY[a]), noise.RYMatrix(cal.CohY[b])), m4)
+			p.steps = append(p.steps, step{kind: stepU2, m4: m4, q0: local[a], q1: local[b]})
+			if cal.CXErr[e] > 0 {
+				p.steps = append(p.steps, step{kind: stepPauli2, p: cal.CXErr[e], q0: local[a], q1: local[b]})
+			}
+			// Crosstalk: every coupling adjacent to the firing link gets a
+			// ZZ kick. Active spectators get the full two-qubit unitary;
+			// untouched spectators sit in |0>, where ZZ reduces to a Z
+			// rotation on the active endpoint.
+			for _, x := range [2]int{a, b} {
+				for _, c := range cal.Topo.Neighbors(x) {
+					if c == a || c == b {
+						continue
+					}
+					xe := device.NewEdge(x, c)
+					theta := cal.CrossZZ[xe]
+					if theta == 0 {
+						continue
+					}
+					if activeSet[c] {
+						p.steps = append(p.steps, step{kind: stepU2, m4: noise.ZZMatrix(theta), q0: local[x], q1: local[c]})
+					} else {
+						p.steps = append(p.steps, step{kind: stepU1, m2: noise.RZMatrix(2 * theta), q0: local[x]})
+					}
+				}
+			}
+			p.addDamp(cal, local[a], a, cal.Gate2QTimeNs)
+			p.addDamp(cal, local[b], b, cal.Gate2QTimeNs)
+			clock[a] = start + cal.Gate2QTimeNs
+			clock[b] = start + cal.Gate2QTimeNs
+
+		default: // one-qubit unitary
+			q := op.Qubits[0]
+			if measured[q] {
+				return nil, fmt.Errorf("backend: op %d acts on a measured qubit", i)
+			}
+			m2 := circuit.Matrix1Q(op.Kind, op.Params)
+			if op.Kind != circuit.I && cal.CohY[q] != 0 {
+				m2 = noise.RYMatrix(cal.CohY[q]).Mul(m2)
+			}
+			p.steps = append(p.steps, step{kind: stepU1, m2: m2, q0: local[q]})
+			if op.Kind != circuit.I && cal.SQErr[q] > 0 {
+				p.steps = append(p.steps, step{kind: stepPauli1, p: cal.SQErr[q], q0: local[q]})
+			}
+			p.addDamp(cal, local[q], q, cal.Gate1QTimeNs)
+			clock[q] += cal.Gate1QTimeNs
+		}
+	}
+	return p, nil
+}
+
+// addDamp appends a damping step for physical qubit q over dt nanoseconds
+// (T1/T2 are in microseconds) unless it would be a no-op.
+func (p *program) addDamp(cal *device.Calibration, lq, q int, dt float64) {
+	gA, gP := noise.DampingParams(dt, cal.T1us[q]*1000, cal.T2us[q]*1000)
+	if gA == 0 && gP == 0 {
+		return
+	}
+	s := step{kind: stepDamp, q0: lq}
+	if gA > 0 {
+		s.ampK = noise.AmplitudeDampingKraus(gA)
+	}
+	if gP > 0 {
+		s.phK = noise.PhaseDampingKraus(gP)
+	}
+	p.steps = append(p.steps, s)
+}
+
+// parallelThreshold is the trial count above which Run fans trials out
+// across CPU cores. Below it the goroutine overhead is not worth paying.
+const parallelThreshold = 256
+
+// Run executes the physical circuit for the given number of trials and
+// returns the outcome histogram. The RNG makes the run exactly
+// reproducible: every trial uses an independent stream derived from its
+// index, so the histogram is identical whether trials run serially or
+// across cores.
+func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
+	if trials < 0 {
+		return nil, fmt.Errorf("backend: negative trial count")
+	}
+	prog, err := m.compile(exe)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if trials < parallelThreshold || workers < 2 {
+		counts := dist.NewCounts(prog.numClbits)
+		trueBits := make([]int, prog.numClbits)
+		for t := 0; t < trials; t++ {
+			counts.Observe(m.runTrajectory(prog, trueBits, r.DeriveN("trial", t)))
+		}
+		return counts, nil
+	}
+	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
+	// Each worker fills a private histogram; merging integer counts is
+	// commutative, so the result is bit-identical to the serial path.
+	partial := make([]*dist.Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts := dist.NewCounts(prog.numClbits)
+			trueBits := make([]int, prog.numClbits)
+			for t := w; t < trials; t += workers {
+				counts.Observe(m.runTrajectory(prog, trueBits, r.DeriveN("trial", t)))
+			}
+			partial[w] = counts
+		}(w)
+	}
+	wg.Wait()
+	counts := dist.NewCounts(prog.numClbits)
+	for _, p := range partial {
+		counts.Merge(p)
+	}
+	return counts, nil
+}
+
+// RunDist is Run followed by histogram normalization.
+func (m *Machine) RunDist(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Dist, error) {
+	c, err := m.Run(exe, trials, r)
+	if err != nil {
+		return nil, err
+	}
+	return c.Dist(), nil
+}
+
+// runTrajectory executes one trial. trueBits is scratch space of size
+// numClbits.
+func (m *Machine) runTrajectory(prog *program, trueBits []int, r *rng.RNG) bitstr.BitString {
+	s := statevec.NewState(prog.nLocal)
+	for i := range trueBits {
+		trueBits[i] = 0
+	}
+	for _, st := range prog.steps {
+		switch st.kind {
+		case stepU1:
+			s.Apply1Q(st.m2, st.q0)
+		case stepU2:
+			s.Apply2Q(st.m4, st.q0, st.q1)
+		case stepPauli1:
+			if k := noise.SamplePauli1Q(st.p, r); k != 0 {
+				s.Apply1Q(noise.Pauli1Q[k], st.q0)
+			}
+		case stepPauli2:
+			ka, kb := noise.SamplePauli2Q(st.p, r)
+			if ka != 0 {
+				s.Apply1Q(noise.Pauli1Q[ka], st.q0)
+			}
+			if kb != 0 {
+				s.Apply1Q(noise.Pauli1Q[kb], st.q1)
+			}
+		case stepDamp:
+			if st.ampK != nil {
+				s.ApplyKraus1Q(st.ampK, st.q0, r)
+			}
+			if st.phK != nil {
+				s.ApplyKraus1Q(st.phK, st.q0, r)
+			}
+		case stepMeasure:
+			trueBits[st.cbit] = s.MeasureQubit(st.q0, r)
+		}
+	}
+	return m.applyReadout(prog, trueBits, r)
+}
+
+// applyReadout converts true measured bits into read-out bits by applying
+// biased, pairwise-correlated classical flips.
+func (m *Machine) applyReadout(prog *program, trueBits []int, r *rng.RNG) bitstr.BitString {
+	out := bitstr.Zeros(prog.numClbits)
+	for cb, q := range prog.measPhys {
+		if q < 0 {
+			continue
+		}
+		flip := r.Bernoulli(noise.ReadoutFlipProb(m.cal, q, trueBits[cb], m.neighbourOne(prog, q, trueBits)))
+		bit := trueBits[cb]
+		if flip {
+			bit ^= 1
+		}
+		if bit == 1 {
+			out = out.WithBit(cb, true)
+		}
+	}
+	return out
+}
+
+// neighbourOne reports whether any coupled, measured neighbour of physical
+// qubit q has true bit 1 in this trial.
+func (m *Machine) neighbourOne(prog *program, q int, trueBits []int) bool {
+	for cb, p := range prog.measPhys {
+		if p < 0 || p == q {
+			continue
+		}
+		if trueBits[cb] == 1 && m.cal.Topo.HasEdge(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExactDist computes the exact noisy output distribution of the
+// executable through the density-matrix engine (no shot noise). The
+// executable must only measure at the end and touch at most
+// density.MaxQubits qubits.
+func (m *Machine) ExactDist(exe *circuit.Circuit) (*dist.Dist, error) {
+	prog, err := m.compile(exe)
+	if err != nil {
+		return nil, err
+	}
+	if prog.nLocal > density.MaxQubits {
+		return nil, fmt.Errorf("backend: %d active qubits exceed density engine limit %d", prog.nLocal, density.MaxQubits)
+	}
+	rho := density.New(prog.nLocal)
+	// localMeasured[lq] = cbit or -1.
+	localMeasured := make([]int, prog.nLocal)
+	for i := range localMeasured {
+		localMeasured[i] = -1
+	}
+	for _, st := range prog.steps {
+		switch st.kind {
+		case stepU1:
+			rho.Apply1Q(st.m2, st.q0)
+		case stepU2:
+			rho.Apply2Q(st.m4, st.q0, st.q1)
+		case stepPauli1:
+			rho.ApplyKraus1Q(noise.DepolarizingKraus1Q(st.p), st.q0)
+		case stepPauli2:
+			rho.ApplyKraus2Q(noise.DepolarizingKraus2Q(st.p), st.q0, st.q1)
+		case stepDamp:
+			if st.ampK != nil {
+				rho.ApplyKraus1Q(st.ampK, st.q0)
+			}
+			if st.phK != nil {
+				rho.ApplyKraus1Q(st.phK, st.q0)
+			}
+		case stepMeasure:
+			localMeasured[st.q0] = st.cbit
+		}
+	}
+	// Convert the diagonal into a distribution over classical bits, then
+	// push it through the correlated readout-error channel exactly.
+	out := dist.New(prog.numClbits)
+	diag := rho.Diagonal()
+	trueBits := make([]int, prog.numClbits)
+	for b, pb := range diag {
+		if pb <= 0 {
+			continue
+		}
+		for i := range trueBits {
+			trueBits[i] = 0
+		}
+		for lq, cb := range localMeasured {
+			if cb >= 0 && b>>uint(lq)&1 == 1 {
+				trueBits[cb] = 1
+			}
+		}
+		m.spreadReadout(prog, trueBits, pb, out)
+	}
+	return out, nil
+}
+
+// spreadReadout distributes probability mass pb of the true outcome over
+// all possible read outcomes under independent-given-truth flips.
+func (m *Machine) spreadReadout(prog *program, trueBits []int, pb float64, out *dist.Dist) {
+	// Collect measured classical bits and their flip probabilities.
+	type meas struct {
+		cb   int
+		flip float64
+	}
+	var ms []meas
+	for cb, q := range prog.measPhys {
+		if q < 0 {
+			continue
+		}
+		ms = append(ms, meas{cb: cb, flip: noise.ReadoutFlipProb(m.cal, q, trueBits[cb], m.neighbourOne(prog, q, trueBits))})
+	}
+	var rec func(i int, acc float64, bits uint64)
+	rec = func(i int, acc float64, bits uint64) {
+		if acc == 0 {
+			return
+		}
+		if i == len(ms) {
+			out.Add(bitstr.New(bits, prog.numClbits), acc)
+			return
+		}
+		cb := ms[i].cb
+		tb := uint64(trueBits[cb])
+		// No flip.
+		rec(i+1, acc*(1-ms[i].flip), bits|(tb<<uint(cb)))
+		// Flip.
+		rec(i+1, acc*ms[i].flip, bits|((tb^1)<<uint(cb)))
+	}
+	rec(0, pb, 0)
+}

@@ -1,0 +1,128 @@
+package ballsim
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func TestAnalyticISTMatchesMonteCarlo(t *testing.T) {
+	// The appendix states the analytic model was "confirmed with Monte
+	// Carlo"; the two must agree within sampling slack.
+	r := rng.New(1)
+	m := Uncorrelated(64)
+	for _, ps := range []float64{0.02, 0.05, 0.1} {
+		analytic := AnalyticIST(ps, 64, 8192)
+		mc := m.MedianIST(ps, 8192, 31, r.Derive("mc"))
+		if math.Abs(analytic-mc)/analytic > 0.25 {
+			t.Errorf("ps=%v: analytic %v vs MC %v", ps, analytic, mc)
+		}
+	}
+}
+
+func TestUncorrelatedFrontierNearPaper(t *testing.T) {
+	// Paper: "For the model with no correlation, PST frontier is at 1.8%"
+	// for M=64 (with 8192 trials per run).
+	f := Uncorrelated(64).Frontier(8192, 31, rng.New(2))
+	if f < 0.010 || f > 0.028 {
+		t.Fatalf("uncorrelated frontier = %.4f, paper reports ~0.018", f)
+	}
+}
+
+func TestCorrelatedFrontiersShiftRight(t *testing.T) {
+	// Paper: frontier moves 1.8% -> 3.6% at Qcor=10% -> 8% at Qcor=50%.
+	r := rng.New(3)
+	f0 := Uncorrelated(64).Frontier(8192, 31, r.Derive("f0"))
+	f10 := Correlated(64, 0.10).Frontier(8192, 31, r.Derive("f10"))
+	f50 := Correlated(64, 0.50).Frontier(8192, 31, r.Derive("f50"))
+	t.Logf("frontiers: uncorrelated=%.4f q10=%.4f q50=%.4f", f0, f10, f50)
+	if !(f0 < f10 && f10 < f50) {
+		t.Fatalf("frontier not monotone in Qcor: %v %v %v", f0, f10, f50)
+	}
+	if f10 < 0.02 || f10 > 0.06 {
+		t.Errorf("Qcor=10%% frontier %.4f, paper reports ~0.036", f10)
+	}
+	if f50 < 0.05 || f50 > 0.13 {
+		t.Errorf("Qcor=50%% frontier %.4f, paper reports ~0.08", f50)
+	}
+}
+
+func TestCorrelationDegradesIST(t *testing.T) {
+	// At a fixed Ps, more correlation means lower IST.
+	r := rng.New(4)
+	ps := 0.05
+	i0 := Uncorrelated(64).MedianIST(ps, 8192, 21, r.Derive("a"))
+	i10 := Correlated(64, 0.10).MedianIST(ps, 8192, 21, r.Derive("b"))
+	i50 := Correlated(64, 0.50).MedianIST(ps, 8192, 21, r.Derive("c"))
+	if !(i0 > i10 && i10 > i50) {
+		t.Fatalf("IST not decreasing with correlation: %v %v %v", i0, i10, i50)
+	}
+}
+
+func TestISTMonotoneInPs(t *testing.T) {
+	m := Correlated(64, 0.3)
+	r := rng.New(5)
+	prev := -1.0
+	for _, ps := range []float64{0.01, 0.03, 0.08, 0.2} {
+		ist := m.MedianIST(ps, 8192, 21, r.DeriveN("p", int(ps*1000)))
+		if ist <= prev {
+			t.Fatalf("IST not increasing at ps=%v: %v <= %v", ps, ist, prev)
+		}
+		prev = ist
+	}
+}
+
+func TestSimulateEdgeCases(t *testing.T) {
+	r := rng.New(6)
+	// ps=1: every ball green, no errors -> +Inf.
+	if ist := Uncorrelated(8).SimulateIST(1, 100, r); !math.IsInf(ist, 1) {
+		t.Fatalf("pure success IST = %v", ist)
+	}
+	// ps=0: no greens -> 0.
+	if ist := Uncorrelated(8).SimulateIST(0, 100, r); ist != 0 {
+		t.Fatalf("pure failure IST = %v", ist)
+	}
+	// zero trials: no balls at all -> 0.
+	if ist := Uncorrelated(8).SimulateIST(0.5, 0, r); ist != 0 {
+		t.Fatalf("zero-trial IST = %v", ist)
+	}
+}
+
+func TestAnalyticISTValidation(t *testing.T) {
+	mustPanic(t, func() { AnalyticIST(-0.1, 64, 100) })
+	mustPanic(t, func() { AnalyticIST(0.5, 1, 100) })
+	mustPanic(t, func() { AnalyticIST(0.5, 64, 0) })
+	mustPanic(t, func() { Model{M: 1}.SimulateIST(0.5, 10, rng.New(1)) })
+	mustPanic(t, func() { Model{M: 64, Qcor: 2}.SimulateIST(0.5, 10, rng.New(1)) })
+	mustPanic(t, func() { Model{M: 64, Qcor: 0.5, K: 0}.SimulateIST(0.5, 10, rng.New(1)) })
+	mustPanic(t, func() { Uncorrelated(64).MedianIST(0.5, 10, 0, rng.New(1)) })
+}
+
+func TestCurve(t *testing.T) {
+	ps := []float64{0.01, 0.05, 0.1}
+	c := Uncorrelated(64).Curve(ps, 4096, 11, rng.New(7))
+	if len(c) != 3 {
+		t.Fatalf("curve len = %d", len(c))
+	}
+	if !(c[0] < c[1] && c[1] < c[2]) {
+		t.Fatalf("curve not increasing: %v", c)
+	}
+}
+
+func TestCorrelatedDefaultK(t *testing.T) {
+	m := Correlated(64, 0.5)
+	if m.K != 6 {
+		t.Fatalf("k = %d, want log2(64) = 6", m.K)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,170 @@
+// Package bitstr represents measurement outcomes of an n-qubit program as
+// fixed-width bit strings.
+//
+// Convention: bit i of the packed word corresponds to program qubit i (or,
+// after mapping, to classical bit i of the result register). The textual
+// form prints bit 0 as the leftmost character, so the string reads in qubit
+// order — the same order the paper uses when it writes keys such as
+// "110011" for BV-6.
+package bitstr
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxBits is the widest outcome this package supports. All workloads in the
+// paper use at most 8 measured bits; the melbourne device has 14 qubits.
+const MaxBits = 63
+
+// BitString is an immutable n-bit outcome. The zero value is the empty
+// (0-bit) string.
+type BitString struct {
+	bits uint64
+	n    int
+}
+
+// New returns an n-bit string whose bit pattern is the low n bits of v.
+// It panics if n is out of range or v has bits set above position n-1.
+func New(v uint64, n int) BitString {
+	if n < 0 || n > MaxBits {
+		panic(fmt.Sprintf("bitstr: width %d out of range", n))
+	}
+	if n < 64 && v>>uint(n) != 0 {
+		panic(fmt.Sprintf("bitstr: value %#x does not fit in %d bits", v, n))
+	}
+	return BitString{bits: v, n: n}
+}
+
+// Parse converts a textual bit string such as "110011" (bit 0 leftmost)
+// into a BitString.
+func Parse(s string) (BitString, error) {
+	if len(s) > MaxBits {
+		return BitString{}, fmt.Errorf("bitstr: string %q longer than %d bits", s, MaxBits)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v |= 1 << uint(i)
+		default:
+			return BitString{}, fmt.Errorf("bitstr: invalid character %q in %q", s[i], s)
+		}
+	}
+	return BitString{bits: v, n: len(s)}, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests and
+// workload definitions.
+func MustParse(s string) BitString {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Zeros returns the all-zero string of width n.
+func Zeros(n int) BitString { return New(0, n) }
+
+// Ones returns the all-one string of width n.
+func Ones(n int) BitString {
+	if n == 0 {
+		return BitString{}
+	}
+	return New((uint64(1)<<uint(n))-1, n)
+}
+
+// Len returns the width in bits.
+func (b BitString) Len() int { return b.n }
+
+// Uint64 returns the packed bit pattern (bit i = qubit i).
+func (b BitString) Uint64() uint64 { return b.bits }
+
+// Bit reports whether bit i is set. It panics if i is out of range.
+func (b BitString) Bit(i int) bool {
+	b.check(i)
+	return b.bits>>uint(i)&1 == 1
+}
+
+// WithBit returns a copy with bit i set to v.
+func (b BitString) WithBit(i int, v bool) BitString {
+	b.check(i)
+	if v {
+		b.bits |= 1 << uint(i)
+	} else {
+		b.bits &^= 1 << uint(i)
+	}
+	return b
+}
+
+// Flip returns a copy with bit i inverted.
+func (b BitString) Flip(i int) BitString {
+	b.check(i)
+	b.bits ^= 1 << uint(i)
+	return b
+}
+
+// Invert returns the bitwise complement (every bit flipped), the transform
+// used by the Invert-and-Measure discussion in the paper's related work.
+func (b BitString) Invert() BitString {
+	if b.n == 0 {
+		return b
+	}
+	mask := (uint64(1) << uint(b.n)) - 1
+	b.bits = ^b.bits & mask
+	return b
+}
+
+// Weight returns the Hamming weight (number of set bits).
+func (b BitString) Weight() int { return bits.OnesCount64(b.bits) }
+
+// Distance returns the Hamming distance to other. It panics if the widths
+// differ.
+func (b BitString) Distance(other BitString) int {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitstr: width mismatch %d vs %d", b.n, other.n))
+	}
+	return bits.OnesCount64(b.bits ^ other.bits)
+}
+
+// Equal reports whether the two strings have the same width and bits.
+func (b BitString) Equal(other BitString) bool {
+	return b.n == other.n && b.bits == other.bits
+}
+
+// String renders the outcome with bit 0 leftmost, e.g. New(0b011, 3) is
+// "110".
+func (b BitString) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func (b BitString) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitstr: bit index %d out of range for width %d", i, b.n))
+	}
+}
+
+// Enumerate returns all 2^n outcomes of width n in increasing numeric
+// order. It panics if n is large enough to make that unreasonable (> 20).
+func Enumerate(n int) []BitString {
+	if n < 0 || n > 20 {
+		panic(fmt.Sprintf("bitstr: cannot enumerate width %d", n))
+	}
+	out := make([]BitString, 1<<uint(n))
+	for v := range out {
+		out[v] = BitString{bits: uint64(v), n: n}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package bitstr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "110011", "1101011", "00000000", "11111111", "101010"}
+	for _, s := range cases {
+		b, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := b.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+		if b.Len() != len(s) {
+			t.Errorf("Parse(%q).Len() = %d", s, b.Len())
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"012", "abc", "1 0"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBitOrderConvention(t *testing.T) {
+	// Bit 0 is the leftmost character.
+	b := MustParse("100")
+	if !b.Bit(0) || b.Bit(1) || b.Bit(2) {
+		t.Fatalf("bit order wrong: %v", b)
+	}
+	if b.Uint64() != 1 {
+		t.Fatalf("Uint64 = %d, want 1", b.Uint64())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic(t, func() { New(4, 2) })  // value too wide
+	mustPanic(t, func() { New(0, -1) }) // negative width
+	mustPanic(t, func() { New(0, 64) }) // too wide
+	_ = New(3, 2)                       // fits
+}
+
+func TestWithBitFlip(t *testing.T) {
+	b := Zeros(4)
+	b = b.WithBit(2, true)
+	if b.String() != "0010" {
+		t.Fatalf("WithBit: %v", b)
+	}
+	b = b.Flip(2).Flip(0)
+	if b.String() != "1000" {
+		t.Fatalf("Flip: %v", b)
+	}
+}
+
+func TestInvert(t *testing.T) {
+	b := MustParse("1010")
+	if got := b.Invert().String(); got != "0101" {
+		t.Fatalf("Invert = %q", got)
+	}
+	if !Zeros(5).Invert().Equal(Ones(5)) {
+		t.Fatal("Invert(zeros) != ones")
+	}
+	var empty BitString
+	if !empty.Invert().Equal(empty) {
+		t.Fatal("Invert of empty changed it")
+	}
+}
+
+func TestWeightDistance(t *testing.T) {
+	a := MustParse("1101")
+	if a.Weight() != 3 {
+		t.Fatalf("Weight = %d", a.Weight())
+	}
+	b := MustParse("1011")
+	if d := a.Distance(b); d != 2 {
+		t.Fatalf("Distance = %d", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatalf("self Distance = %d", d)
+	}
+}
+
+func TestDistanceWidthMismatchPanics(t *testing.T) {
+	mustPanic(t, func() { MustParse("101").Distance(MustParse("10")) })
+}
+
+func TestOnesZeros(t *testing.T) {
+	if Ones(6).String() != "111111" {
+		t.Fatal("Ones wrong")
+	}
+	if Zeros(6).String() != "000000" {
+		t.Fatal("Zeros wrong")
+	}
+	if Ones(0).Len() != 0 {
+		t.Fatal("Ones(0) not empty")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	all := Enumerate(3)
+	if len(all) != 8 {
+		t.Fatalf("Enumerate(3) len = %d", len(all))
+	}
+	seen := map[uint64]bool{}
+	for i, b := range all {
+		if b.Len() != 3 {
+			t.Fatalf("width %d", b.Len())
+		}
+		if b.Uint64() != uint64(i) {
+			t.Fatalf("order: index %d has value %d", i, b.Uint64())
+		}
+		seen[b.Uint64()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatal("duplicates in Enumerate")
+	}
+}
+
+func TestEnumeratePanicsWhenHuge(t *testing.T) {
+	mustPanic(t, func() { Enumerate(21) })
+}
+
+// Property: invert is an involution and distance to the inverse equals width.
+func TestInvertProperties(t *testing.T) {
+	if err := quick.Check(func(v uint16, wRaw uint8) bool {
+		n := int(wRaw%16) + 1
+		b := New(uint64(v)&((1<<uint(n))-1), n)
+		inv := b.Invert()
+		return inv.Invert().Equal(b) && b.Distance(inv) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weight(a^b) == distance(a,b); weight(a) + weight(invert(a)) == n.
+func TestWeightProperties(t *testing.T) {
+	if err := quick.Check(func(x, y uint16, wRaw uint8) bool {
+		n := int(wRaw%16) + 1
+		mask := uint64(1)<<uint(n) - 1
+		a := New(uint64(x)&mask, n)
+		b := New(uint64(y)&mask, n)
+		if a.Weight()+a.Invert().Weight() != n {
+			return false
+		}
+		return New(a.Uint64()^b.Uint64(), n).Weight() == a.Distance(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,262 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// shared by the workload generators, the mapping compiler, and the
+// simulation backends.
+//
+// A Circuit is an ordered list of operations over a fixed number of qubits
+// and classical bits. The gate set matches what the paper's workloads and
+// the IBM devices of that era need: the standard one-qubit Cliffords and
+// rotations (including the IBM U1/U2/U3 family), CX/CZ/SWAP two-qubit
+// gates, measurement, and barriers.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Kind identifies an operation type.
+type Kind int
+
+// The supported operation kinds.
+const (
+	// One-qubit gates.
+	I Kind = iota
+	X
+	Y
+	Z
+	H
+	S
+	Sdg
+	T
+	Tdg
+	RX // one parameter: rotation angle theta
+	RY // one parameter
+	RZ // one parameter
+	U1 // one parameter: lambda (phase gate)
+	U2 // two parameters: phi, lambda
+	U3 // three parameters: theta, phi, lambda
+	// Two-qubit gates.
+	CX   // control, target
+	CZ   // symmetric
+	SWAP // symmetric
+	// Non-unitary operations.
+	Measure // one qubit, one classical bit
+	Barrier // any number of qubits (empty = all); scheduling fence
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	I: "id", X: "x", Y: "y", Z: "z", H: "h", S: "s", Sdg: "sdg",
+	T: "t", Tdg: "tdg", RX: "rx", RY: "ry", RZ: "rz",
+	U1: "u1", U2: "u2", U3: "u3",
+	CX: "cx", CZ: "cz", SWAP: "swap",
+	Measure: "measure", Barrier: "barrier",
+}
+
+// String returns the lower-case mnemonic used in the textual circuit form.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindFromName returns the Kind with the given mnemonic.
+func KindFromName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Arity returns the number of qubit operands the kind requires; Barrier
+// returns -1 (variadic).
+func (k Kind) Arity() int {
+	switch k {
+	case CX, CZ, SWAP:
+		return 2
+	case Barrier:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// NumParams returns the number of real parameters the kind requires.
+func (k Kind) NumParams() int {
+	switch k {
+	case RX, RY, RZ, U1:
+		return 1
+	case U2:
+		return 2
+	case U3:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// IsUnitary reports whether the kind is a unitary gate (as opposed to
+// Measure or Barrier).
+func (k Kind) IsUnitary() bool { return k != Measure && k != Barrier }
+
+// IsTwoQubit reports whether the kind is a two-qubit unitary.
+func (k Kind) IsTwoQubit() bool { return k == CX || k == CZ || k == SWAP }
+
+// Matrix2 is a one-qubit unitary in row-major order over basis {|0>, |1>}.
+type Matrix2 [2][2]complex128
+
+// Matrix4 is a two-qubit unitary over basis {|00>, |01>, |10>, |11>} where
+// the first operand qubit is the *low* bit of the basis index. For CX the
+// first operand is the control.
+type Matrix4 [4][4]complex128
+
+// Matrix1Q returns the 2x2 unitary for a one-qubit gate with the given
+// parameters. It panics for non-unitary or two-qubit kinds or a wrong
+// parameter count.
+func Matrix1Q(k Kind, params []float64) Matrix2 {
+	if len(params) != k.NumParams() {
+		panic(fmt.Sprintf("circuit: %v expects %d params, got %d", k, k.NumParams(), len(params)))
+	}
+	switch k {
+	case I:
+		return Matrix2{{1, 0}, {0, 1}}
+	case X:
+		return Matrix2{{0, 1}, {1, 0}}
+	case Y:
+		return Matrix2{{0, -1i}, {1i, 0}}
+	case Z:
+		return Matrix2{{1, 0}, {0, -1}}
+	case H:
+		s := complex(1/math.Sqrt2, 0)
+		return Matrix2{{s, s}, {s, -s}}
+	case S:
+		return Matrix2{{1, 0}, {0, 1i}}
+	case Sdg:
+		return Matrix2{{1, 0}, {0, -1i}}
+	case T:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}
+	case Tdg:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}
+	case RX:
+		c := complex(math.Cos(params[0]/2), 0)
+		s := complex(0, -math.Sin(params[0]/2))
+		return Matrix2{{c, s}, {s, c}}
+	case RY:
+		c := complex(math.Cos(params[0]/2), 0)
+		s := complex(math.Sin(params[0]/2), 0)
+		return Matrix2{{c, -s}, {s, c}}
+	case RZ:
+		em := cmplx.Exp(complex(0, -params[0]/2))
+		ep := cmplx.Exp(complex(0, params[0]/2))
+		return Matrix2{{em, 0}, {0, ep}}
+	case U1:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(complex(0, params[0]))}}
+	case U2:
+		return u3Matrix(math.Pi/2, params[0], params[1])
+	case U3:
+		return u3Matrix(params[0], params[1], params[2])
+	default:
+		panic(fmt.Sprintf("circuit: %v is not a one-qubit unitary", k))
+	}
+}
+
+// u3Matrix returns the IBM U3(theta, phi, lambda) gate.
+func u3Matrix(theta, phi, lambda float64) Matrix2 {
+	c := math.Cos(theta / 2)
+	s := math.Sin(theta / 2)
+	return Matrix2{
+		{complex(c, 0), -cmplx.Exp(complex(0, lambda)) * complex(s, 0)},
+		{cmplx.Exp(complex(0, phi)) * complex(s, 0), cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0)},
+	}
+}
+
+// Matrix2Q returns the 4x4 unitary for a two-qubit gate. Basis ordering:
+// index = q0 + 2*q1 where q0 is the first operand (control for CX).
+func Matrix2Q(k Kind) Matrix4 {
+	switch k {
+	case CX:
+		// Control is the low bit: |c t> -> |c, t xor c>.
+		return Matrix4{
+			{1, 0, 0, 0}, // |00> -> |00>
+			{0, 0, 0, 1}, // |01> (c=1,t=0) -> |11>
+			{0, 0, 1, 0}, // |10> (c=0,t=1) -> |10>
+			{0, 1, 0, 0}, // |11> -> |01>
+		}
+	case CZ:
+		return Matrix4{
+			{1, 0, 0, 0},
+			{0, 1, 0, 0},
+			{0, 0, 1, 0},
+			{0, 0, 0, -1},
+		}
+	case SWAP:
+		return Matrix4{
+			{1, 0, 0, 0},
+			{0, 0, 1, 0},
+			{0, 1, 0, 0},
+			{0, 0, 0, 1},
+		}
+	default:
+		panic(fmt.Sprintf("circuit: %v is not a two-qubit unitary", k))
+	}
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix2) Dagger() Matrix2 {
+	return Matrix2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// Mul returns m * other (matrix product).
+func (m Matrix2) Mul(other Matrix2) Matrix2 {
+	var out Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			out[i][j] = m[i][0]*other[0][j] + m[i][1]*other[1][j]
+		}
+	}
+	return out
+}
+
+// IsUnitary reports whether m is unitary to within tol.
+func (m Matrix2) IsUnitary(tol float64) bool {
+	p := m.Mul(m.Dagger())
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m is unitary to within tol.
+func (m Matrix4) IsUnitary(tol float64) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var dot complex128
+			for k := 0; k < 4; k++ {
+				dot += m[i][k] * cmplx.Conj(m[j][k])
+			}
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inverse returns the circuit implementing the inverse unitary: the
+// operations reversed, each replaced by its dagger. Barriers are kept in
+// place (mirrored); measurements have no inverse and cause an error.
+// Echo-style experiments (run C then C⁻¹ and check the register returned
+// to |0...0>) are the standard way to expose coherent errors, which is
+// why a noise-focused library wants this.
+func (c *Circuit) Inverse() (*Circuit, error) {
+	out := New(c.NumQubits, c.NumClbits)
+	if c.Name != "" {
+		out.Name = c.Name + "-dg"
+	}
+	for i := len(c.Ops) - 1; i >= 0; i-- {
+		op := c.Ops[i]
+		inv, err := inverseOp(op)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: op %d: %w", i, err)
+		}
+		out.Ops = append(out.Ops, inv)
+	}
+	return out, nil
+}
+
+// inverseOp returns the dagger of a single operation.
+func inverseOp(op Op) (Op, error) {
+	inv := op.Clone()
+	switch op.Kind {
+	case I, X, Y, Z, H, CX, CZ, SWAP, Barrier:
+		// self-inverse (barrier is an ordering fence either way)
+	case S:
+		inv.Kind = Sdg
+	case Sdg:
+		inv.Kind = S
+	case T:
+		inv.Kind = Tdg
+	case Tdg:
+		inv.Kind = T
+	case RX, RY, RZ, U1:
+		inv.Params = []float64{-op.Params[0]}
+	case U2:
+		// U2(phi, lambda) = U3(pi/2, phi, lambda); its dagger is
+		// U3(-pi/2, -lambda, -phi), which U2's fixed theta cannot express.
+		inv.Kind = U3
+		inv.Params = []float64{-math.Pi / 2, -op.Params[1], -op.Params[0]}
+	case U3:
+		inv.Params = []float64{-op.Params[0], -op.Params[2], -op.Params[1]}
+	case Measure:
+		return Op{}, fmt.Errorf("measurement has no inverse")
+	default:
+		return Op{}, fmt.Errorf("unknown kind %v", op.Kind)
+	}
+	return inv, nil
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func TestInverseOfEveryUnitaryKind(t *testing.T) {
+	// A circuit touching every unitary kind composed with its inverse must
+	// be the identity matrix on the full register (up to global phase we
+	// verify via matrix products per op).
+	cases := []struct {
+		k      Kind
+		params []float64
+	}{
+		{I, nil}, {X, nil}, {Y, nil}, {Z, nil}, {H, nil}, {S, nil}, {Sdg, nil},
+		{T, nil}, {Tdg, nil}, {RX, []float64{0.7}}, {RY, []float64{1.3}},
+		{RZ, []float64{-2.1}}, {U1, []float64{0.9}}, {U2, []float64{0.4, 1.1}},
+		{U3, []float64{0.6, 1.7, 2.8}},
+	}
+	for _, tc := range cases {
+		op := Op{Kind: tc.k, Qubits: []int{0}, Params: tc.params, Cbit: -1}
+		inv, err := inverseOp(op)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.k, err)
+		}
+		m := Matrix1Q(tc.k, tc.params)
+		mi := Matrix1Q(inv.Kind, inv.Params)
+		prod := mi.Mul(m)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(prod[i][j]-want) > 1e-12 {
+					t.Fatalf("%v: inverse wrong at (%d,%d): %v", tc.k, i, j, prod[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestInverseUndoesRandomCircuit(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 20; trial++ {
+		rr := r.DeriveN("t", trial)
+		c := New(4, 0)
+		for i := 0; i < 25; i++ {
+			switch rr.Intn(5) {
+			case 0:
+				c.H(rr.Intn(4))
+			case 1:
+				c.U3(rr.Intn(4), rr.Float64()*3, rr.Float64()*6, rr.Float64()*6)
+			case 2:
+				c.U2(rr.Intn(4), rr.Float64()*6, rr.Float64()*6)
+			case 3:
+				a := rr.Intn(4)
+				b := (a + 1 + rr.Intn(3)) % 4
+				c.CX(a, b)
+			default:
+				a := rr.Intn(4)
+				b := (a + 1 + rr.Intn(3)) % 4
+				c.SWAP(a, b)
+			}
+		}
+		inv, err := c.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		echo := New(4, 0)
+		echo.Append(c).Append(inv)
+		amp := propagate(echo)
+		if p := real(amp[0])*real(amp[0]) + imag(amp[0])*imag(amp[0]); p < 1-1e-9 {
+			t.Fatalf("trial %d: echo did not return to |0000>: P = %v", trial, p)
+		}
+	}
+}
+
+// propagate is a minimal statevector propagator local to this test
+// (package statevec imports circuit, so the full engine cannot be used
+// here without an import cycle).
+func propagate(c *Circuit) []complex128 {
+	amp := make([]complex128, 1<<uint(c.NumQubits))
+	amp[0] = 1
+	for _, op := range c.Ops {
+		switch {
+		case op.Kind == Barrier:
+		case op.Kind.IsTwoQubit():
+			m := Matrix2Q(op.Kind)
+			b0 := 1 << uint(op.Qubits[0])
+			b1 := 1 << uint(op.Qubits[1])
+			for base := 0; base < len(amp); base++ {
+				if base&b0 != 0 || base&b1 != 0 {
+					continue
+				}
+				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
+				var in [4]complex128
+				for k := 0; k < 4; k++ {
+					in[k] = amp[idx[k]]
+				}
+				for r := 0; r < 4; r++ {
+					amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+				}
+			}
+		default:
+			m := Matrix1Q(op.Kind, op.Params)
+			bit := 1 << uint(op.Qubits[0])
+			for base := 0; base < len(amp); base++ {
+				if base&bit != 0 {
+					continue
+				}
+				a0, a1 := amp[base], amp[base|bit]
+				amp[base] = m[0][0]*a0 + m[0][1]*a1
+				amp[base|bit] = m[1][0]*a0 + m[1][1]*a1
+			}
+		}
+	}
+	return amp
+}
+
+func TestInverseRejectsMeasurement(t *testing.T) {
+	c := New(1, 1)
+	c.H(0).Measure(0, 0)
+	if _, err := c.Inverse(); err == nil {
+		t.Fatal("measurement inverted")
+	}
+}
+
+func TestInverseKeepsBarriers(t *testing.T) {
+	c := New(2, 0)
+	c.H(0).Barrier().CX(0, 1)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Ops[1].Kind != Barrier {
+		t.Fatalf("barrier lost: %v", inv.Ops)
+	}
+	if inv.Ops[0].Kind != CX || inv.Ops[2].Kind != H {
+		t.Fatalf("order not reversed: %v", inv.Ops)
+	}
+	if inv.Name != "" && c.Name == "" {
+		t.Fatalf("name invented: %q", inv.Name)
+	}
+}

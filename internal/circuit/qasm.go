@@ -1,0 +1,61 @@
+package circuit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// QASM renders the circuit as OpenQASM 2.0, the interchange format of the
+// IBM toolchain the paper's experiments went through. Barriers map to
+// QASM barriers; the identity gate maps to `id`. The output targets the
+// standard `qelib1.inc` gate set, which contains every gate this IR
+// defines.
+func (c *Circuit) QASM() string {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	if c.Name != "" {
+		fmt.Fprintf(&sb, "// circuit: %s\n", c.Name)
+	}
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NumQubits)
+	if c.NumClbits > 0 {
+		fmt.Fprintf(&sb, "creg c[%d];\n", c.NumClbits)
+	}
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case Measure:
+			fmt.Fprintf(&sb, "measure q[%d] -> c[%d];\n", op.Qubits[0], op.Cbit)
+		case Barrier:
+			if len(op.Qubits) == 0 {
+				sb.WriteString("barrier q;\n")
+				continue
+			}
+			parts := make([]string, len(op.Qubits))
+			for i, q := range op.Qubits {
+				parts[i] = fmt.Sprintf("q[%d]", q)
+			}
+			fmt.Fprintf(&sb, "barrier %s;\n", strings.Join(parts, ","))
+		default:
+			sb.WriteString(op.Kind.String())
+			if len(op.Params) > 0 {
+				sb.WriteByte('(')
+				for i, p := range op.Params {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					sb.WriteString(strconv.FormatFloat(p, 'g', -1, 64))
+				}
+				sb.WriteByte(')')
+			}
+			sb.WriteByte(' ')
+			parts := make([]string, len(op.Qubits))
+			for i, q := range op.Qubits {
+				parts[i] = fmt.Sprintf("q[%d]", q)
+			}
+			sb.WriteString(strings.Join(parts, ","))
+			sb.WriteString(";\n")
+		}
+	}
+	return sb.String()
+}

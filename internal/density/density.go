@@ -1,0 +1,281 @@
+// Package density implements an exact density-matrix simulator.
+//
+// Where package statevec samples one stochastic trajectory per trial, this
+// engine evolves the full mixed state rho under unitaries and Kraus
+// channels, yielding the *exact* output distribution of a noisy circuit.
+// It is quadratically more expensive in memory (4^n complex numbers), so
+// it is reserved for small registers; its role in this repository is to
+// cross-validate the trajectory engine (the two must agree in the limit of
+// many trajectories) and to compute exact distributions where sampling
+// noise would cloud a comparison.
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/dist"
+)
+
+// MaxQubits bounds the register size; 4^10 complex128 is 16 MiB.
+const MaxQubits = 10
+
+// Density is the density matrix of an n-qubit register, stored row-major:
+// rho[row*dim + col].
+type Density struct {
+	n   int
+	dim uint64
+	rho []complex128
+}
+
+// New returns the pure state |0...0><0...0|.
+func New(n int) *Density {
+	if n < 0 || n > MaxQubits {
+		panic(fmt.Sprintf("density: %d qubits out of range", n))
+	}
+	dim := uint64(1) << uint(n)
+	d := &Density{n: n, dim: dim, rho: make([]complex128, dim*dim)}
+	d.rho[0] = 1
+	return d
+}
+
+// NewBasis returns the pure basis state |b><b|.
+func NewBasis(b bitstr.BitString) *Density {
+	d := New(b.Len())
+	d.rho[0] = 0
+	v := b.Uint64()
+	d.rho[v*d.dim+v] = 1
+	return d
+}
+
+// N returns the number of qubits.
+func (d *Density) N() int { return d.n }
+
+// Element returns rho[row][col].
+func (d *Density) Element(row, col uint64) complex128 { return d.rho[row*d.dim+col] }
+
+// Trace returns the trace of rho (1 for a valid state).
+func (d *Density) Trace() float64 {
+	var tr float64
+	for i := uint64(0); i < d.dim; i++ {
+		tr += real(d.rho[i*d.dim+i])
+	}
+	return tr
+}
+
+// Purity returns Tr(rho^2): 1 for pure states, 1/2^n for maximally mixed.
+func (d *Density) Purity() float64 {
+	var p float64
+	for r := uint64(0); r < d.dim; r++ {
+		for c := uint64(0); c < d.dim; c++ {
+			a := d.rho[r*d.dim+c]
+			b := d.rho[c*d.dim+r]
+			p += real(a)*real(b) - imag(a)*imag(b)
+		}
+	}
+	return p
+}
+
+func (d *Density) checkQubit(q int) {
+	if q < 0 || q >= d.n {
+		panic(fmt.Sprintf("density: qubit %d out of range [0,%d)", q, d.n))
+	}
+}
+
+// apply1QLeft computes rho <- (U ⊗ I_rest) rho on the row index.
+func (d *Density) apply1QLeft(m circuit.Matrix2, q int) {
+	bit := uint64(1) << uint(q)
+	for row := uint64(0); row < d.dim; row++ {
+		if row&bit != 0 {
+			continue
+		}
+		r0, r1 := row, row|bit
+		for col := uint64(0); col < d.dim; col++ {
+			a0 := d.rho[r0*d.dim+col]
+			a1 := d.rho[r1*d.dim+col]
+			d.rho[r0*d.dim+col] = m[0][0]*a0 + m[0][1]*a1
+			d.rho[r1*d.dim+col] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+// apply1QRight computes rho <- rho (U^dagger ⊗ I_rest) on the column index.
+func (d *Density) apply1QRight(m circuit.Matrix2, q int) {
+	md := m.Dagger()
+	bit := uint64(1) << uint(q)
+	for col := uint64(0); col < d.dim; col++ {
+		if col&bit != 0 {
+			continue
+		}
+		c0, c1 := col, col|bit
+		for row := uint64(0); row < d.dim; row++ {
+			a0 := d.rho[row*d.dim+c0]
+			a1 := d.rho[row*d.dim+c1]
+			// rho * U^dagger: out[r][c] = sum_k rho[r][k] Udag[k][c].
+			d.rho[row*d.dim+c0] = a0*md[0][0] + a1*md[1][0]
+			d.rho[row*d.dim+c1] = a0*md[0][1] + a1*md[1][1]
+		}
+	}
+}
+
+// Apply1Q conjugates rho by the one-qubit unitary: rho <- U rho U^dagger.
+func (d *Density) Apply1Q(m circuit.Matrix2, q int) {
+	d.checkQubit(q)
+	d.apply1QLeft(m, q)
+	d.apply1QRight(m, q)
+}
+
+// apply2QLeft computes rho <- (U ⊗ I_rest) rho for a two-qubit U on (q0, q1).
+func (d *Density) apply2QLeft(m circuit.Matrix4, q0, q1 int) {
+	b0 := uint64(1) << uint(q0)
+	b1 := uint64(1) << uint(q1)
+	for row := uint64(0); row < d.dim; row++ {
+		if row&b0 != 0 || row&b1 != 0 {
+			continue
+		}
+		idx := [4]uint64{row, row | b0, row | b1, row | b0 | b1}
+		for col := uint64(0); col < d.dim; col++ {
+			var in [4]complex128
+			for k := 0; k < 4; k++ {
+				in[k] = d.rho[idx[k]*d.dim+col]
+			}
+			for r := 0; r < 4; r++ {
+				d.rho[idx[r]*d.dim+col] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+			}
+		}
+	}
+}
+
+// apply2QRight computes rho <- rho (U^dagger ⊗ I_rest).
+func (d *Density) apply2QRight(m circuit.Matrix4, q0, q1 int) {
+	b0 := uint64(1) << uint(q0)
+	b1 := uint64(1) << uint(q1)
+	for col := uint64(0); col < d.dim; col++ {
+		if col&b0 != 0 || col&b1 != 0 {
+			continue
+		}
+		idx := [4]uint64{col, col | b0, col | b1, col | b0 | b1}
+		for row := uint64(0); row < d.dim; row++ {
+			var in [4]complex128
+			for k := 0; k < 4; k++ {
+				in[k] = d.rho[row*d.dim+idx[k]]
+			}
+			// out[c] = sum_k in[k] * Udag[k][c] = sum_k in[k] * conj(U[c][k]).
+			for c := 0; c < 4; c++ {
+				var acc complex128
+				for k := 0; k < 4; k++ {
+					u := m[c][k]
+					acc += in[k] * complex(real(u), -imag(u))
+				}
+				d.rho[row*d.dim+idx[c]] = acc
+			}
+		}
+	}
+}
+
+// Apply2Q conjugates rho by a two-qubit unitary on the ordered pair
+// (q0, q1), q0 being the low bit of the matrix basis.
+func (d *Density) Apply2Q(m circuit.Matrix4, q0, q1 int) {
+	d.checkQubit(q0)
+	d.checkQubit(q1)
+	if q0 == q1 {
+		panic("density: Apply2Q with identical qubits")
+	}
+	d.apply2QLeft(m, q0, q1)
+	d.apply2QRight(m, q0, q1)
+}
+
+// ApplyOp applies a unitary circuit operation.
+func (d *Density) ApplyOp(op circuit.Op) {
+	switch {
+	case op.Kind == circuit.Barrier || op.Kind == circuit.Measure:
+		panic(fmt.Sprintf("density: ApplyOp on non-unitary %v", op.Kind))
+	case op.Kind.IsTwoQubit():
+		d.Apply2Q(circuit.Matrix2Q(op.Kind), op.Qubits[0], op.Qubits[1])
+	default:
+		d.Apply1Q(circuit.Matrix1Q(op.Kind, op.Params), op.Qubits[0])
+	}
+}
+
+// ApplyKraus1Q applies the channel rho <- sum_i K_i rho K_i^dagger exactly.
+func (d *Density) ApplyKraus1Q(ks []circuit.Matrix2, q int) {
+	d.checkQubit(q)
+	if len(ks) == 0 {
+		panic("density: empty Kraus set")
+	}
+	acc := make([]complex128, len(d.rho))
+	work := &Density{n: d.n, dim: d.dim, rho: make([]complex128, len(d.rho))}
+	for _, k := range ks {
+		copy(work.rho, d.rho)
+		work.apply1QLeft(k, q)
+		work.apply1QRight(k, q)
+		for i, v := range work.rho {
+			acc[i] += v
+		}
+	}
+	copy(d.rho, acc)
+}
+
+// ApplyKraus2Q applies a two-qubit channel exactly.
+func (d *Density) ApplyKraus2Q(ks []circuit.Matrix4, q0, q1 int) {
+	d.checkQubit(q0)
+	d.checkQubit(q1)
+	if q0 == q1 {
+		panic("density: ApplyKraus2Q with identical qubits")
+	}
+	if len(ks) == 0 {
+		panic("density: empty Kraus set")
+	}
+	acc := make([]complex128, len(d.rho))
+	work := &Density{n: d.n, dim: d.dim, rho: make([]complex128, len(d.rho))}
+	for _, k := range ks {
+		copy(work.rho, d.rho)
+		work.apply2QLeft(k, q0, q1)
+		work.apply2QRight(k, q0, q1)
+		for i, v := range work.rho {
+			acc[i] += v
+		}
+	}
+	copy(d.rho, acc)
+}
+
+// Diagonal returns the basis-state probabilities (the diagonal of rho).
+// Tiny negative values from rounding are clamped to zero.
+func (d *Density) Diagonal() []float64 {
+	out := make([]float64, d.dim)
+	for i := uint64(0); i < d.dim; i++ {
+		p := real(d.rho[i*d.dim+i])
+		if p < 0 && p > -1e-12 {
+			p = 0
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Dist returns the measurement distribution over all n qubits.
+func (d *Density) Dist() *dist.Dist {
+	out := dist.New(d.n)
+	for i, p := range d.Diagonal() {
+		if p > 0 {
+			out.Add(bitstr.New(uint64(i), d.n), p)
+		}
+	}
+	return out
+}
+
+// IsHermitian reports whether rho equals its conjugate transpose within tol.
+func (d *Density) IsHermitian(tol float64) bool {
+	for r := uint64(0); r < d.dim; r++ {
+		for c := r; c < d.dim; c++ {
+			a := d.rho[r*d.dim+c]
+			b := d.rho[c*d.dim+r]
+			if math.Abs(real(a)-real(b)) > tol || math.Abs(imag(a)+imag(b)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestInitialState(t *testing.T) {
+	d := New(2)
+	if !approx(d.Trace(), 1, 1e-12) {
+		t.Fatalf("Trace = %v", d.Trace())
+	}
+	if !approx(d.Purity(), 1, 1e-12) {
+		t.Fatalf("Purity = %v", d.Purity())
+	}
+	if !approx(real(d.Element(0, 0)), 1, 1e-12) {
+		t.Fatal("rho[0][0] != 1")
+	}
+}
+
+func TestBellStateDensity(t *testing.T) {
+	d := New(2)
+	d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	d.Apply2Q(circuit.Matrix2Q(circuit.CX), 0, 1)
+	diag := d.Diagonal()
+	if !approx(diag[0], 0.5, 1e-12) || !approx(diag[3], 0.5, 1e-12) {
+		t.Fatalf("Bell diagonal = %v", diag)
+	}
+	if !approx(d.Purity(), 1, 1e-12) {
+		t.Fatalf("Bell purity = %v (should remain pure)", d.Purity())
+	}
+	// Coherence terms present for a pure Bell state.
+	if !approx(real(d.Element(0, 3)), 0.5, 1e-12) {
+		t.Fatalf("off-diagonal = %v", d.Element(0, 3))
+	}
+}
+
+func TestDepolarizingMixes(t *testing.T) {
+	// Full depolarizing channel: K_i = 1/2 {I, X, Y, Z} drives any state to
+	// maximally mixed.
+	ks := []circuit.Matrix2{
+		scaleM(circuit.Matrix1Q(circuit.I, nil), 0.5),
+		scaleM(circuit.Matrix1Q(circuit.X, nil), 0.5),
+		scaleM(circuit.Matrix1Q(circuit.Y, nil), 0.5),
+		scaleM(circuit.Matrix1Q(circuit.Z, nil), 0.5),
+	}
+	d := New(1)
+	d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	d.ApplyKraus1Q(ks, 0)
+	if !approx(d.Trace(), 1, 1e-12) {
+		t.Fatalf("Trace = %v", d.Trace())
+	}
+	if !approx(d.Purity(), 0.5, 1e-12) {
+		t.Fatalf("Purity = %v, want 0.5 (maximally mixed)", d.Purity())
+	}
+	diag := d.Diagonal()
+	if !approx(diag[0], 0.5, 1e-12) || !approx(diag[1], 0.5, 1e-12) {
+		t.Fatalf("diagonal = %v", diag)
+	}
+}
+
+func TestAmplitudeDampingExact(t *testing.T) {
+	gamma := 0.3
+	k0 := circuit.Matrix2{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	k1 := circuit.Matrix2{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	d := NewBasis(bitstr.MustParse("1"))
+	d.ApplyKraus1Q([]circuit.Matrix2{k0, k1}, 0)
+	diag := d.Diagonal()
+	if !approx(diag[0], gamma, 1e-12) || !approx(diag[1], 1-gamma, 1e-12) {
+		t.Fatalf("damped diagonal = %v", diag)
+	}
+}
+
+func TestMatchesStatevectorOnUnitaries(t *testing.T) {
+	// Identical random circuits through both engines must give identical
+	// output distributions.
+	r := rng.New(42)
+	for trial := 0; trial < 10; trial++ {
+		rr := r.DeriveN("t", trial)
+		c := randomCircuit(4, 12, rr)
+		s := statevec.NewState(4)
+		d := New(4)
+		for _, op := range c.Ops {
+			s.ApplyOp(op)
+			d.ApplyOp(op)
+		}
+		sp := s.Probabilities()
+		dp := d.Diagonal()
+		for i := range sp {
+			if !approx(sp[i], dp[i], 1e-10) {
+				t.Fatalf("trial %d: engines disagree at %d: %v vs %v", trial, i, sp[i], dp[i])
+			}
+		}
+		if !d.IsHermitian(1e-10) {
+			t.Fatalf("trial %d: rho not hermitian", trial)
+		}
+	}
+}
+
+func randomCircuit(n, ops int, r *rng.RNG) *circuit.Circuit {
+	c := circuit.New(n, n)
+	for i := 0; i < ops; i++ {
+		if r.Bernoulli(0.4) {
+			a := r.Intn(n)
+			b := (a + 1 + r.Intn(n-1)) % n
+			c.CX(a, b)
+		} else {
+			c.U3(r.Intn(n), r.Float64()*3, r.Float64()*6, r.Float64()*6)
+		}
+	}
+	return c
+}
+
+// TestTrajectoryConvergesToDensity is the key cross-engine validation: the
+// Monte-Carlo trajectory engine sampled many times must converge to the
+// exact density-matrix channel evolution.
+func TestTrajectoryConvergesToDensity(t *testing.T) {
+	p := 0.15
+	f := math.Sqrt(p / 3)
+	ks := []circuit.Matrix2{
+		scaleM(circuit.Matrix1Q(circuit.I, nil), math.Sqrt(1-p)),
+		scaleM(circuit.Matrix1Q(circuit.X, nil), f),
+		scaleM(circuit.Matrix1Q(circuit.Y, nil), f),
+		scaleM(circuit.Matrix1Q(circuit.Z, nil), f),
+	}
+	// Exact: H on q0, depolarize q0, CX(0,1), damp q1.
+	gamma := 0.2
+	ad0 := circuit.Matrix2{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}}
+	ad1 := circuit.Matrix2{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}}
+	damp := []circuit.Matrix2{ad0, ad1}
+
+	d := New(2)
+	d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	d.ApplyKraus1Q(ks, 0)
+	d.Apply2Q(circuit.Matrix2Q(circuit.CX), 0, 1)
+	d.ApplyKraus1Q(damp, 1)
+	exact := d.Diagonal()
+
+	r := rng.New(7)
+	const trials = 60000
+	counts := make([]float64, 4)
+	for i := 0; i < trials; i++ {
+		rr := r.DeriveN("traj", i)
+		s := statevec.NewState(2)
+		s.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+		s.ApplyKraus1Q(ks, 0, rr)
+		s.Apply2Q(circuit.Matrix2Q(circuit.CX), 0, 1)
+		s.ApplyKraus1Q(damp, 1, rr)
+		counts[s.SampleOutcome(rr).Uint64()]++
+	}
+	for i := range counts {
+		got := counts[i] / trials
+		if math.Abs(got-exact[i]) > 0.01 {
+			t.Fatalf("outcome %d: trajectory %v vs exact %v", i, got, exact[i])
+		}
+	}
+}
+
+func TestApplyKraus2QDepolarizing(t *testing.T) {
+	// Two-qubit depolarizing with p=1 (uniform over 15 non-identity Paulis
+	// plus identity at weight 1/16... here: uniform over all 16) drives to
+	// maximally mixed.
+	paulis := []circuit.Matrix2{
+		circuit.Matrix1Q(circuit.I, nil),
+		circuit.Matrix1Q(circuit.X, nil),
+		circuit.Matrix1Q(circuit.Y, nil),
+		circuit.Matrix1Q(circuit.Z, nil),
+	}
+	var ks []circuit.Matrix4
+	for _, a := range paulis {
+		for _, b := range paulis {
+			ks = append(ks, scale4(kron(a, b), 0.25))
+		}
+	}
+	d := New(2)
+	d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	d.Apply2Q(circuit.Matrix2Q(circuit.CX), 0, 1)
+	d.ApplyKraus2Q(ks, 0, 1)
+	if !approx(d.Purity(), 0.25, 1e-10) {
+		t.Fatalf("Purity = %v, want 0.25", d.Purity())
+	}
+	for _, p := range d.Diagonal() {
+		if !approx(p, 0.25, 1e-10) {
+			t.Fatalf("diagonal = %v", d.Diagonal())
+		}
+	}
+}
+
+// kron returns a ⊗ b with a on the low bit (first operand).
+func kron(low, high circuit.Matrix2) circuit.Matrix4 {
+	var out circuit.Matrix4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[r][c] = low[r&1][c&1] * high[r>>1][c>>1]
+		}
+	}
+	return out
+}
+
+func scale4(m circuit.Matrix4, f float64) circuit.Matrix4 {
+	cf := complex(f, 0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			m[r][c] *= cf
+		}
+	}
+	return m
+}
+
+func scaleM(m circuit.Matrix2, f float64) circuit.Matrix2 {
+	c := complex(f, 0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] *= c
+		}
+	}
+	return m
+}
+
+func TestDistConversion(t *testing.T) {
+	d := New(2)
+	d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 1)
+	dd := d.Dist()
+	if !approx(dd.P(bitstr.MustParse("00")), 0.5, 1e-12) ||
+		!approx(dd.P(bitstr.MustParse("01")), 0.5, 1e-12) {
+		t.Fatalf("Dist = %v", dd)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	d := New(2)
+	mustPanic(t, func() { New(MaxQubits + 1) })
+	mustPanic(t, func() { New(-1) })
+	mustPanic(t, func() { d.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 9) })
+	mustPanic(t, func() { d.Apply2Q(circuit.Matrix2Q(circuit.CX), 1, 1) })
+	mustPanic(t, func() { d.ApplyKraus1Q(nil, 0) })
+	mustPanic(t, func() { d.ApplyKraus2Q(nil, 0, 1) })
+	mustPanic(t, func() { d.ApplyOp(circuit.Op{Kind: circuit.Measure, Qubits: []int{0}, Cbit: 0}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,57 @@
+package device
+
+import (
+	"fmt"
+
+	"edm/internal/circuit"
+)
+
+// ESP computes the Estimated Success Probability of a *physical* circuit
+// (one whose qubit indices are device qubits) under the calibration, per
+// paper Section 2.4:
+//
+//	ESP = prod gate success rates * prod measurement success rates
+//
+// One-qubit gates use the qubit's gate error, two-qubit gates the link's
+// CX error (a SWAP counts as three CX), and measurements the symmetrized
+// readout error. It returns an error if a two-qubit gate acts on a pair
+// of qubits that the topology does not couple — ESP is only defined for
+// executables that respect the machine's connectivity.
+func ESP(c *circuit.Circuit, cal *Calibration) (float64, error) {
+	if c.NumQubits > cal.Topo.Qubits {
+		return 0, fmt.Errorf("device: circuit uses %d qubits, device has %d", c.NumQubits, cal.Topo.Qubits)
+	}
+	esp := 1.0
+	for i, op := range c.Ops {
+		switch {
+		case op.Kind == circuit.Barrier || op.Kind == circuit.I:
+			// no cost
+		case op.Kind == circuit.Measure:
+			esp *= 1 - cal.MeasErrAvg(op.Qubits[0])
+		case op.Kind.IsTwoQubit():
+			a, b := op.Qubits[0], op.Qubits[1]
+			if !cal.Topo.HasEdge(a, b) {
+				return 0, fmt.Errorf("device: op %d (%v %d %d) violates coupling map", i, op.Kind, a, b)
+			}
+			s := 1 - cal.CXErr[NewEdge(a, b)]
+			if op.Kind == circuit.SWAP {
+				esp *= s * s * s
+			} else {
+				esp *= s
+			}
+		default:
+			esp *= 1 - cal.SQErr[op.Qubits[0]]
+		}
+	}
+	return esp, nil
+}
+
+// MustESP is ESP that panics on a connectivity violation; for circuits
+// already validated by the compiler.
+func MustESP(c *circuit.Circuit, cal *Calibration) float64 {
+	v, err := ESP(c, cal)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

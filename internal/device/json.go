@@ -1,0 +1,119 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements a stable JSON encoding for topologies and
+// calibrations, so device profiles can be captured from one run (or
+// hand-written for a real machine's published calibration data) and
+// replayed in another. Edge-keyed maps are encoded as arrays of records
+// because JSON object keys must be strings.
+
+// calibrationJSON is the wire form of a Calibration.
+type calibrationJSON struct {
+	Topology     topologyJSON `json:"topology"`
+	SQErr        []float64    `json:"sq_err"`
+	Meas01       []float64    `json:"meas01"`
+	Meas10       []float64    `json:"meas10"`
+	T1us         []float64    `json:"t1_us"`
+	T2us         []float64    `json:"t2_us"`
+	CohY         []float64    `json:"coh_y"`
+	CohZ         []float64    `json:"coh_z"`
+	Links        []linkJSON   `json:"links"`
+	ReadoutCorr  float64      `json:"readout_corr"`
+	Gate1QTimeNs float64      `json:"gate_1q_ns"`
+	Gate2QTimeNs float64      `json:"gate_2q_ns"`
+	MeasTimeNs   float64      `json:"meas_ns"`
+}
+
+type topologyJSON struct {
+	Name   string   `json:"name"`
+	Qubits int      `json:"qubits"`
+	Edges  [][2]int `json:"edges"`
+}
+
+type linkJSON struct {
+	A       int     `json:"a"`
+	B2      int     `json:"b"`
+	CXErr   float64 `json:"cx_err"`
+	CXCohZZ float64 `json:"cx_coh_zz"`
+	CrossZZ float64 `json:"cross_zz"`
+}
+
+// EncodeJSON serializes the calibration (including its topology) as
+// indented JSON.
+func (c *Calibration) EncodeJSON() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("device: refusing to encode invalid calibration: %w", err)
+	}
+	edges := c.Topo.Edges()
+	w := calibrationJSON{
+		Topology: topologyJSON{
+			Name:   c.Topo.Name,
+			Qubits: c.Topo.Qubits,
+		},
+		SQErr: c.SQErr, Meas01: c.Meas01, Meas10: c.Meas10,
+		T1us: c.T1us, T2us: c.T2us, CohY: c.CohY, CohZ: c.CohZ,
+		ReadoutCorr:  c.ReadoutCorr,
+		Gate1QTimeNs: c.Gate1QTimeNs,
+		Gate2QTimeNs: c.Gate2QTimeNs,
+		MeasTimeNs:   c.MeasTimeNs,
+	}
+	for _, e := range edges {
+		w.Topology.Edges = append(w.Topology.Edges, [2]int{e.A, e.B})
+		w.Links = append(w.Links, linkJSON{
+			A: e.A, B2: e.B,
+			CXErr:   c.CXErr[e],
+			CXCohZZ: c.CXCohZZ[e],
+			CrossZZ: c.CrossZZ[e],
+		})
+	}
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// DecodeJSON parses a calibration previously produced by EncodeJSON (or
+// hand-written in the same schema) and validates it.
+func DecodeJSON(data []byte) (*Calibration, error) {
+	var w calibrationJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	if w.Topology.Qubits <= 0 {
+		return nil, fmt.Errorf("device: topology has %d qubits", w.Topology.Qubits)
+	}
+	edges := make([]Edge, 0, len(w.Topology.Edges))
+	for _, e := range w.Topology.Edges {
+		if e[0] < 0 || e[0] >= w.Topology.Qubits || e[1] < 0 || e[1] >= w.Topology.Qubits || e[0] == e[1] {
+			return nil, fmt.Errorf("device: invalid edge %v", e)
+		}
+		edges = append(edges, NewEdge(e[0], e[1]))
+	}
+	topo := NewTopology(w.Topology.Name, w.Topology.Qubits, edges)
+	c := &Calibration{
+		Topo:  topo,
+		SQErr: w.SQErr, Meas01: w.Meas01, Meas10: w.Meas10,
+		T1us: w.T1us, T2us: w.T2us, CohY: w.CohY, CohZ: w.CohZ,
+		CXErr:        make(map[Edge]float64, len(w.Links)),
+		CXCohZZ:      make(map[Edge]float64, len(w.Links)),
+		CrossZZ:      make(map[Edge]float64, len(w.Links)),
+		ReadoutCorr:  w.ReadoutCorr,
+		Gate1QTimeNs: w.Gate1QTimeNs,
+		Gate2QTimeNs: w.Gate2QTimeNs,
+		MeasTimeNs:   w.MeasTimeNs,
+	}
+	for _, l := range w.Links {
+		if l.A < 0 || l.A >= topo.Qubits || l.B2 < 0 || l.B2 >= topo.Qubits || l.A == l.B2 {
+			return nil, fmt.Errorf("device: invalid link record (%d,%d)", l.A, l.B2)
+		}
+		e := NewEdge(l.A, l.B2)
+		c.CXErr[e] = l.CXErr
+		c.CXCohZZ[e] = l.CXCohZZ
+		c.CrossZZ[e] = l.CrossZZ
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

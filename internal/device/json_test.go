@@ -1,0 +1,114 @@
+package device
+
+import (
+	"strings"
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cal := Generate(Melbourne(), MelbourneProfile(), rng.New(42))
+	data, err := cal.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topo.Name != cal.Topo.Name || got.Topo.Qubits != cal.Topo.Qubits {
+		t.Fatal("topology header changed")
+	}
+	if len(got.Topo.Edges()) != len(cal.Topo.Edges()) {
+		t.Fatal("edge count changed")
+	}
+	for q := 0; q < cal.Topo.Qubits; q++ {
+		if got.SQErr[q] != cal.SQErr[q] || got.Meas10[q] != cal.Meas10[q] ||
+			got.T1us[q] != cal.T1us[q] || got.CohY[q] != cal.CohY[q] {
+			t.Fatalf("per-qubit data changed at %d", q)
+		}
+	}
+	for _, e := range cal.Topo.Edges() {
+		if got.CXErr[e] != cal.CXErr[e] || got.CXCohZZ[e] != cal.CXCohZZ[e] ||
+			got.CrossZZ[e] != cal.CrossZZ[e] {
+			t.Fatalf("link data changed at %v", e)
+		}
+	}
+	if got.ReadoutCorr != cal.ReadoutCorr || got.MeasTimeNs != cal.MeasTimeNs {
+		t.Fatal("scalar fields changed")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cal := Generate(Linear(3), MelbourneProfile(), rng.New(1))
+	cal.SQErr = cal.SQErr[:1]
+	if _, err := cal.EncodeJSON(); err == nil {
+		t.Fatal("invalid calibration encoded")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{}`,
+		`{"topology":{"name":"x","qubits":0}}`,
+		`{"topology":{"name":"x","qubits":2,"edges":[[0,5]]}}`,
+		`{"topology":{"name":"x","qubits":2,"edges":[[0,0]]}}`,
+	}
+	for _, src := range cases {
+		if _, err := DecodeJSON([]byte(src)); err == nil {
+			t.Errorf("DecodeJSON(%q) succeeded", src)
+		}
+	}
+	// Structurally fine but fails calibration validation (missing link data
+	// arrays).
+	ok := `{"topology":{"name":"x","qubits":2,"edges":[[0,1]]},
+	  "sq_err":[0,0],"meas01":[0,0],"meas10":[0,0],
+	  "t1_us":[1,1],"t2_us":[1,1],"coh_y":[0,0],"coh_z":[0,0],
+	  "links":[],"gate_1q_ns":1,"gate_2q_ns":1,"meas_ns":1}`
+	if _, err := DecodeJSON([]byte(ok)); err == nil {
+		t.Error("missing link data accepted")
+	}
+}
+
+func TestDecodeHandWrittenProfile(t *testing.T) {
+	src := `{
+	  "topology": {"name": "toy-2q", "qubits": 2, "edges": [[0, 1]]},
+	  "sq_err": [0.001, 0.002],
+	  "meas01": [0.02, 0.03],
+	  "meas10": [0.05, 0.06],
+	  "t1_us": [50, 45],
+	  "t2_us": [30, 25],
+	  "coh_y": [0.1, -0.1],
+	  "coh_z": [0.05, 0.05],
+	  "links": [{"a": 0, "b": 1, "cx_err": 0.03, "cx_coh_zz": 0.2, "cross_zz": 0.05}],
+	  "readout_corr": 0.3,
+	  "gate_1q_ns": 100,
+	  "gate_2q_ns": 350,
+	  "meas_ns": 1000
+	}`
+	cal, err := DecodeJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.CXErr[NewEdge(0, 1)] != 0.03 {
+		t.Fatalf("link data wrong: %v", cal.CXErr)
+	}
+	if cal.Topo.Name != "toy-2q" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestJSONIsReadable(t *testing.T) {
+	cal := Generate(Linear(2), MelbourneProfile(), rng.New(2))
+	data, err := cal.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"topology"`, `"cx_err"`, `"t1_us"`, `"meas_ns"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package device
+
+import (
+	"fmt"
+
+	"edm/internal/circuit"
+)
+
+// TimingReport describes when a physical circuit's operations execute on
+// the device, under the same as-soon-as-possible scheduling policy the
+// backend uses to charge decoherence: one-qubit gates take Gate1QTimeNs,
+// two-qubit gates Gate2QTimeNs (a SWAP is three CX), barriers synchronize
+// their qubits, and all measurements start together at the latest gate
+// end and take MeasTimeNs. Idle time is where T1/T2 exposure comes from,
+// so this report tells a user *why* a deep mapping loses fidelity.
+type TimingReport struct {
+	// TotalNs is the makespan: start of the shot to the end of the last
+	// measurement.
+	TotalNs float64
+	// BusyNs[q] is the time qubit q spends inside gates or measurement.
+	BusyNs []float64
+	// IdleNs[q] is the time qubit q spends waiting between its first
+	// operation and the end of its last (the decoherence-relevant window).
+	IdleNs []float64
+	// Ops counts scheduled operations (barriers excluded, SWAPs lowered).
+	Ops int
+}
+
+// MaxIdle returns the largest per-qubit idle time and its qubit (-1 if
+// the circuit touches nothing).
+func (r TimingReport) MaxIdle() (qubit int, ns float64) {
+	qubit = -1
+	for q, v := range r.IdleNs {
+		if v > ns {
+			qubit, ns = q, v
+		}
+	}
+	return qubit, ns
+}
+
+// Timing schedules the physical circuit against the calibration's gate
+// durations and returns the report. The circuit must respect the coupling
+// map (two-qubit gates on coupled pairs) and measure each qubit at most
+// once, the same contract the backend enforces.
+func Timing(c *circuit.Circuit, cal *Calibration) (TimingReport, error) {
+	if err := c.Validate(); err != nil {
+		return TimingReport{}, err
+	}
+	if c.NumQubits > cal.Topo.Qubits {
+		return TimingReport{}, fmt.Errorf("device: circuit uses %d qubits, device has %d", c.NumQubits, cal.Topo.Qubits)
+	}
+	lowered := c.LowerSwaps()
+	rep := TimingReport{
+		BusyNs: make([]float64, c.NumQubits),
+		IdleNs: make([]float64, c.NumQubits),
+	}
+	clock := make([]float64, c.NumQubits)
+	first := make([]float64, c.NumQubits)
+	touched := make([]bool, c.NumQubits)
+	measured := make(map[int]bool)
+
+	start := func(qs []int) float64 {
+		var t float64
+		for _, q := range qs {
+			if clock[q] > t {
+				t = clock[q]
+			}
+		}
+		return t
+	}
+	mark := func(q int, at float64) {
+		if !touched[q] {
+			touched[q] = true
+			first[q] = at
+		}
+	}
+
+	for i, op := range lowered.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			qs := op.Qubits
+			if len(qs) == 0 {
+				qs = allQubitsUpTo(c.NumQubits)
+			}
+			t := start(qs)
+			for _, q := range qs {
+				clock[q] = t
+			}
+		case op.Kind == circuit.Measure:
+			q := op.Qubits[0]
+			if measured[q] {
+				return TimingReport{}, fmt.Errorf("device: op %d measures qubit %d twice", i, q)
+			}
+			measured[q] = true
+			// Measurement starts at the global latest clock, as in the
+			// backend: the whole register reads out at the end.
+			var t float64
+			for _, v := range clock {
+				if v > t {
+					t = v
+				}
+			}
+			mark(q, t)
+			clock[q] = t + cal.MeasTimeNs
+			rep.BusyNs[q] += cal.MeasTimeNs
+			rep.Ops++
+		case op.Kind.IsTwoQubit():
+			a, b := op.Qubits[0], op.Qubits[1]
+			if !cal.Topo.HasEdge(a, b) {
+				return TimingReport{}, fmt.Errorf("device: op %d violates the coupling map", i)
+			}
+			t := start(op.Qubits)
+			mark(a, t)
+			mark(b, t)
+			clock[a] = t + cal.Gate2QTimeNs
+			clock[b] = clock[a]
+			rep.BusyNs[a] += cal.Gate2QTimeNs
+			rep.BusyNs[b] += cal.Gate2QTimeNs
+			rep.Ops++
+		default:
+			q := op.Qubits[0]
+			t := clock[q]
+			mark(q, t)
+			clock[q] = t + cal.Gate1QTimeNs
+			rep.BusyNs[q] += cal.Gate1QTimeNs
+			rep.Ops++
+		}
+	}
+	for _, v := range clock {
+		if v > rep.TotalNs {
+			rep.TotalNs = v
+		}
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		if !touched[q] {
+			continue
+		}
+		span := clock[q] - first[q]
+		rep.IdleNs[q] = span - rep.BusyNs[q]
+	}
+	return rep, nil
+}
+
+func allQubitsUpTo(n int) []int {
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	return qs
+}

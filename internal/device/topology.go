@@ -1,0 +1,158 @@
+// Package device models the NISQ machine: its qubit-coupling topology and
+// its calibration (per-qubit and per-link error rates). It stands in for
+// the paper's ibmq-16-melbourne hardware. The calibration generator draws
+// rates whose magnitudes and variability match what the paper reports for
+// that machine (Sections 2.1, 2.4 and footnote 3), and a drift model
+// perturbs them between rounds the way real calibration data moves between
+// calibration cycles (Section 5.3).
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"edm/internal/graph"
+)
+
+// Edge is an undirected qubit link, normalized so A < B.
+type Edge struct {
+	A, B int
+}
+
+// NewEdge returns the normalized edge for the pair.
+func NewEdge(a, b int) Edge {
+	if a == b {
+		panic(fmt.Sprintf("device: self-edge at %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Topology is a named qubit-coupling graph.
+type Topology struct {
+	Name   string
+	Qubits int
+	g      *graph.Graph
+}
+
+// NewTopology builds a topology from an explicit edge list.
+func NewTopology(name string, qubits int, edges []Edge) *Topology {
+	g := graph.New(qubits)
+	for _, e := range edges {
+		g.AddEdge(e.A, e.B)
+	}
+	return &Topology{Name: name, Qubits: qubits, g: g}
+}
+
+// Graph returns the underlying coupling graph (shared; do not mutate).
+func (t *Topology) Graph() *graph.Graph { return t.g }
+
+// Edges returns the coupling edges in deterministic order.
+func (t *Topology) Edges() []Edge {
+	raw := t.g.Edges()
+	out := make([]Edge, len(raw))
+	for i, e := range raw {
+		out[i] = Edge{A: e[0], B: e[1]}
+	}
+	return out
+}
+
+// HasEdge reports whether qubits a and b are coupled.
+func (t *Topology) HasEdge(a, b int) bool { return t.g.HasEdge(a, b) }
+
+// Neighbors returns the qubits coupled to q.
+func (t *Topology) Neighbors(q int) []int { return t.g.Neighbors(q) }
+
+// Distance returns the coupling-graph hop distance between two qubits, or
+// -1 if they are disconnected.
+func (t *Topology) Distance(a, b int) int {
+	return t.g.BFSDistances(a)[b]
+}
+
+// Melbourne returns the 14-qubit coupling graph of ibmq-16-melbourne, the
+// machine used for every hardware experiment in the paper (referred to
+// there as IBMQ-14). The ladder layout is the published coupling map.
+func Melbourne() *Topology {
+	edges := []Edge{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, // top row
+		{7, 8}, {8, 9}, {9, 10}, {10, 11}, {11, 12}, {12, 13}, // bottom row
+		{1, 13}, {2, 12}, {3, 11}, {4, 10}, {5, 9}, {6, 8}, // rungs
+	}
+	return NewTopology("ibmq-16-melbourne", 14, edges)
+}
+
+// Tokyo returns the 20-qubit coupling graph of ibmq-20-tokyo, the class
+// of "IBM's 20-Qubit Machines" the paper's related work compiles for
+// (Nishio et al.). It is a 4x5 lattice with diagonal couplings inside
+// alternating unit squares.
+func Tokyo() *Topology {
+	edges := []Edge{
+		// Rows.
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+		// Columns.
+		{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9},
+		{5, 10}, {6, 11}, {7, 12}, {8, 13}, {9, 14},
+		{10, 15}, {11, 16}, {12, 17}, {13, 18}, {14, 19},
+		// Diagonals of the published map.
+		{1, 7}, {2, 6}, {3, 9}, {4, 8},
+		{5, 11}, {6, 10}, {7, 13}, {8, 12},
+		{11, 17}, {12, 16}, {13, 19}, {14, 18},
+	}
+	return NewTopology("ibmq-20-tokyo", 20, edges)
+}
+
+// Linear returns a 1-D chain of n qubits.
+func Linear(n int) *Topology {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return NewTopology(fmt.Sprintf("linear-%d", n), n, edges)
+}
+
+// Ring returns a cycle of n qubits.
+func Ring(n int) *Topology {
+	if n < 3 {
+		panic("device: ring needs at least 3 qubits")
+	}
+	edges := make([]Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, NewEdge(i, (i+1)%n))
+	}
+	return NewTopology(fmt.Sprintf("ring-%d", n), n, edges)
+}
+
+// Grid returns a rows x cols lattice.
+func Grid(rows, cols int) *Topology {
+	if rows < 1 || cols < 1 {
+		panic("device: grid needs positive dimensions")
+	}
+	var edges []Edge
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return NewTopology(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols, edges)
+}
+
+// SortEdges orders edges deterministically.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		return es[i].B < es[j].B
+	})
+}

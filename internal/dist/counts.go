@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"edm/internal/bitstr"
+	"edm/internal/rng"
+)
+
+// Counts is a histogram of measurement outcomes — the raw "output log" of a
+// NISQ run before conversion to a probability distribution.
+type Counts struct {
+	n     int
+	c     map[uint64]int
+	total int
+}
+
+// NewCounts returns an empty histogram over n-bit outcomes.
+func NewCounts(n int) *Counts {
+	if n < 0 || n > bitstr.MaxBits {
+		panic(fmt.Sprintf("dist: width %d out of range", n))
+	}
+	return &Counts{n: n, c: make(map[uint64]int)}
+}
+
+// N returns the outcome width in bits.
+func (c *Counts) N() int { return c.n }
+
+// Total returns the number of recorded trials.
+func (c *Counts) Total() int { return c.total }
+
+// Observe records one trial with the given outcome.
+func (c *Counts) Observe(b bitstr.BitString) {
+	if b.Len() != c.n {
+		panic(fmt.Sprintf("dist: outcome width %d does not match counts width %d", b.Len(), c.n))
+	}
+	c.c[b.Uint64()]++
+	c.total++
+}
+
+// ObserveN records k identical trials.
+func (c *Counts) ObserveN(b bitstr.BitString, k int) {
+	if k < 0 {
+		panic("dist: negative count")
+	}
+	if k == 0 {
+		return
+	}
+	if b.Len() != c.n {
+		panic(fmt.Sprintf("dist: outcome width %d does not match counts width %d", b.Len(), c.n))
+	}
+	c.c[b.Uint64()] += k
+	c.total += k
+}
+
+// Count returns the number of trials that produced the outcome.
+func (c *Counts) Count(b bitstr.BitString) int {
+	if b.Len() != c.n {
+		panic("dist: width mismatch")
+	}
+	return c.c[b.Uint64()]
+}
+
+// Merge adds all of other's observations into c.
+func (c *Counts) Merge(other *Counts) {
+	if c.n != other.n {
+		panic("dist: Counts width mismatch")
+	}
+	for v, k := range other.c {
+		c.c[v] += k
+	}
+	c.total += other.total
+}
+
+// Dist converts the histogram into a normalized probability distribution.
+// It panics if no trials were recorded.
+func (c *Counts) Dist() *Dist {
+	if c.total == 0 {
+		panic("dist: Counts.Dist with zero trials")
+	}
+	d := New(c.n)
+	inv := 1 / float64(c.total)
+	for v, k := range c.c {
+		d.p[v] = float64(k) * inv
+	}
+	return d
+}
+
+// Sorted returns outcomes in decreasing count order (ties by value).
+type CountEntry struct {
+	Value bitstr.BitString
+	Count int
+}
+
+// Sorted returns the non-zero entries ordered by decreasing count,
+// breaking ties by increasing outcome value.
+func (c *Counts) Sorted() []CountEntry {
+	out := make([]CountEntry, 0, len(c.c))
+	for v, k := range c.c {
+		out = append(out, CountEntry{Value: bitstr.New(v, c.n), Count: k})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value.Uint64() < out[j].Value.Uint64()
+	})
+	return out
+}
+
+// Sample draws trials outcomes from the distribution d and returns the
+// resulting histogram — a convenience used by the buckets-and-balls model
+// and by tests that need finite-sample noise on an exact distribution.
+func Sample(d *Dist, trials int, r *rng.RNG) *Counts {
+	if trials < 0 {
+		panic("dist: negative trials")
+	}
+	// Build a cumulative table over the support for O(log s) sampling.
+	type cum struct {
+		v  uint64
+		up float64
+	}
+	support := make([]cum, 0, len(d.p))
+	var acc float64
+	// Iterate deterministically for reproducibility.
+	vals := make([]uint64, 0, len(d.p))
+	for v := range d.p {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		acc += d.p[v]
+		support = append(support, cum{v: v, up: acc})
+	}
+	if acc <= 0 {
+		panic("dist: Sample from zero distribution")
+	}
+	c := NewCounts(d.n)
+	for i := 0; i < trials; i++ {
+		x := r.Float64() * acc
+		lo, hi := 0, len(support)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if support[mid].up < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		c.c[support[lo].v]++
+		c.total++
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/bitstr"
+	"edm/internal/rng"
+)
+
+func TestCountsBasics(t *testing.T) {
+	c := NewCounts(3)
+	b := bitstr.MustParse("101")
+	c.Observe(b)
+	c.Observe(b)
+	c.ObserveN(bitstr.MustParse("000"), 6)
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Count(b) != 2 {
+		t.Fatalf("Count = %d", c.Count(b))
+	}
+	d := c.Dist()
+	if !approx(d.P(b), 0.25, 1e-12) {
+		t.Fatalf("Dist P = %v", d.P(b))
+	}
+	if !approx(d.Sum(), 1, 1e-12) {
+		t.Fatalf("Dist sum = %v", d.Sum())
+	}
+}
+
+func TestCountsMerge(t *testing.T) {
+	a := NewCounts(2)
+	a.ObserveN(bitstr.MustParse("00"), 3)
+	b := NewCounts(2)
+	b.ObserveN(bitstr.MustParse("00"), 1)
+	b.ObserveN(bitstr.MustParse("11"), 4)
+	a.Merge(b)
+	if a.Total() != 8 || a.Count(bitstr.MustParse("00")) != 4 {
+		t.Fatalf("Merge wrong: total=%d", a.Total())
+	}
+}
+
+func TestCountsSortedOrder(t *testing.T) {
+	c := NewCounts(2)
+	c.ObserveN(bitstr.MustParse("01"), 5)
+	c.ObserveN(bitstr.MustParse("10"), 5)
+	c.ObserveN(bitstr.MustParse("11"), 9)
+	s := c.Sorted()
+	if s[0].Count != 9 {
+		t.Fatalf("Sorted[0] = %v", s[0])
+	}
+	// 5-5 tie broken by value: "01" packs to 2? bit0 leftmost: "01" -> bit1 set -> 2; "10" -> bit0 set -> 1.
+	if s[1].Value.String() != "10" || s[2].Value.String() != "01" {
+		t.Fatalf("tie-break wrong: %v", s)
+	}
+}
+
+func TestCountsPanics(t *testing.T) {
+	c := NewCounts(2)
+	mustPanic(t, func() { c.Observe(bitstr.MustParse("111")) })
+	mustPanic(t, func() { c.ObserveN(bitstr.MustParse("00"), -1) })
+	mustPanic(t, func() { NewCounts(2).Dist() })
+	mustPanic(t, func() { c.Merge(NewCounts(3)) })
+}
+
+func TestSampleConverges(t *testing.T) {
+	d := MustFromMap(map[string]float64{"00": 0.5, "01": 0.3, "10": 0.15, "11": 0.05})
+	r := rng.New(42)
+	c := Sample(d, 200000, r)
+	got := c.Dist()
+	for _, o := range d.Sorted() {
+		if math.Abs(got.P(o.Value)-o.P) > 0.01 {
+			t.Errorf("Sample P(%v) = %v, want ~%v", o.Value, got.P(o.Value), o.P)
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	d := Uniform(4)
+	a := Sample(d, 1000, rng.New(7))
+	b := Sample(d, 1000, rng.New(7))
+	if !a.Dist().Equal(b.Dist(), 0) {
+		t.Fatal("Sample not deterministic for equal seeds")
+	}
+}
+
+func TestSampleZeroTrials(t *testing.T) {
+	c := Sample(Uniform(2), 0, rng.New(1))
+	if c.Total() != 0 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}

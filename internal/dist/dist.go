@@ -1,0 +1,499 @@
+// Package dist implements discrete probability distributions over n-bit
+// measurement outcomes, together with the statistics the paper relies on:
+// Kullback-Leibler divergence (Appendix B), the Inference Strength (IST)
+// and Probability of Successful Trial (PST) figures of merit (Section 4.3),
+// distribution merging for EDM and WEDM (Sections 5 and 6), and the
+// relative-standard-deviation uniformity test from footnote 2.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edm/internal/bitstr"
+)
+
+// Dist is a probability distribution over outcomes of a fixed bit width.
+// Outcomes with probability zero may be absent from the map. A Dist is
+// normally normalized (probabilities summing to 1) but intermediate,
+// unnormalized values are allowed; use Normalize or check Sum.
+type Dist struct {
+	n int
+	p map[uint64]float64
+}
+
+// New returns an empty (all-zero) distribution over n-bit outcomes.
+func New(n int) *Dist {
+	if n < 0 || n > bitstr.MaxBits {
+		panic(fmt.Sprintf("dist: width %d out of range", n))
+	}
+	return &Dist{n: n, p: make(map[uint64]float64)}
+}
+
+// Uniform returns the uniform distribution over all 2^n outcomes.
+func Uniform(n int) *Dist {
+	d := New(n)
+	total := uint64(1) << uint(n)
+	p := 1 / float64(total)
+	for v := uint64(0); v < total; v++ {
+		d.p[v] = p
+	}
+	return d
+}
+
+// Point returns the distribution that puts all mass on the given outcome.
+func Point(b bitstr.BitString) *Dist {
+	d := New(b.Len())
+	d.p[b.Uint64()] = 1
+	return d
+}
+
+// FromMap builds a distribution from outcome-string→probability pairs, e.g.
+// {"00": 0.5, "11": 0.5}. All keys must share one width.
+func FromMap(m map[string]float64) (*Dist, error) {
+	var d *Dist
+	for s, p := range m {
+		b, err := bitstr.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		if d == nil {
+			d = New(b.Len())
+		} else if b.Len() != d.n {
+			return nil, fmt.Errorf("dist: mixed widths %d and %d", d.n, b.Len())
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("dist: negative probability %v for %q", p, s)
+		}
+		if p > 0 {
+			d.p[b.Uint64()] = p
+		}
+	}
+	if d == nil {
+		return nil, fmt.Errorf("dist: empty map")
+	}
+	return d, nil
+}
+
+// MustFromMap is FromMap that panics on error.
+func MustFromMap(m map[string]float64) *Dist {
+	d, err := FromMap(m)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the outcome width in bits.
+func (d *Dist) N() int { return d.n }
+
+// Space returns the number of possible outcomes, 2^n.
+func (d *Dist) Space() uint64 { return uint64(1) << uint(d.n) }
+
+// Support returns the number of outcomes with non-zero probability.
+func (d *Dist) Support() int { return len(d.p) }
+
+// P returns the probability of the outcome.
+func (d *Dist) P(b bitstr.BitString) float64 {
+	d.checkWidth(b)
+	return d.p[b.Uint64()]
+}
+
+// PV returns the probability of the packed outcome value.
+func (d *Dist) PV(v uint64) float64 { return d.p[v] }
+
+// Set assigns probability p to the outcome. Setting zero removes the entry.
+func (d *Dist) Set(b bitstr.BitString, p float64) {
+	d.checkWidth(b)
+	if p < 0 {
+		panic(fmt.Sprintf("dist: negative probability %v", p))
+	}
+	if p == 0 {
+		delete(d.p, b.Uint64())
+		return
+	}
+	d.p[b.Uint64()] = p
+}
+
+// Add increases the probability mass of the outcome by p (p may not be
+// negative).
+func (d *Dist) Add(b bitstr.BitString, p float64) {
+	d.checkWidth(b)
+	if p < 0 {
+		panic(fmt.Sprintf("dist: negative mass %v", p))
+	}
+	if p == 0 {
+		return
+	}
+	d.p[b.Uint64()] += p
+}
+
+// sortedSupport returns the non-zero outcomes in increasing value order.
+// Reductions iterate this slice rather than the map so that every
+// floating-point summation has a deterministic order: reproducibility of
+// the experiments depends on bit-identical statistics.
+func (d *Dist) sortedSupport() []uint64 {
+	vals := make([]uint64, 0, len(d.p))
+	for v := range d.p {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Sum returns the total probability mass.
+func (d *Dist) Sum() float64 {
+	var s float64
+	for _, v := range d.sortedSupport() {
+		s += d.p[v]
+	}
+	return s
+}
+
+// Normalize scales the distribution so its mass is 1. It panics if the
+// distribution is all-zero.
+func (d *Dist) Normalize() {
+	s := d.Sum()
+	if s <= 0 {
+		panic("dist: cannot normalize zero distribution")
+	}
+	for v, p := range d.p {
+		d.p[v] = p / s
+	}
+}
+
+// Clone returns an independent copy.
+func (d *Dist) Clone() *Dist {
+	c := New(d.n)
+	for v, p := range d.p {
+		c.p[v] = p
+	}
+	return c
+}
+
+// Scale multiplies every probability by f >= 0, returning a new Dist.
+func (d *Dist) Scale(f float64) *Dist {
+	if f < 0 {
+		panic("dist: negative scale")
+	}
+	c := New(d.n)
+	if f == 0 {
+		return c
+	}
+	for v, p := range d.p {
+		c.p[v] = p * f
+	}
+	return c
+}
+
+// Outcome is an outcome together with its probability, as returned by
+// Sorted and TopK.
+type Outcome struct {
+	Value bitstr.BitString
+	P     float64
+}
+
+// Sorted returns all non-zero outcomes in decreasing probability order,
+// breaking ties by increasing outcome value so the order is deterministic.
+// This is the ordering used by the paper's Figure 3.
+func (d *Dist) Sorted() []Outcome {
+	out := make([]Outcome, 0, len(d.p))
+	for v, p := range d.p {
+		out = append(out, Outcome{Value: bitstr.New(v, d.n), P: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Value.Uint64() < out[j].Value.Uint64()
+	})
+	return out
+}
+
+// TopK returns the k most likely outcomes (fewer if the support is smaller).
+func (d *Dist) TopK(k int) []Outcome {
+	s := d.Sorted()
+	if k < len(s) {
+		s = s[:k]
+	}
+	return s
+}
+
+// MostLikely returns the single most likely outcome. It panics on an empty
+// distribution.
+func (d *Dist) MostLikely() Outcome {
+	s := d.Sorted()
+	if len(s) == 0 {
+		panic("dist: empty distribution")
+	}
+	return s[0]
+}
+
+// PST returns the Probability of Successful Trial: the probability mass on
+// the correct outcome (Section 4.3).
+func (d *Dist) PST(correct bitstr.BitString) float64 {
+	return d.P(correct)
+}
+
+// StrongestError returns the most probable outcome other than correct, with
+// probability zero if every other outcome has zero mass.
+func (d *Dist) StrongestError(correct bitstr.BitString) Outcome {
+	d.checkWidth(correct)
+	best := Outcome{Value: bitstr.BitString{}, P: -1}
+	for v, p := range d.p {
+		if v == correct.Uint64() {
+			continue
+		}
+		b := bitstr.New(v, d.n)
+		if p > best.P || (p == best.P && v < best.Value.Uint64()) {
+			best = Outcome{Value: b, P: p}
+		}
+	}
+	if best.P < 0 {
+		// No erroneous outcome observed at all.
+		other := correct.Flip(0)
+		if d.n == 0 {
+			panic("dist: StrongestError on zero-width distribution")
+		}
+		return Outcome{Value: other, P: 0}
+	}
+	return best
+}
+
+// IST returns the Inference Strength: P(correct) divided by the probability
+// of the most frequent erroneous outcome (Section 4.3). If no erroneous
+// outcome was observed the result is +Inf when the correct answer has mass
+// and 0 otherwise (an empty log infers nothing).
+func (d *Dist) IST(correct bitstr.BitString) float64 {
+	pc := d.P(correct)
+	pe := d.StrongestError(correct).P
+	if pe == 0 {
+		if pc == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return pc / pe
+}
+
+// Mean returns the mean probability over the full 2^n outcome space
+// (including zero-probability outcomes).
+func (d *Dist) Mean() float64 {
+	return d.Sum() / float64(d.Space())
+}
+
+// RelStdDev returns sigma/mu of the probability vector over the full
+// outcome space. A perfectly uniform distribution has RelStdDev 0; a point
+// distribution over n bits has RelStdDev sqrt(2^n - 1). The paper's
+// footnote 2 uses this statistic to detect outputs degraded to noise.
+func (d *Dist) RelStdDev() float64 {
+	mu := d.Mean()
+	if mu == 0 {
+		return 0
+	}
+	total := float64(d.Space())
+	var sumsq float64
+	for _, v := range d.sortedSupport() {
+		diff := d.p[v] - mu
+		sumsq += diff * diff
+	}
+	// Outcomes absent from the map contribute (0 - mu)^2 each.
+	absent := total - float64(len(d.p))
+	sumsq += absent * mu * mu
+	return math.Sqrt(sumsq/total) / mu
+}
+
+// IsNearUniform reports whether the distribution is within factor (e.g.
+// 0.1) of uniform as judged by relative standard deviation, the discard
+// criterion sketched in the paper's footnote 2. The threshold is expressed
+// as a fraction of the RelStdDev of a point distribution, the most peaked
+// possible reference.
+func (d *Dist) IsNearUniform(factor float64) bool {
+	ref := math.Sqrt(float64(d.Space()) - 1)
+	if ref == 0 {
+		return true
+	}
+	return d.RelStdDev() < factor*ref
+}
+
+// Entropy returns the Shannon entropy in bits.
+func (d *Dist) Entropy() float64 {
+	var h float64
+	for _, v := range d.sortedSupport() {
+		if p := d.p[v]; p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// TV returns the total-variation distance to other (half the L1 distance).
+func (d *Dist) TV(other *Dist) float64 {
+	d.checkSame(other)
+	var s float64
+	for _, v := range d.sortedSupport() {
+		s += math.Abs(d.p[v] - other.p[v])
+	}
+	for _, v := range other.sortedSupport() {
+		if _, ok := d.p[v]; !ok {
+			s += other.p[v]
+		}
+	}
+	return s / 2
+}
+
+// klEpsilon is the floor applied to the reference distribution when
+// computing KL divergence of empirical distributions: a finite sample can
+// assign zero counts to outcomes that truly have small non-zero
+// probability, which would make KL infinite. The floor corresponds to
+// "less than one count in a much larger experiment" and matches how the
+// paper can report finite pairwise divergences on 16k-trial histograms.
+const klEpsilon = 1e-9
+
+// KL returns the Kullback-Leibler divergence D(d || other) in nats
+// (Appendix B, Equation 1), flooring the reference probability at
+// klEpsilon to keep empirical divergences finite.
+func (d *Dist) KL(other *Dist) float64 {
+	d.checkSame(other)
+	var s float64
+	for _, v := range d.sortedSupport() {
+		p := d.p[v]
+		if p <= 0 {
+			continue
+		}
+		q := other.p[v]
+		if q < klEpsilon {
+			q = klEpsilon
+		}
+		s += p * math.Log(p/q)
+	}
+	if s < 0 {
+		// Tiny negative values can arise from the epsilon floor plus
+		// floating-point rounding; true KL is non-negative.
+		if s > -1e-12 {
+			return 0
+		}
+	}
+	return s
+}
+
+// SymKL returns the symmetric KL divergence SD(d, other) = D(d||other) +
+// D(other||d) (Appendix B, Equation 4), the quantity WEDM uses for member
+// weights.
+func (d *Dist) SymKL(other *Dist) float64 {
+	return d.KL(other) + other.KL(d)
+}
+
+// Merge returns the uniform average of the member distributions — the EDM
+// combination rule (Section 5.2). All members must share one width and
+// there must be at least one member.
+func Merge(members []*Dist) *Dist {
+	if len(members) == 0 {
+		panic("dist: Merge of no members")
+	}
+	w := make([]float64, len(members))
+	for i := range w {
+		w[i] = 1
+	}
+	return WeightedMerge(members, w)
+}
+
+// WeightedMerge returns the weighted average of the member distributions
+// with the given non-negative weights (not all zero). Weights are
+// normalized internally, implementing Appendix B Equations 5-6 once the
+// caller supplies the raw divergence weights.
+func WeightedMerge(members []*Dist, weights []float64) *Dist {
+	if len(members) == 0 {
+		panic("dist: WeightedMerge of no members")
+	}
+	if len(members) != len(weights) {
+		panic("dist: members/weights length mismatch")
+	}
+	n := members[0].n
+	var total float64
+	for i, m := range members {
+		if m.n != n {
+			panic("dist: WeightedMerge width mismatch")
+		}
+		if weights[i] < 0 {
+			panic("dist: negative weight")
+		}
+		total += weights[i]
+	}
+	if total <= 0 {
+		panic("dist: all weights zero")
+	}
+	out := New(n)
+	for i, m := range members {
+		f := weights[i] / total
+		if f == 0 {
+			continue
+		}
+		for v, p := range m.p {
+			out.p[v] += f * p
+		}
+	}
+	return out
+}
+
+// DivergenceWeights returns the raw WEDM weight for every member: the sum
+// of its symmetric KL divergences to all other members (Appendix B,
+// Equation 6). Normalization happens inside WeightedMerge.
+func DivergenceWeights(members []*Dist) []float64 {
+	w := make([]float64, len(members))
+	for i := range members {
+		for j := range members {
+			if i == j {
+				continue
+			}
+			w[i] += members[i].SymKL(members[j])
+		}
+	}
+	return w
+}
+
+// Equal reports whether the two distributions match within tol on every
+// outcome.
+func (d *Dist) Equal(other *Dist, tol float64) bool {
+	if d.n != other.n {
+		return false
+	}
+	for v, p := range d.p {
+		if math.Abs(p-other.p[v]) > tol {
+			return false
+		}
+	}
+	for v, q := range other.p {
+		if _, ok := d.p[v]; !ok && q > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the distribution's non-zero outcomes in sorted order, for
+// debugging and golden tests.
+func (d *Dist) String() string {
+	s := d.Sorted()
+	out := "{"
+	for i, o := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%.4f", o.Value, o.P)
+	}
+	return out + "}"
+}
+
+func (d *Dist) checkWidth(b bitstr.BitString) {
+	if b.Len() != d.n {
+		panic(fmt.Sprintf("dist: outcome width %d does not match distribution width %d", b.Len(), d.n))
+	}
+}
+
+func (d *Dist) checkSame(other *Dist) {
+	if d.n != other.n {
+		panic(fmt.Sprintf("dist: width mismatch %d vs %d", d.n, other.n))
+	}
+}

@@ -1,0 +1,359 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edm/internal/bitstr"
+	"edm/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestKLPaperExample reproduces Table 2 and Equations 2-3 of Appendix B:
+// P = (0.2, 0.3, 0.4, 0.1) over outcomes 0..3, Q uniform. The paper writes
+// "ln" but its printed values 0.046 and 0.052 are base-10: the natural-log
+// divergences are 0.1064 and 0.1218, and dividing by ln(10) recovers the
+// paper's numbers. We compute in nats and check both.
+func TestKLPaperExample(t *testing.T) {
+	p := New(2)
+	p.Set(bitstr.New(0, 2), 0.2)
+	p.Set(bitstr.New(1, 2), 0.3)
+	p.Set(bitstr.New(2, 2), 0.4)
+	p.Set(bitstr.New(3, 2), 0.1)
+	q := Uniform(2)
+
+	dpq := p.KL(q)
+	dqp := q.KL(p)
+	if !approx(dpq, 0.10644, 0.001) {
+		t.Errorf("D(P||Q) = %v nats, want 0.1064", dpq)
+	}
+	if !approx(dqp, 0.12178, 0.001) {
+		t.Errorf("D(Q||P) = %v nats, want 0.1218", dqp)
+	}
+	ln10 := math.Log(10)
+	if !approx(dpq/ln10, 0.046, 0.001) {
+		t.Errorf("D(P||Q) in base-10 = %v, paper prints 0.046", dpq/ln10)
+	}
+	if !approx(dqp/ln10, 0.052, 0.001) {
+		t.Errorf("D(Q||P) in base-10 = %v, paper prints 0.052", dqp/ln10)
+	}
+	if !approx(p.SymKL(q), dpq+dqp, 1e-12) {
+		t.Errorf("SymKL != sum of directed KLs")
+	}
+	if !approx(p.SymKL(q), q.SymKL(p), 1e-12) {
+		t.Errorf("SymKL is not symmetric")
+	}
+}
+
+func TestKLSelfZero(t *testing.T) {
+	p := MustFromMap(map[string]float64{"00": 0.25, "01": 0.25, "10": 0.5})
+	if kl := p.KL(p); kl != 0 {
+		t.Errorf("D(P||P) = %v, want 0", kl)
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	r := rng.New(101)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := r.DeriveN("kl", int(seed))
+		p := randomDist(rr, 3)
+		q := randomDist(rr, 3)
+		return p.KL(q) >= 0 && q.KL(p) >= 0
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDist(r *rng.RNG, n int) *Dist {
+	d := New(n)
+	for v := uint64(0); v < 1<<uint(n); v++ {
+		if r.Bernoulli(0.7) {
+			d.p[v] = r.Float64() + 1e-6
+		}
+	}
+	if len(d.p) == 0 {
+		d.p[0] = 1
+	}
+	d.Normalize()
+	return d
+}
+
+func TestISTAndPST(t *testing.T) {
+	correct := bitstr.MustParse("110011")
+	d := New(6)
+	d.Set(correct, 0.30)
+	d.Set(bitstr.MustParse("010011"), 0.25)
+	d.Set(bitstr.MustParse("100011"), 0.20)
+	d.Set(bitstr.MustParse("000000"), 0.25)
+
+	if pst := d.PST(correct); !approx(pst, 0.30, 1e-12) {
+		t.Errorf("PST = %v", pst)
+	}
+	if ist := d.IST(correct); !approx(ist, 0.30/0.25, 1e-12) {
+		t.Errorf("IST = %v", ist)
+	}
+	se := d.StrongestError(correct)
+	if se.P != 0.25 {
+		t.Errorf("StrongestError P = %v", se.P)
+	}
+}
+
+func TestISTBelowOneWhenWrongDominates(t *testing.T) {
+	// Figure 1(c): correct at 30%, a wrong answer at 35%.
+	correct := bitstr.MustParse("11")
+	d := New(2)
+	d.Set(correct, 0.30)
+	d.Set(bitstr.MustParse("01"), 0.35)
+	d.Set(bitstr.MustParse("10"), 0.20)
+	d.Set(bitstr.MustParse("00"), 0.15)
+	if ist := d.IST(correct); ist >= 1 {
+		t.Errorf("IST = %v, want < 1", ist)
+	}
+	if ml := d.MostLikely(); ml.Value.Equal(correct) {
+		t.Errorf("most likely should be the wrong answer")
+	}
+}
+
+func TestISTEdgeCases(t *testing.T) {
+	correct := bitstr.MustParse("00")
+	d := Point(correct)
+	if ist := d.IST(correct); !math.IsInf(ist, 1) {
+		t.Errorf("pure-correct IST = %v, want +Inf", ist)
+	}
+	empty := New(2)
+	if ist := empty.IST(correct); ist != 0 {
+		t.Errorf("empty IST = %v, want 0", ist)
+	}
+}
+
+func TestMergeEqualWeights(t *testing.T) {
+	// Figure 2(b): two members whose dominant wrong answers differ merge
+	// into an ensemble whose most-likely outcome is the correct one.
+	correct := bitstr.MustParse("10")
+	m1 := MustFromMap(map[string]float64{"10": 0.30, "01": 0.35, "00": 0.20, "11": 0.15})
+	m2 := MustFromMap(map[string]float64{"10": 0.30, "11": 0.35, "00": 0.20, "01": 0.15})
+	if m1.IST(correct) >= 1 || m2.IST(correct) >= 1 {
+		t.Fatal("members should individually fail")
+	}
+	merged := Merge([]*Dist{m1, m2})
+	if !approx(merged.Sum(), 1, 1e-12) {
+		t.Fatalf("merged mass = %v", merged.Sum())
+	}
+	if ist := merged.IST(correct); ist <= 1 {
+		t.Errorf("ensemble IST = %v, want > 1", ist)
+	}
+	if !merged.MostLikely().Value.Equal(correct) {
+		t.Errorf("ensemble most-likely = %v", merged.MostLikely().Value)
+	}
+	if got := merged.P(bitstr.MustParse("01")); !approx(got, 0.25, 1e-12) {
+		t.Errorf("merged P(01) = %v, want 0.25", got)
+	}
+}
+
+func TestWeightedMergeWeights(t *testing.T) {
+	m1 := Point(bitstr.MustParse("0"))
+	m2 := Point(bitstr.MustParse("1"))
+	out := WeightedMerge([]*Dist{m1, m2}, []float64{3, 1})
+	if !approx(out.P(bitstr.MustParse("0")), 0.75, 1e-12) {
+		t.Errorf("weighted merge wrong: %v", out)
+	}
+}
+
+func TestWeightedMergePanics(t *testing.T) {
+	m := Point(bitstr.MustParse("0"))
+	mustPanic(t, func() { WeightedMerge(nil, nil) })
+	mustPanic(t, func() { WeightedMerge([]*Dist{m}, []float64{1, 2}) })
+	mustPanic(t, func() { WeightedMerge([]*Dist{m}, []float64{-1}) })
+	mustPanic(t, func() { WeightedMerge([]*Dist{m}, []float64{0}) })
+	m2 := Point(bitstr.MustParse("00"))
+	mustPanic(t, func() { WeightedMerge([]*Dist{m, m2}, []float64{1, 1}) })
+}
+
+func TestDivergenceWeights(t *testing.T) {
+	// Two identical members and one divergent member: the divergent member
+	// must receive the largest weight, and the identical pair equal weights.
+	a := MustFromMap(map[string]float64{"00": 0.9, "11": 0.1})
+	b := MustFromMap(map[string]float64{"00": 0.9, "11": 0.1})
+	c := MustFromMap(map[string]float64{"01": 0.9, "10": 0.1})
+	w := DivergenceWeights([]*Dist{a, b, c})
+	if !approx(w[0], w[1], 1e-9) {
+		t.Errorf("identical members got different weights: %v", w)
+	}
+	if w[2] <= w[0] {
+		t.Errorf("divergent member weight %v not larger than %v", w[2], w[0])
+	}
+}
+
+func TestMergePreservesNormalization(t *testing.T) {
+	r := rng.New(55)
+	members := []*Dist{randomDist(r, 4), randomDist(r, 4), randomDist(r, 4), randomDist(r, 4)}
+	m := Merge(members)
+	if !approx(m.Sum(), 1, 1e-9) {
+		t.Errorf("merged mass = %v", m.Sum())
+	}
+	w := DivergenceWeights(members)
+	wm := WeightedMerge(members, w)
+	if !approx(wm.Sum(), 1, 1e-9) {
+		t.Errorf("weighted merged mass = %v", wm.Sum())
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Uniform(3).Entropy(); !approx(h, 3, 1e-12) {
+		t.Errorf("uniform entropy = %v, want 3", h)
+	}
+	if h := Point(bitstr.MustParse("101")).Entropy(); h != 0 {
+		t.Errorf("point entropy = %v, want 0", h)
+	}
+}
+
+func TestMergeRaisesEntropy(t *testing.T) {
+	// EDM is motivated by maximum entropy: merging divergent members cannot
+	// decrease entropy below the mean member entropy (concavity of H).
+	r := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		rr := r.DeriveN("m", trial)
+		members := []*Dist{randomDist(rr, 4), randomDist(rr, 4)}
+		m := Merge(members)
+		avg := (members[0].Entropy() + members[1].Entropy()) / 2
+		if m.Entropy() < avg-1e-9 {
+			t.Fatalf("merge entropy %v < mean member entropy %v", m.Entropy(), avg)
+		}
+	}
+}
+
+func TestTV(t *testing.T) {
+	a := MustFromMap(map[string]float64{"0": 1})
+	b := MustFromMap(map[string]float64{"1": 1})
+	if tv := a.TV(b); !approx(tv, 1, 1e-12) {
+		t.Errorf("TV(disjoint points) = %v", tv)
+	}
+	if tv := a.TV(a); tv != 0 {
+		t.Errorf("TV(a,a) = %v", tv)
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if rsd := Uniform(4).RelStdDev(); !approx(rsd, 0, 1e-9) {
+		t.Errorf("uniform RelStdDev = %v", rsd)
+	}
+	n := 4
+	pt := Point(bitstr.Zeros(n))
+	space := 1 << uint(n)
+	want := math.Sqrt(float64(space - 1))
+	if rsd := pt.RelStdDev(); !approx(rsd, want, 1e-9) {
+		t.Errorf("point RelStdDev = %v, want %v", rsd, want)
+	}
+}
+
+func TestIsNearUniform(t *testing.T) {
+	if !Uniform(5).IsNearUniform(0.1) {
+		t.Error("uniform not detected as near-uniform")
+	}
+	if Point(bitstr.Zeros(5)).IsNearUniform(0.1) {
+		t.Error("point detected as near-uniform")
+	}
+	// A mildly peaked distribution is not near-uniform at a tight factor.
+	d := Uniform(3).Clone()
+	d.Set(bitstr.Zeros(3), 0.4)
+	d.Normalize()
+	if d.IsNearUniform(0.01) {
+		t.Error("peaked distribution detected as near-uniform at tight factor")
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	d := MustFromMap(map[string]float64{"00": 0.25, "01": 0.25, "10": 0.25, "11": 0.25})
+	s := d.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Value.Uint64() >= s[i].Value.Uint64() {
+			t.Fatalf("tie-break order wrong: %v", s)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	d := MustFromMap(map[string]float64{"00": 0.5, "01": 0.3, "10": 0.15, "11": 0.05})
+	top := d.TopK(2)
+	if len(top) != 2 || top[0].P != 0.5 || top[1].P != 0.3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := d.TopK(10); len(got) != 4 {
+		t.Fatalf("TopK(10) len = %d", len(got))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := New(2)
+	d.Add(bitstr.New(0, 2), 3)
+	d.Add(bitstr.New(1, 2), 1)
+	d.Normalize()
+	if !approx(d.PV(0), 0.75, 1e-12) || !approx(d.PV(1), 0.25, 1e-12) {
+		t.Fatalf("Normalize wrong: %v", d)
+	}
+	mustPanic(t, func() { New(2).Normalize() })
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := MustFromMap(map[string]float64{"0": 1})
+	c := d.Clone()
+	c.Set(bitstr.MustParse("0"), 0.5)
+	c.Set(bitstr.MustParse("1"), 0.5)
+	if d.P(bitstr.MustParse("1")) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := MustFromMap(map[string]float64{"0": 0.5, "1": 0.5})
+	s := d.Scale(0.5)
+	if !approx(s.Sum(), 0.5, 1e-12) {
+		t.Fatalf("Scale sum = %v", s.Sum())
+	}
+	if z := d.Scale(0); z.Support() != 0 {
+		t.Fatalf("Scale(0) support = %d", z.Support())
+	}
+	mustPanic(t, func() { d.Scale(-1) })
+}
+
+func TestFromMapErrors(t *testing.T) {
+	if _, err := FromMap(map[string]float64{"0x": 1}); err == nil {
+		t.Error("bad key accepted")
+	}
+	if _, err := FromMap(map[string]float64{"0": 0.5, "00": 0.5}); err == nil {
+		t.Error("mixed widths accepted")
+	}
+	if _, err := FromMap(map[string]float64{"0": -1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := FromMap(map[string]float64{}); err == nil {
+		t.Error("empty map accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustFromMap(map[string]float64{"01": 0.5, "10": 0.5})
+	b := MustFromMap(map[string]float64{"01": 0.5, "10": 0.5})
+	if !a.Equal(b, 1e-12) {
+		t.Error("equal distributions not Equal")
+	}
+	c := MustFromMap(map[string]float64{"01": 0.6, "10": 0.4})
+	if a.Equal(c, 1e-3) {
+		t.Error("different distributions Equal")
+	}
+	if a.Equal(Uniform(3), 1) {
+		t.Error("different widths Equal")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edm/internal/bitstr"
+)
+
+// Edge-case coverage for the smaller accessors and guard paths.
+
+func TestAccessors(t *testing.T) {
+	d := New(3)
+	if d.N() != 3 {
+		t.Fatal("Dist.N wrong")
+	}
+	if d.Space() != 8 {
+		t.Fatal("Space wrong")
+	}
+	c := NewCounts(4)
+	if c.N() != 4 {
+		t.Fatal("Counts.N wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	d := MustFromMap(map[string]float64{"01": 0.75, "10": 0.25})
+	s := d.String()
+	if !strings.Contains(s, "01:0.7500") || !strings.Contains(s, "10:0.2500") {
+		t.Fatalf("String = %q", s)
+	}
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		t.Fatalf("String braces: %q", s)
+	}
+}
+
+func TestSetRemovesZero(t *testing.T) {
+	d := New(2)
+	b := bitstr.MustParse("01")
+	d.Set(b, 0.5)
+	d.Set(b, 0)
+	if d.Support() != 0 {
+		t.Fatal("Set(0) did not remove the entry")
+	}
+	mustPanic(t, func() { d.Set(b, -1) })
+	mustPanic(t, func() { d.Set(bitstr.MustParse("111"), 0.1) })
+}
+
+func TestAddGuards(t *testing.T) {
+	d := New(2)
+	b := bitstr.MustParse("10")
+	d.Add(b, 0) // no-op
+	if d.Support() != 0 {
+		t.Fatal("Add(0) created an entry")
+	}
+	mustPanic(t, func() { d.Add(b, -0.1) })
+	mustPanic(t, func() { d.Add(bitstr.MustParse("1"), 0.1) })
+}
+
+func TestNewWidthGuards(t *testing.T) {
+	mustPanic(t, func() { New(-1) })
+	mustPanic(t, func() { New(64) })
+	mustPanic(t, func() { NewCounts(-1) })
+	mustPanic(t, func() { MustFromMap(map[string]float64{"0x": 1}) })
+}
+
+func TestMostLikelyEmptyPanics(t *testing.T) {
+	mustPanic(t, func() { New(2).MostLikely() })
+}
+
+func TestStrongestErrorWhenOnlyCorrect(t *testing.T) {
+	correct := bitstr.MustParse("101")
+	d := Point(correct)
+	se := d.StrongestError(correct)
+	if se.P != 0 {
+		t.Fatalf("StrongestError P = %v", se.P)
+	}
+	if se.Value.Equal(correct) {
+		t.Fatal("StrongestError returned the correct outcome")
+	}
+}
+
+func TestStrongestErrorTieBreak(t *testing.T) {
+	correct := bitstr.MustParse("00")
+	d := New(2)
+	d.Set(bitstr.MustParse("10"), 0.5) // value 1
+	d.Set(bitstr.MustParse("01"), 0.5) // value 2
+	se := d.StrongestError(correct)
+	if se.Value.Uint64() != 1 {
+		t.Fatalf("tie-break wrong: %v", se.Value)
+	}
+}
+
+func TestKLWidthMismatchPanics(t *testing.T) {
+	mustPanic(t, func() { Uniform(2).KL(Uniform(3)) })
+	mustPanic(t, func() { Uniform(2).TV(Uniform(3)) })
+}
+
+func TestCountObserveWidthPanics(t *testing.T) {
+	c := NewCounts(2)
+	mustPanic(t, func() { c.Count(bitstr.MustParse("1")) })
+}
+
+func TestMergeSingle(t *testing.T) {
+	d := MustFromMap(map[string]float64{"1": 1})
+	m := Merge([]*Dist{d})
+	if !m.Equal(d, 1e-12) {
+		t.Fatal("Merge of one member changed it")
+	}
+	mustPanic(t, func() { Merge(nil) })
+}
+
+func TestSampleGuards(t *testing.T) {
+	mustPanic(t, func() { Sample(Uniform(2), -1, nil) })
+	mustPanic(t, func() { Sample(New(2), 5, nil) })
+}
+
+func TestRelStdDevZeroDist(t *testing.T) {
+	if v := New(3).RelStdDev(); v != 0 {
+		t.Fatalf("empty RelStdDev = %v", v)
+	}
+}
+
+func TestIsNearUniformZeroWidth(t *testing.T) {
+	d := New(0)
+	d.Set(bitstr.Zeros(0), 1)
+	if !d.IsNearUniform(0.1) {
+		t.Fatal("zero-width distribution should count as uniform")
+	}
+}
+
+func TestEqualAsymmetricSupport(t *testing.T) {
+	a := MustFromMap(map[string]float64{"0": 1})
+	b := MustFromMap(map[string]float64{"0": 1, "1": 1e-15})
+	if !a.Equal(b, 1e-9) || !b.Equal(a, 1e-9) {
+		t.Fatal("tiny extra support broke Equal")
+	}
+	c := MustFromMap(map[string]float64{"0": 0.5, "1": 0.5})
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different distributions Equal")
+	}
+}
+
+func TestKLEpsilonFloor(t *testing.T) {
+	// P has support where Q has none: KL stays finite via the floor.
+	p := MustFromMap(map[string]float64{"0": 0.5, "1": 0.5})
+	q := MustFromMap(map[string]float64{"0": 1})
+	kl := p.KL(q)
+	if math.IsInf(kl, 1) || math.IsNaN(kl) {
+		t.Fatalf("KL = %v", kl)
+	}
+	if kl <= 0 {
+		t.Fatalf("KL = %v, want positive", kl)
+	}
+}

@@ -1,0 +1,338 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/device"
+)
+
+// tiny returns a very small campaign for fast structural tests. The
+// statistically strong assertions live in the targeted tests below and in
+// the benchmark harness at full scale.
+func tiny() Setup {
+	s := Default()
+	s.Rounds = 2
+	s.Trials = 512
+	return s
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("median = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty median did not panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestRoundDeterministic(t *testing.T) {
+	s := tiny()
+	a := s.Round(1)
+	b := s.Round(1)
+	calA := a.Machine.Calibration()
+	calB := b.Machine.Calibration()
+	for q := 0; q < 14; q++ {
+		if calA.SQErr[q] != calB.SQErr[q] {
+			t.Fatal("round calibration not deterministic")
+		}
+	}
+	c := s.Round(2)
+	if calA.SQErr[0] == c.Machine.Calibration().SQErr[0] {
+		t.Fatal("different rounds share calibration")
+	}
+	// Compile-time and runtime calibrations differ (drift).
+	compCal := a.Compiler.Calibration()
+	diff := 0
+	for q := 0; q < 14; q++ {
+		if compCal.SQErr[q] != calA.SQErr[q] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("no drift between compiler and machine")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(tiny())
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.ESP <= 0 || r.ESP > 1 {
+			t.Errorf("%s: ESP = %v", r.Name, r.ESP)
+		}
+		if r.Compiled.CX < r.Logical.CX {
+			t.Errorf("%s: compiled CX %d < logical %d", r.Name, r.Compiled.CX, r.Logical.CX)
+		}
+		if r.Compiled.M != r.Logical.M {
+			t.Errorf("%s: measurement count changed in compilation", r.Name)
+		}
+		if r.Depth <= 0 {
+			t.Errorf("%s: depth = %d", r.Name, r.Depth)
+		}
+	}
+	// BV-6 is a star: routing must add SWAP-derived CX (paper's CX:7 =
+	// 4 oracle CX + one SWAP).
+	if byName["bv-6"].Compiled.CX <= byName["bv-6"].Logical.CX {
+		t.Error("bv-6 compiled without routing overhead")
+	}
+	// QAOA embeds: no SWAPs, identical CX count (paper: qaoa needs none).
+	for _, n := range []string{"qaoa-5", "qaoa-6", "qaoa-7"} {
+		if byName[n].Compiled.CX != byName[n].Logical.CX {
+			t.Errorf("%s: compiled CX %d != logical %d (expected swap-free)",
+				n, byName[n].Compiled.CX, byName[n].Logical.CX)
+		}
+	}
+	// Greycode paper row: CX 5, M 6.
+	if byName["greycode-6"].Logical.CX != 5 || byName["greycode-6"].Logical.M != 6 {
+		t.Error("greycode logical counts do not match Table 1")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	r := Table2()
+	if math.Abs(r.DPQBase10-0.046) > 0.001 {
+		t.Errorf("D(P||Q) base-10 = %v, paper prints 0.046", r.DPQBase10)
+	}
+	if math.Abs(r.DQPBase10-0.052) > 0.001 {
+		t.Errorf("D(Q||P) base-10 = %v, paper prints 0.052", r.DQPBase10)
+	}
+	if math.Abs(r.SymKL-(r.DPQ+r.DQP)) > 1e-12 {
+		t.Error("SymKL mismatch")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	s := tiny()
+	s.Rounds = 4
+	s.Trials = 2048
+	res := Fig1(s)
+	if res.Ideal.P(res.Key) < 1-1e-9 {
+		t.Fatal("ideal BV-2 not deterministic")
+	}
+	if res.Good == nil && res.Bad == nil {
+		t.Fatal("no NISQ outputs classified")
+	}
+	if res.Good != nil && res.GoodIST <= 1 {
+		t.Fatalf("good round IST = %v", res.GoodIST)
+	}
+	if res.Bad != nil && res.BadIST >= 1 {
+		t.Fatalf("bad round IST = %v", res.BadIST)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	s := tiny()
+	s.Trials = 4096
+	res := Fig3(s)
+	if res.Outcomes != 64 {
+		t.Fatalf("outcome space = %d", res.Outcomes)
+	}
+	if res.Support < 16 {
+		t.Fatalf("support = %d, noise should spread outcomes widely", res.Support)
+	}
+	if res.PST <= 0 || res.PST >= 0.9 {
+		t.Fatalf("PST = %v, expected a heavily degraded output", res.PST)
+	}
+	// Sorted order is descending.
+	for i := 1; i < len(res.Sorted); i++ {
+		if res.Sorted[i].P > res.Sorted[i-1].P {
+			t.Fatal("Fig3 outcomes not sorted")
+		}
+	}
+}
+
+// TestFig4DiversityGap is the paper's central characterization claim
+// (Section 3.2): diverse mappings produce far more divergent outputs than
+// repeated runs of one mapping.
+func TestFig4DiversityGap(t *testing.T) {
+	s := tiny()
+	s.Trials = 4096
+	res := Fig4(s)
+	if len(res.Same) != 8 || len(res.Diverse) != 8 {
+		t.Fatalf("matrix sizes: %d, %d", len(res.Same), len(res.Diverse))
+	}
+	for i := 0; i < 8; i++ {
+		if res.Same[i][i] != 0 || res.Diverse[i][i] != 0 {
+			t.Fatal("diagonal not zero")
+		}
+		for j := 0; j < 8; j++ {
+			if math.Abs(res.Same[i][j]-res.Same[j][i]) > 1e-9 {
+				t.Fatal("same-mapping matrix not symmetric")
+			}
+		}
+	}
+	t.Logf("avg same-mapping KL = %.4f, avg diverse KL = %.4f", res.AvgSame, res.AvgDiverse)
+	if res.AvgDiverse < 3*res.AvgSame {
+		t.Errorf("diversity gap too small: same %.4f vs diverse %.4f", res.AvgSame, res.AvgDiverse)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s := tiny()
+	s.Trials = 4096
+	res := Fig6(s)
+	if len(res.MappingIST) != 8 || len(res.MappingESP) != 8 {
+		t.Fatalf("mapping series length: %d", len(res.MappingIST))
+	}
+	for i := 1; i < 8; i++ {
+		if res.MappingESP[i] > res.MappingESP[i-1]+1e-12 {
+			t.Fatal("mappings not in ESP order")
+		}
+	}
+	med := Median(res.MappingIST)
+	t.Logf("individual ISTs median %.3f, EDM IST %.3f", med, res.EDMIST)
+	if res.EDMIST < med {
+		t.Errorf("EDM IST %.3f below the median individual mapping %.3f", res.EDMIST, med)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	s := tiny()
+	s.Trials = 4096
+	res := Fig8(s)
+	if len(res.ESP) != 8 || len(res.PST) != 8 {
+		t.Fatal("series length wrong")
+	}
+	t.Logf("ESP-PST correlation = %.3f, best ESP idx %d, best PST idx %d",
+		res.Correlation, res.BestESPIndex, res.BestPSTIndex)
+	if res.Correlation < 0 {
+		t.Errorf("ESP and PST anticorrelated: %v", res.Correlation)
+	}
+	if res.BestESPIndex != 0 {
+		t.Errorf("BestESPIndex = %d, TopK order should put best ESP first", res.BestESPIndex)
+	}
+}
+
+func TestFig7Small(t *testing.T) {
+	s := tiny()
+	rows := Fig7(s)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaselineIST < 0 || r.EDMIST < 0 || r.PostExecIST < 0 {
+			t.Fatalf("%s: negative IST", r.Workload)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	s := tiny()
+	res := Fig13(s)
+	if !(res.FrontierUncorrelated < res.FrontierQcor10 && res.FrontierQcor10 < res.FrontierQcor50) {
+		t.Fatalf("frontiers not ordered: %v %v %v",
+			res.FrontierUncorrelated, res.FrontierQcor10, res.FrontierQcor50)
+	}
+	if len(res.Experimental) != 3*s.Rounds {
+		t.Fatalf("experimental points = %d", len(res.Experimental))
+	}
+	for _, p := range res.Experimental {
+		if p.PST < 0 || p.PST > 1 {
+			t.Fatalf("PST out of range: %+v", p)
+		}
+	}
+	// Curves increase with Ps.
+	for i := 1; i < len(res.PS); i++ {
+		if res.AnalyticUncorrelated[i] <= res.AnalyticUncorrelated[i-1] {
+			t.Fatal("analytic curve not increasing")
+		}
+	}
+	// At every Ps, the uncorrelated model is at least as strong as the
+	// strongly correlated one (allowing MC slack on the last point).
+	for i := range res.PS {
+		if res.MCQcor50[i] > res.AnalyticUncorrelated[i]*1.2 {
+			t.Fatalf("correlated IST above uncorrelated at ps=%v", res.PS[i])
+		}
+	}
+}
+
+// TestIdealProfileSanity: on a noiseless device the baseline gets IST=Inf
+// and EDM cannot break a deterministic workload.
+func TestIdealProfileSanity(t *testing.T) {
+	s := tiny()
+	s.Profile = device.IdealProfile()
+	s.Drift = 0
+	s.Rounds = 1
+	rows := RunPolicies(s, []string{"bv-6"}, policySet{})
+	if !math.IsInf(rows[0].BaselineIST, 1) || !math.IsInf(rows[0].EDMIST, 1) {
+		t.Fatalf("ideal machine ISTs: baseline %v, EDM %v", rows[0].BaselineIST, rows[0].EDMIST)
+	}
+	if rows[0].BaselinePST < 1-1e-9 || rows[0].EDMPST < 1-1e-9 {
+		t.Fatalf("ideal machine PSTs below 1")
+	}
+}
+
+func TestRunPoliciesSizesAndWEDM(t *testing.T) {
+	s := tiny()
+	s.Rounds = 1
+	rows := RunPolicies(s, []string{"bv-6"}, policySet{sizes: true, wedm: true, postExec: true})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	for name, v := range map[string]float64{
+		"baseline": r.BaselineIST, "postexec": r.PostExecIST,
+		"edm": r.EDMIST, "wedm": r.WEDMIST, "edm2": r.EDM2IST, "edm6": r.EDM6IST,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			t.Errorf("%s IST = %v", name, v)
+		}
+	}
+	if r.BaselinePST <= 0 || r.EDMPST <= 0 {
+		t.Error("PST columns missing")
+	}
+	// Ratio helpers behave.
+	if r.EDMOverBaseline() <= 0 || r.WEDMOverBaseline() <= 0 || r.EDMOverPostExec() <= 0 {
+		t.Error("ratio helpers returned non-positive values")
+	}
+}
+
+func TestRunPoliciesUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown workload accepted")
+		}
+	}()
+	RunPolicies(tiny(), []string{"nope"}, policySet{})
+}
+
+func TestRatioGuards(t *testing.T) {
+	if got := ratio(0, 0); got != 1 {
+		t.Fatalf("ratio(0,0) = %v", got)
+	}
+	if got := ratio(2, 0); got < 1e6 {
+		t.Fatalf("ratio(2,0) = %v", got)
+	}
+	if got := ratio(3, 2); got != 1.5 {
+		t.Fatalf("ratio(3,2) = %v", got)
+	}
+}
+
+func TestFig6AndFig8SmallConsistency(t *testing.T) {
+	// Fig6 and Fig8 both derive from top-8 mappings of bv-6; ESP ordering
+	// invariants hold at any scale.
+	s := tiny()
+	s.Trials = 512
+	f6 := Fig6(s)
+	if len(f6.MappingESP) != 8 {
+		t.Fatalf("fig6 mappings = %d", len(f6.MappingESP))
+	}
+	f8 := Fig8(s)
+	// Fig8 samples across the whole ESP range, so its worst mapping should
+	// be no better than fig6's worst top-8 mapping.
+	if f8.ESP[len(f8.ESP)-1] > f6.MappingESP[len(f6.MappingESP)-1]+1e-9 {
+		t.Errorf("fig8 range (%v) narrower than fig6 top-8 (%v)",
+			f8.ESP[len(f8.ESP)-1], f6.MappingESP[len(f6.MappingESP)-1])
+	}
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"edm/internal/circuit"
+	"edm/internal/dist"
+	"edm/internal/workloads"
+)
+
+// Table1Row is one row of the paper's Table 1 (benchmark
+// characteristics), reported both for the logical circuit and after
+// compilation onto the device — the paper's counts include routing SWAPs
+// (e.g. bv-6's CX:7 is four oracle CX plus one SWAP lowered to three CX).
+type Table1Row struct {
+	Name        string
+	Description string
+	Output      string
+	Logical     circuit.Stats
+	Compiled    circuit.Stats
+	Depth       int
+	ESP         float64
+}
+
+// Table1 compiles every benchmark with the round-0 compiler and reports
+// the gate counts of Table 1.
+func Table1(s Setup) []Table1Row {
+	r := s.Round(0)
+	rows := make([]Table1Row, 0, 9)
+	for _, w := range workloads.All() {
+		exe, err := r.Compiler.Compile(w.Circuit)
+		if err != nil {
+			panic(err)
+		}
+		lowered := exe.Circuit.LowerSwaps()
+		rows = append(rows, Table1Row{
+			Name:        w.Name,
+			Description: w.Description,
+			Output:      w.Correct.String(),
+			Logical:     w.Circuit.Stats(),
+			Compiled:    lowered.Stats(),
+			Depth:       lowered.Depth(),
+			ESP:         exe.ESP,
+		})
+	}
+	return rows
+}
+
+// Table2Result is the Appendix-B KL worked example.
+type Table2Result struct {
+	P, Q      *dist.Dist
+	DPQ, DQP  float64 // natural-log divergences
+	SymKL     float64
+	DPQBase10 float64 // the paper's printed numbers are base-10
+	DQPBase10 float64
+}
+
+// Table2 reproduces the Appendix-B example: P = (0.2, 0.3, 0.4, 0.1)
+// against the uniform distribution.
+func Table2() Table2Result {
+	p := dist.MustFromMap(map[string]float64{
+		"00": 0.2, "10": 0.3, "01": 0.4, "11": 0.1,
+	})
+	q := dist.Uniform(2)
+	dpq := p.KL(q)
+	dqp := q.KL(p)
+	const ln10 = 2.302585092994046
+	return Table2Result{
+		P: p, Q: q,
+		DPQ: dpq, DQP: dqp,
+		SymKL:     p.SymKL(q),
+		DPQBase10: dpq / ln10,
+		DQPBase10: dqp / ln10,
+	}
+}

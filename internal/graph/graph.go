@@ -1,0 +1,229 @@
+// Package graph provides the small undirected-graph toolkit the mapping
+// compiler needs: adjacency queries, BFS shortest paths, connectivity, and
+// VF2-style subgraph isomorphism enumeration (the algorithm the paper uses
+// to find alternative placements of a program's interaction graph on the
+// device coupling graph, citing Cordella et al.).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..n-1. Self-loops and
+// multi-edges are not allowed.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New returns an edgeless graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// FromEdges builds a graph with n vertices and the given undirected edges.
+func FromEdges(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge (a, b). Adding an existing edge is a
+// no-op; self-loops panic.
+func (g *Graph) AddEdge(a, b int) {
+	g.check(a)
+	g.check(b)
+	if a == b {
+		panic(fmt.Sprintf("graph: self-loop at %d", a))
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	g.check(a)
+	g.check(b)
+	return g.adj[a][b]
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbours of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges (a < b) in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for a := 0; a < g.n; a++ {
+		for b := range g.adj[a] {
+			if a < b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for a := 0; a < g.n; a++ {
+		for b := range g.adj[a] {
+			c.adj[a][b] = true
+		}
+	}
+	return c
+}
+
+// BFSDistances returns the hop distance from src to every vertex, with -1
+// for unreachable vertices.
+func (g *Graph) BFSDistances(src int) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst inclusive, or nil
+// if unreachable. Ties are broken toward smaller vertex ids so results are
+// deterministic.
+func (g *Graph) ShortestPath(src, dst int) []int {
+	g.check(src)
+	g.check(dst)
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dst {
+			break
+		}
+		for _, u := range g.Neighbors(v) {
+			if prev[u] == -1 {
+				prev[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var path []int
+	for v := dst; v != src; v = prev[v] {
+		path = append(path, v)
+	}
+	path = append(path, src)
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// IsConnected reports whether the graph is connected (true for the empty
+// and single-vertex graphs).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	d := g.BFSDistances(0)
+	for _, v := range d {
+		if v == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// InducedConnected reports whether the subgraph induced by the given
+// vertex set is connected.
+func (g *Graph) InducedConnected(vertices []int) bool {
+	if len(vertices) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		g.check(v)
+		in[v] = true
+	}
+	seen := map[int]bool{vertices[0]: true}
+	queue := []int{vertices[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if in[u] && !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return len(seen) == len(vertices)
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func TestBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // duplicate is a no-op
+	if g.N() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("N=%d edges=%d", g.N(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("Degree wrong")
+	}
+	nb := g.Neighbors(1)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors = %v", nb)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := FromEdges(5, [][2]int{{3, 1}, {0, 4}, {2, 0}})
+	e := g.Edges()
+	want := [][2]int{{0, 2}, {0, 4}, {1, 3}}
+	if len(e) != len(want) {
+		t.Fatalf("Edges = %v", e)
+	}
+	for i := range e {
+		if e[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", e, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := New(3)
+	mustPanic(t, func() { g.AddEdge(0, 0) })
+	mustPanic(t, func() { g.AddEdge(0, 3) })
+	mustPanic(t, func() { g.HasEdge(-1, 0) })
+	mustPanic(t, func() { New(-1) })
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path 0-1-2-3 plus isolated 4.
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d := g.BFSDistances(0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist = %v", d)
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	// Ring of 6: two equal paths 0..3; deterministic tie-break.
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 {
+		t.Fatalf("path = %v", p)
+	}
+	if p[0] != 0 || p[len(p)-1] != 3 {
+		t.Fatalf("endpoints wrong: %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Fatalf("path not connected: %v", p)
+		}
+	}
+	if got := g.ShortestPath(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("self path = %v", got)
+	}
+	iso := FromEdges(3, [][2]int{{0, 1}})
+	if p := iso.ShortestPath(0, 2); p != nil {
+		t.Fatalf("unreachable path = %v", p)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	if !FromEdges(3, [][2]int{{0, 1}, {1, 2}}).IsConnected() {
+		t.Fatal("path not connected")
+	}
+	if FromEdges(3, [][2]int{{0, 1}}).IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !New(1).IsConnected() || !New(0).IsConnected() {
+		t.Fatal("trivial graphs not connected")
+	}
+}
+
+func TestInducedConnected(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	if !g.InducedConnected([]int{0, 1, 2}) {
+		t.Fatal("induced path not connected")
+	}
+	if g.InducedConnected([]int{0, 1, 3}) {
+		t.Fatal("split set reported connected")
+	}
+	if !g.InducedConnected([]int{5}) || !g.InducedConnected(nil) {
+		t.Fatal("trivial sets not connected")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}})
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMonomorphismsPathInPath(t *testing.T) {
+	// Path of 2 vertices into path of 3: 0-1, 1-0, 1-2, 2-1 = 4 maps.
+	p := FromEdges(2, [][2]int{{0, 1}})
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	ms := Monomorphisms(p, g, 0)
+	if len(ms) != 4 {
+		t.Fatalf("got %d maps: %v", len(ms), ms)
+	}
+}
+
+func TestMonomorphismsTriangle(t *testing.T) {
+	tri := FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	square := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if ms := Monomorphisms(tri, square, 0); len(ms) != 0 {
+		t.Fatalf("triangle found in square: %v", ms)
+	}
+	k4 := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	// Triangle in K4: 4 choose 3 subsets * 3! orders = 24.
+	if ms := Monomorphisms(tri, k4, 0); len(ms) != 24 {
+		t.Fatalf("triangle in K4: %d maps", len(ms))
+	}
+}
+
+func TestMonomorphismsValid(t *testing.T) {
+	p := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	g := randomGraph(8, 0.5, rng.New(3))
+	for _, m := range Monomorphisms(p, g, 0) {
+		seen := map[int]bool{}
+		for _, tv := range m {
+			if seen[tv] {
+				t.Fatalf("non-injective map %v", m)
+			}
+			seen[tv] = true
+		}
+		for _, e := range p.Edges() {
+			if !g.HasEdge(m[e[0]], m[e[1]]) {
+				t.Fatalf("map %v misses edge %v", m, e)
+			}
+		}
+	}
+}
+
+func TestMonomorphismsAgainstBruteForce(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		rr := r.DeriveN("t", trial)
+		p := randomGraph(2+rr.Intn(3), 0.6, rr)
+		g := randomGraph(4+rr.Intn(3), 0.5, rr)
+		got := Monomorphisms(p, g, 0)
+		want := BruteForceMonomorphisms(p, g)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: VF2 found %d, brute force %d", trial, len(got), len(want))
+		}
+		SortMappings(got)
+		SortMappings(want)
+		for i := range got {
+			for k := range got[i] {
+				if got[i][k] != want[i][k] {
+					t.Fatalf("trial %d: mapping mismatch at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMonomorphismsLimit(t *testing.T) {
+	p := FromEdges(2, [][2]int{{0, 1}})
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	ms := Monomorphisms(p, g, 3)
+	if len(ms) != 3 {
+		t.Fatalf("limit ignored: %d", len(ms))
+	}
+	if CountMonomorphisms(p, g, 0) != 8 {
+		t.Fatalf("full count = %d", CountMonomorphisms(p, g, 0))
+	}
+}
+
+func TestMonomorphismsEdgeCases(t *testing.T) {
+	empty := New(0)
+	g := FromEdges(3, [][2]int{{0, 1}})
+	if ms := Monomorphisms(empty, g, 0); len(ms) != 1 || len(ms[0]) != 0 {
+		t.Fatalf("empty pattern: %v", ms)
+	}
+	big := New(5)
+	if ms := Monomorphisms(big, FromEdges(2, nil), 0); ms != nil {
+		t.Fatalf("oversized pattern matched: %v", ms)
+	}
+	// Pattern with isolated vertices still enumerates correctly.
+	iso := New(2) // two isolated vertices into a 3-vertex target: 3*2 = 6
+	if n := CountMonomorphisms(iso, New(3), 0); n != 6 {
+		t.Fatalf("isolated pattern count = %d", n)
+	}
+}
+
+func randomGraph(n int, p float64, r *rng.RNG) *Graph {
+	g := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if r.Bernoulli(p) {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

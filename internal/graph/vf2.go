@@ -1,0 +1,227 @@
+package graph
+
+import "sort"
+
+// This file implements subgraph-monomorphism enumeration in the style of
+// VF2 (Cordella, Foggia, Sansone, Vento, 2004): a depth-first state-space
+// search that extends a partial vertex mapping one pair at a time, pruned
+// by local feasibility rules. EDM uses it to transfer the compiler's
+// initial mapping onto every structurally equivalent set of physical
+// qubits (paper Section 5.2).
+//
+// A monomorphism maps every pattern edge onto a target edge but allows the
+// image to contain extra edges; that is the right notion for qubit
+// mapping, where unused couplings on the device are harmless.
+
+// Monomorphisms enumerates injective maps m (len = pattern.N()) such that
+// every edge (u, v) of pattern has (m[u], m[v]) as an edge of target. The
+// enumeration stops after limit results (limit <= 0 means unlimited).
+// Results are returned in a deterministic order.
+func Monomorphisms(pattern, target *Graph, limit int) [][]int {
+	if pattern.N() == 0 {
+		return [][]int{{}}
+	}
+	if pattern.N() > target.N() {
+		return nil
+	}
+	s := &vf2state{
+		p:     pattern,
+		g:     target,
+		order: matchOrder(pattern),
+		pMap:  make([]int, pattern.N()),
+		gUsed: make([]bool, target.N()),
+		limit: limit,
+	}
+	for i := range s.pMap {
+		s.pMap[i] = -1
+	}
+	s.search(0)
+	return s.results
+}
+
+// CountMonomorphisms returns the number of monomorphisms, up to limit.
+func CountMonomorphisms(pattern, target *Graph, limit int) int {
+	return len(Monomorphisms(pattern, target, limit))
+}
+
+type vf2state struct {
+	p, g    *Graph
+	order   []int // pattern vertices in matching order
+	pMap    []int // pattern vertex -> target vertex or -1
+	gUsed   []bool
+	results [][]int
+	limit   int
+}
+
+// matchOrder picks a connectivity-aware ordering of the pattern vertices:
+// start at a highest-degree vertex, then repeatedly take the unvisited
+// vertex with the most already-ordered neighbours (ties by degree then
+// id). Connected-first ordering makes the neighbour-consistency pruning
+// bite as early as possible.
+func matchOrder(p *Graph) []int {
+	n := p.N()
+	ordered := make([]int, 0, n)
+	placed := make([]bool, n)
+	for len(ordered) < n {
+		best := -1
+		bestScore := [3]int{-1, -1, 0}
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			conn := 0
+			for _, u := range p.Neighbors(v) {
+				if placed[u] {
+					conn++
+				}
+			}
+			score := [3]int{conn, p.Degree(v), -v}
+			if best == -1 || scoreLess(bestScore, score) {
+				best = v
+				bestScore = score
+			}
+		}
+		placed[best] = true
+		ordered = append(ordered, best)
+	}
+	return ordered
+}
+
+func scoreLess(a, b [3]int) bool {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func (s *vf2state) search(depth int) bool {
+	if depth == len(s.order) {
+		s.results = append(s.results, append([]int(nil), s.pMap...))
+		return s.limit > 0 && len(s.results) >= s.limit
+	}
+	v := s.order[depth]
+	for _, cand := range s.candidates(v) {
+		if !s.feasible(v, cand) {
+			continue
+		}
+		s.pMap[v] = cand
+		s.gUsed[cand] = true
+		done := s.search(depth + 1)
+		s.pMap[v] = -1
+		s.gUsed[cand] = false
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates returns the target vertices worth trying for pattern vertex
+// v: if v has an already-mapped neighbour, only the unused neighbours of
+// that neighbour's image (the VF2 frontier rule); otherwise every unused
+// vertex.
+func (s *vf2state) candidates(v int) []int {
+	for _, u := range s.p.Neighbors(v) {
+		if t := s.pMap[u]; t >= 0 {
+			nbrs := s.g.Neighbors(t)
+			out := make([]int, 0, len(nbrs))
+			for _, c := range nbrs {
+				if !s.gUsed[c] {
+					out = append(out, c)
+				}
+			}
+			return out
+		}
+	}
+	out := make([]int, 0, s.g.N())
+	for c := 0; c < s.g.N(); c++ {
+		if !s.gUsed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// feasible checks the monomorphism consistency rules for mapping pattern
+// vertex v onto target vertex c: every mapped pattern neighbour of v must
+// be a target neighbour of c, and c must have enough spare degree for the
+// unmapped pattern neighbours (a look-ahead prune).
+func (s *vf2state) feasible(v, c int) bool {
+	if s.g.Degree(c) < s.p.Degree(v) {
+		return false
+	}
+	unmapped := 0
+	for _, u := range s.p.Neighbors(v) {
+		if t := s.pMap[u]; t >= 0 {
+			if !s.g.HasEdge(t, c) {
+				return false
+			}
+		} else {
+			unmapped++
+		}
+	}
+	free := 0
+	for _, w := range s.g.Neighbors(c) {
+		if !s.gUsed[w] {
+			free++
+		}
+	}
+	return free >= unmapped
+}
+
+// BruteForceMonomorphisms enumerates monomorphisms by trying every
+// injective assignment. Exponential; exists only as a test oracle for the
+// VF2 implementation.
+func BruteForceMonomorphisms(pattern, target *Graph) [][]int {
+	var results [][]int
+	n := pattern.N()
+	if n == 0 {
+		return [][]int{{}}
+	}
+	used := make([]bool, target.N())
+	mapping := make([]int, n)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			results = append(results, append([]int(nil), mapping...))
+			return
+		}
+		for c := 0; c < target.N(); c++ {
+			if used[c] {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if pattern.HasEdge(u, v) && !target.HasEdge(mapping[u], c) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = c
+			used[c] = true
+			rec(v + 1)
+			used[c] = false
+		}
+	}
+	rec(0)
+	return results
+}
+
+// SortMappings orders a slice of mappings lexicographically, for
+// comparisons in tests.
+func SortMappings(ms [][]int) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

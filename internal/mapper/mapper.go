@@ -1,0 +1,830 @@
+// Package mapper is the variation-aware quantum compiler: it assigns
+// program qubits to physical qubits and routes two-qubit gates with SWAP
+// insertion, using the device calibration to prefer reliable qubits and
+// links (the qubit-allocation baseline of paper Sections 2.3-2.4, in the
+// family of the A*/reliability-heuristic mappers the paper builds on).
+//
+// It also implements step 2 of EDM: TopK builds a candidate pool from
+// every isomorphic placement of the compiled baseline (VF2 over the
+// coupling graph) plus independently re-compiled placements, ranks the
+// pool by ESP, and selects the ensemble greedily under the paper's two
+// member criteria — ESP within a slack of the best mapping (Section 3.2)
+// and limited qubit overlap between members (Section 6.1). Quality
+// relaxes last: the paper warns that buying diversity with lower-ESP
+// mappings at compile time is risky.
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/graph"
+)
+
+// Executable is a compiled physical circuit together with its mapping
+// metadata.
+type Executable struct {
+	// Circuit is the physical circuit: qubit indices are device qubits and
+	// every two-qubit gate respects the coupling map.
+	Circuit *circuit.Circuit
+	// InitialLayout maps logical qubit -> physical qubit at program start.
+	InitialLayout []int
+	// FinalLayout maps logical qubit -> physical qubit after all routing
+	// SWAPs.
+	FinalLayout []int
+	// ESP is the Estimated Success Probability under the compile-time
+	// calibration (paper Section 2.4).
+	ESP float64
+	// Swaps is the number of SWAP operations the router inserted.
+	Swaps int
+}
+
+// UsedQubits returns the physical qubits the executable touches.
+func (e *Executable) UsedQubits() []int { return e.Circuit.UsedQubits() }
+
+// Compiler holds the compile-time calibration. Note that the machine's
+// behaviour at run time may have drifted away from this data — the gap the
+// paper discusses in Section 5.3.
+type Compiler struct {
+	cal *device.Calibration
+	// edgeCost[e] = -log(1 - CXErr[e]); the additive routing metric.
+	edgeCost map[device.Edge]float64
+	// pathCost[a][b] = cheapest -log reliability of moving between a and b.
+	pathCost [][]float64
+	// pathNext[a][b] = next hop from a on the cheapest path to b.
+	pathNext [][]int
+}
+
+// NewCompiler builds a compiler for the calibration, precomputing
+// reliability-weighted all-pairs shortest paths over the coupling graph.
+func NewCompiler(cal *device.Calibration) *Compiler {
+	if err := cal.Validate(); err != nil {
+		panic(fmt.Sprintf("mapper: invalid calibration: %v", err))
+	}
+	c := &Compiler{cal: cal, edgeCost: make(map[device.Edge]float64)}
+	for _, e := range cal.Topo.Edges() {
+		c.edgeCost[e] = costOf(cal.CXErr[e])
+	}
+	c.computeAllPairs()
+	return c
+}
+
+// Calibration returns the compile-time calibration.
+func (c *Compiler) Calibration() *device.Calibration { return c.cal }
+
+// costOf converts an error probability into an additive cost. Errors of 1
+// (or more) map to a large finite cost so the router still terminates.
+func costOf(errRate float64) float64 {
+	if errRate >= 1 {
+		return 50
+	}
+	return -math.Log(1 - errRate)
+}
+
+// computeAllPairs runs Dijkstra from every vertex with SWAP-cost weights:
+// traversing an edge costs three CX on that edge (a SWAP decomposes into
+// three CX), so the metric is 3 * -log(1 - CXErr).
+func (c *Compiler) computeAllPairs() {
+	n := c.cal.Topo.Qubits
+	g := c.cal.Topo.Graph()
+	c.pathCost = make([][]float64, n)
+	c.pathNext = make([][]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]float64, n)
+		prev := make([]int, n)
+		done := make([]bool, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		dist[src] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !done[v] && dist[v] < best {
+					u, best = v, dist[v]
+				}
+			}
+			if u == -1 {
+				break
+			}
+			done[u] = true
+			for _, v := range g.Neighbors(u) {
+				w := 3 * c.edgeCost[device.NewEdge(u, v)]
+				if dist[u]+w < dist[v] {
+					dist[v] = dist[u] + w
+					prev[v] = u
+				}
+			}
+		}
+		c.pathCost[src] = dist
+		// next hop: walk prev chains backwards.
+		next := make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			if dst == src || prev[dst] == -1 {
+				next[dst] = -1
+				continue
+			}
+			v := dst
+			for prev[v] != src {
+				v = prev[v]
+			}
+			next[dst] = v
+		}
+		c.pathNext[src] = next
+	}
+}
+
+// pathBetween returns the cheapest path src..dst inclusive, or nil.
+func (c *Compiler) pathBetween(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if c.pathNext[src][dst] == -1 {
+		return nil
+	}
+	path := []int{src}
+	for v := src; v != dst; {
+		v = c.pathNext[v][dst]
+		path = append(path, v)
+	}
+	return path
+}
+
+// Compile maps the logical circuit onto the device: variation-aware
+// initial placement followed by reliability-aware SWAP routing. The
+// returned executable acts on the full device register (NumQubits =
+// device size) with the program's classical register unchanged, so output
+// distributions from differently mapped executables are directly
+// comparable.
+func (c *Compiler) Compile(logical *circuit.Circuit) (*Executable, error) {
+	if err := logical.Validate(); err != nil {
+		return nil, err
+	}
+	if logical.NumQubits > c.cal.Topo.Qubits {
+		return nil, fmt.Errorf("mapper: program needs %d qubits, device has %d", logical.NumQubits, c.cal.Topo.Qubits)
+	}
+	layout, err := c.place(logical)
+	if err != nil {
+		return nil, err
+	}
+	return c.route(logical, layout)
+}
+
+// CompileWithLayout routes the logical circuit from a caller-supplied
+// initial layout (logical qubit -> physical qubit).
+func (c *Compiler) CompileWithLayout(logical *circuit.Circuit, layout []int) (*Executable, error) {
+	if err := logical.Validate(); err != nil {
+		return nil, err
+	}
+	if len(layout) != logical.NumQubits {
+		return nil, fmt.Errorf("mapper: layout has %d entries for %d qubits", len(layout), logical.NumQubits)
+	}
+	seen := map[int]bool{}
+	for lq, p := range layout {
+		if p < 0 || p >= c.cal.Topo.Qubits {
+			return nil, fmt.Errorf("mapper: layout maps qubit %d to invalid physical qubit %d", lq, p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("mapper: layout reuses physical qubit %d", p)
+		}
+		seen[p] = true
+	}
+	return c.route(logical, append([]int(nil), layout...))
+}
+
+// place chooses the initial layout. If the program's interaction graph
+// embeds directly into the coupling graph, the best-ESP embedding is used
+// and no SWAPs will ever be needed (the paper's observation that QAOA on
+// path graphs maps optimally, Section 5.2); otherwise a greedy
+// variation-aware placement minimizes expected routing cost.
+func (c *Compiler) place(logical *circuit.Circuit) ([]int, error) {
+	if layout := c.placeByEmbedding(logical); layout != nil {
+		return layout, nil
+	}
+	return c.placeGreedy(logical)
+}
+
+// placeByEmbedding enumerates monomorphisms of the interaction graph into
+// the coupling graph and returns the placement with the lowest total
+// error cost, or nil if the interaction graph does not embed. Logical
+// qubits with no two-qubit gates are assigned afterwards, preferring
+// low-readout-error physical qubits.
+func (c *Compiler) placeByEmbedding(logical *circuit.Circuit) []int {
+	n := logical.NumQubits
+	edges := logical.InteractionGraph()
+	if len(edges) == 0 {
+		return nil // nothing to embed; greedy handles measurement quality
+	}
+	// Compact the interacting logical qubits.
+	interacting := map[int]bool{}
+	for _, e := range edges {
+		interacting[e.A] = true
+		interacting[e.B] = true
+	}
+	compact := make([]int, 0, len(interacting))
+	for q := 0; q < n; q++ {
+		if interacting[q] {
+			compact = append(compact, q)
+		}
+	}
+	idx := make(map[int]int, len(compact))
+	for i, q := range compact {
+		idx[q] = i
+	}
+	pattern := graph.New(len(compact))
+	weight := map[[2]int]int{}
+	for _, e := range edges {
+		pattern.AddEdge(idx[e.A], idx[e.B])
+		weight[key2(idx[e.A], idx[e.B])] = e.Count
+	}
+	monos := graph.Monomorphisms(pattern, c.cal.Topo.Graph(), enumLimit)
+	if len(monos) == 0 {
+		return nil
+	}
+	measures := make([]int, n)
+	for _, op := range logical.Ops {
+		if op.Kind == circuit.Measure {
+			measures[op.Qubits[0]]++
+		}
+	}
+	bestCost := math.Inf(1)
+	var best []int
+	for _, m := range monos {
+		cost := 0.0
+		for e, w := range weight {
+			cost += float64(w) * c.edgeCost[device.NewEdge(m[e[0]], m[e[1]])]
+		}
+		for i, q := range compact {
+			cost += float64(measures[q]) * costOf(c.cal.MeasErrAvg(m[i]))
+		}
+		if cost < bestCost {
+			bestCost = cost
+			best = m
+		}
+	}
+	layout := make([]int, n)
+	used := make([]bool, c.cal.Topo.Qubits)
+	for i := range layout {
+		layout[i] = -1
+	}
+	for i, q := range compact {
+		layout[q] = best[i]
+		used[best[i]] = true
+	}
+	// Place non-interacting qubits on the best free readout qubits.
+	for q := 0; q < n; q++ {
+		if layout[q] != -1 {
+			continue
+		}
+		bestP, bestM := -1, math.Inf(1)
+		for p := 0; p < c.cal.Topo.Qubits; p++ {
+			if used[p] {
+				continue
+			}
+			mcost := costOf(c.cal.MeasErrAvg(p)) * float64(measures[q]+1)
+			if mcost < bestM {
+				bestM, bestP = mcost, p
+			}
+		}
+		if bestP == -1 {
+			return nil
+		}
+		layout[q] = bestP
+		used[bestP] = true
+	}
+	return layout
+}
+
+// placeGreedy performs greedy variation-aware initial placement: logical
+// qubits are ordered by interaction connectivity, and each is assigned to
+// the free physical qubit minimizing routing cost to its already-placed
+// partners plus a readout-quality term. Every physical seed is tried for
+// the first qubit and the cheapest overall placement wins.
+func (c *Compiler) placeGreedy(logical *circuit.Circuit) ([]int, error) {
+	n := logical.NumQubits
+	edges := logical.InteractionGraph()
+	// Interaction counts and measure counts per logical qubit.
+	icount := make(map[[2]int]int)
+	deg := make([]int, n)
+	for _, e := range edges {
+		icount[[2]int{e.A, e.B}] = e.Count
+		deg[e.A] += e.Count
+		deg[e.B] += e.Count
+	}
+	measures := make([]int, n)
+	for _, op := range logical.Ops {
+		if op.Kind == circuit.Measure {
+			measures[op.Qubits[0]]++
+		}
+	}
+	order := placeOrder(n, edges, deg)
+
+	bestCost := math.Inf(1)
+	var bestLayout []int
+	for seed := 0; seed < c.cal.Topo.Qubits; seed++ {
+		layout, cost := c.placeFrom(order, icount, measures, seed, n)
+		if layout != nil && cost < bestCost {
+			bestCost = cost
+			bestLayout = layout
+		}
+	}
+	if bestLayout == nil {
+		return nil, fmt.Errorf("mapper: placement failed (device too small or disconnected)")
+	}
+	return bestLayout, nil
+}
+
+// placeOrder returns logical qubits ordered for placement: descending
+// weighted degree, then (for subsequent picks) most connectivity to the
+// already-ordered prefix.
+func placeOrder(n int, edges []circuit.InteractionEdge, deg []int) []int {
+	adj := make([]map[int]int, n)
+	for i := range adj {
+		adj[i] = map[int]int{}
+	}
+	for _, e := range edges {
+		adj[e.A][e.B] += e.Count
+		adj[e.B][e.A] += e.Count
+	}
+	order := make([]int, 0, n)
+	placed := make([]bool, n)
+	for len(order) < n {
+		best, bestConn, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if placed[v] {
+				continue
+			}
+			conn := 0
+			for u, w := range adj[v] {
+				if placed[u] {
+					conn += w
+				}
+			}
+			if conn > bestConn || (conn == bestConn && deg[v] > bestDeg) ||
+				(conn == bestConn && deg[v] == bestDeg && (best == -1 || v < best)) {
+				best, bestConn, bestDeg = v, conn, deg[v]
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// placeFrom runs one greedy placement with the first ordered qubit pinned
+// to the given physical seed. It returns (nil, inf) if placement is
+// impossible.
+func (c *Compiler) placeFrom(order []int, icount map[[2]int]int, measures []int, seed, n int) ([]int, float64) {
+	layout := make([]int, n)
+	for i := range layout {
+		layout[i] = -1
+	}
+	used := make([]bool, c.cal.Topo.Qubits)
+	total := 0.0
+	for i, lq := range order {
+		var bestP int = -1
+		bestCost := math.Inf(1)
+		for p := 0; p < c.cal.Topo.Qubits; p++ {
+			if used[p] {
+				continue
+			}
+			if i == 0 && p != seed {
+				continue
+			}
+			cost := float64(measures[lq]) * costOf(c.cal.MeasErrAvg(p))
+			for other, po := range layout {
+				if po < 0 {
+					continue
+				}
+				w := icount[key2(lq, other)]
+				if w == 0 {
+					continue
+				}
+				pc := c.pathCost[p][po]
+				if math.IsInf(pc, 1) {
+					cost = math.Inf(1)
+					break
+				}
+				cost += float64(w) * pc
+			}
+			if cost < bestCost || (cost == bestCost && bestP >= 0 && p < bestP) {
+				bestCost = cost
+				bestP = p
+			}
+		}
+		if bestP == -1 || math.IsInf(bestCost, 1) {
+			return nil, math.Inf(1)
+		}
+		layout[lq] = bestP
+		used[bestP] = true
+		total += bestCost
+	}
+	return layout, total
+}
+
+func key2(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// route inserts SWAPs so every two-qubit gate acts on coupled qubits,
+// moving qubits along the reliability-cheapest paths, then computes the
+// executable's ESP.
+func (c *Compiler) route(logical *circuit.Circuit, layout []int) (*Executable, error) {
+	devN := c.cal.Topo.Qubits
+	phys := circuit.New(devN, logical.NumClbits)
+	phys.Name = logical.Name
+
+	l2p := append([]int(nil), layout...)
+	p2l := make([]int, devN)
+	for i := range p2l {
+		p2l[i] = -1
+	}
+	for lq, p := range l2p {
+		p2l[p] = lq
+	}
+	swapTo := func(a, b int) { // swap physical qubits a, b
+		phys.SWAP(a, b)
+		la, lb := p2l[a], p2l[b]
+		p2l[a], p2l[b] = lb, la
+		if la >= 0 {
+			l2p[la] = b
+		}
+		if lb >= 0 {
+			l2p[lb] = a
+		}
+	}
+	swaps := 0
+	for i, op := range logical.Ops {
+		switch {
+		case op.Kind == circuit.Barrier:
+			qs := make([]int, len(op.Qubits))
+			for j, q := range op.Qubits {
+				qs[j] = l2p[q]
+			}
+			phys.Barrier(qs...)
+		case op.Kind == circuit.Measure:
+			phys.Measure(l2p[op.Qubits[0]], op.Cbit)
+		case op.Kind.IsTwoQubit():
+			pa, pb := l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+			// A gate on coupled qubits always executes directly: a detour
+			// would cost three CX per hop against one direct CX, so even a
+			// noisy direct link wins.
+			if !c.cal.Topo.HasEdge(pa, pb) {
+				path := c.pathBetween(pa, pb)
+				if path == nil {
+					return nil, fmt.Errorf("mapper: op %d: no route between physical qubits %d and %d", i, pa, pb)
+				}
+				// Walk operand 0 along the cheapest path until the pair
+				// is coupled. (A lookahead router that also considered
+				// moving operand 1 was evaluated and produced strictly
+				// worse SWAP counts on the Table 1 workloads, so the
+				// simple deterministic walk stays.)
+				for len(path) > 2 {
+					swapTo(path[0], path[1])
+					swaps++
+					path = path[1:]
+				}
+			}
+			pa, pb = l2p[op.Qubits[0]], l2p[op.Qubits[1]]
+			nop := op.Clone()
+			nop.Qubits[0], nop.Qubits[1] = pa, pb
+			phys.Ops = append(phys.Ops, nop)
+		default:
+			nop := op.Clone()
+			nop.Qubits[0] = l2p[op.Qubits[0]]
+			phys.Ops = append(phys.Ops, nop)
+		}
+	}
+	esp, err := device.ESP(phys, c.cal)
+	if err != nil {
+		return nil, fmt.Errorf("mapper: routed circuit invalid: %w", err)
+	}
+	return &Executable{
+		Circuit:       phys,
+		InitialLayout: append([]int(nil), layout...),
+		FinalLayout:   l2p,
+		ESP:           esp,
+		Swaps:         swaps,
+	}, nil
+}
+
+// usageGraph returns the compacted graph of couplings the executable's
+// two-qubit gates actually use, plus the compact-index -> physical-qubit
+// slice.
+func usageGraph(exe *Executable) (*graph.Graph, []int) {
+	used := exe.UsedQubits()
+	idx := make(map[int]int, len(used))
+	for i, q := range used {
+		idx[q] = i
+	}
+	g := graph.New(len(used))
+	for _, op := range exe.Circuit.Ops {
+		if op.Kind.IsTwoQubit() {
+			g.AddEdge(idx[op.Qubits[0]], idx[op.Qubits[1]])
+		}
+	}
+	return g, used
+}
+
+// enumLimit caps the number of isomorphic placements enumerated; the
+// 14-qubit devices of interest stay well under it.
+const enumLimit = 100000
+
+// TopK builds the ensemble of diverse mappings (paper Section 5.2).
+//
+// The candidate pool contains (a) every isomorphic transfer of the
+// compiled baseline onto the coupling graph (VF2) and (b) independently
+// re-compiled placements from every greedy seed — the paper's step 3
+// re-compiles the program per initial mapping, which lets members differ
+// not just in which physical qubits they use but in their routing
+// geometry (and therefore in *which* systematic mistakes they make).
+//
+// Candidates are ranked by ESP and selected greedily under a diversity
+// constraint: a candidate may share at most half of its qubits with every
+// already-selected member (the paper reports its ensemble members shared
+// only two or three qubits out of seven). The cap is relaxed one qubit at
+// a time if the device cannot supply k members under it. Element 0 is
+// always the single best mapping — the paper's baseline.
+func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("mapper: k must be positive")
+	}
+	base, err := c.Compile(logical)
+	if err != nil {
+		return nil, err
+	}
+	distinct, dupes, err := c.rankPlacements(base)
+	if err != nil {
+		return nil, err
+	}
+	pool := append(distinct, dupes...)
+	pool = append(pool, c.alternativePlacements(logical)...)
+	pool = dedupeByLayout(pool)
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].ESP != pool[j].ESP {
+			return pool[i].ESP > pool[j].ESP
+		}
+		return lexLess(pool[i].InitialLayout, pool[j].InitialLayout)
+	})
+	return selectDiverse(pool, k), nil
+}
+
+// alternativePlacements re-compiles the program from every greedy seed,
+// yielding placements with genuinely different routing geometry. Failures
+// (impossible seeds) are skipped.
+func (c *Compiler) alternativePlacements(logical *circuit.Circuit) []*Executable {
+	edges := logical.InteractionGraph()
+	icount := make(map[[2]int]int)
+	deg := make([]int, logical.NumQubits)
+	for _, e := range edges {
+		icount[[2]int{e.A, e.B}] = e.Count
+		deg[e.A] += e.Count
+		deg[e.B] += e.Count
+	}
+	measures := make([]int, logical.NumQubits)
+	for _, op := range logical.Ops {
+		if op.Kind == circuit.Measure {
+			measures[op.Qubits[0]]++
+		}
+	}
+	order := placeOrder(logical.NumQubits, edges, deg)
+	var out []*Executable
+	for seed := 0; seed < c.cal.Topo.Qubits; seed++ {
+		layout, cost := c.placeFrom(order, icount, measures, seed, logical.NumQubits)
+		if layout == nil || math.IsInf(cost, 1) {
+			continue
+		}
+		exe, err := c.route(logical, layout)
+		if err != nil {
+			continue
+		}
+		out = append(out, exe)
+	}
+	return out
+}
+
+// dedupeByLayout removes executables whose initial layouts coincide.
+func dedupeByLayout(execs []*Executable) []*Executable {
+	seen := map[string]bool{}
+	out := execs[:0:0]
+	for _, e := range execs {
+		key := layoutKey(e.InitialLayout)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func layoutKey(layout []int) string {
+	b := make([]byte, len(layout))
+	for i, q := range layout {
+		b[i] = byte(q + 1)
+	}
+	return string(b)
+}
+
+// selectDiverse picks k members from the ESP-sorted pool under two
+// constraints drawn from the paper: every member must stay within an ESP
+// slack of the best mapping ("all the mappings used were within 10% of
+// the ESP of best mapping", Section 3.2), and a new member may share at
+// most maxShared qubits with every already-picked member (the paper's
+// members shared only two or three qubits). The overlap cap starts at
+// half the footprint and relaxes first; if still short, the ESP slack
+// widens — mirroring Section 5.5's observation that the number of strong
+// diverse placements on a small machine is inherently limited. The
+// pool's best candidate is always member 0.
+func selectDiverse(pool []*Executable, k int) []*Executable {
+	if len(pool) == 0 {
+		return nil
+	}
+	footprint := len(pool[0].UsedQubits())
+	bestESP := pool[0].ESP
+	for _, slack := range []float64{0.15, 0.3, 0.5, 1.0} {
+		minESP := bestESP * (1 - slack)
+		for maxShared := footprint / 2; maxShared <= footprint; maxShared++ {
+			picked := []*Executable{pool[0]}
+			sets := []map[int]bool{qubitSet(pool[0])}
+			for _, cand := range pool[1:] {
+				if len(picked) == k {
+					break
+				}
+				if cand.ESP < minESP {
+					continue
+				}
+				cs := qubitSet(cand)
+				ok := true
+				for _, s := range sets {
+					if overlap(cs, s) > maxShared {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					picked = append(picked, cand)
+					sets = append(sets, cs)
+				}
+			}
+			if len(picked) == k {
+				return picked
+			}
+			if slack == 1.0 && maxShared == footprint {
+				return picked // entire pool exhausted
+			}
+		}
+	}
+	return []*Executable{pool[0]}
+}
+
+func qubitSet(e *Executable) map[int]bool {
+	s := map[int]bool{}
+	for _, q := range e.UsedQubits() {
+		s[q] = true
+	}
+	return s
+}
+
+func overlap(a, b map[int]bool) int {
+	n := 0
+	for q := range a {
+		if b[q] {
+			n++
+		}
+	}
+	return n
+}
+
+// Placements compiles the program and returns every distinct-subset
+// placement (one executable per physical qubit set, the best of its set)
+// in descending ESP order. max > 0 truncates the list. Fig8-style
+// analyses use this to sample mappings across the full reliability range.
+func (c *Compiler) Placements(logical *circuit.Circuit, max int) ([]*Executable, error) {
+	base, err := c.Compile(logical)
+	if err != nil {
+		return nil, err
+	}
+	distinct, _, err := c.rankPlacements(base)
+	if err != nil {
+		return nil, err
+	}
+	if max > 0 && max < len(distinct) {
+		distinct = distinct[:max]
+	}
+	return distinct, nil
+}
+
+// rankPlacements enumerates all isomorphic re-placements of the base
+// executable, ESP-sorted, split into the best executable per physical
+// qubit set (distinct) and the remaining same-subset variants (dupes).
+func (c *Compiler) rankPlacements(base *Executable) (distinct, dupes []*Executable, err error) {
+	ug, used := usageGraph(base)
+	monos := graph.Monomorphisms(ug, c.cal.Topo.Graph(), enumLimit)
+	if len(monos) == 0 {
+		return nil, nil, fmt.Errorf("mapper: no isomorphic placement found (internal error: the base placement itself should match)")
+	}
+	execs := make([]*Executable, 0, len(monos))
+	devN := c.cal.Topo.Qubits
+	for _, m := range monos {
+		// vertexMap: physical qubit in base -> physical qubit in new
+		// placement. Untouched qubits map arbitrarily but injectively.
+		vertexMap := identityExtend(used, m, devN)
+		nc := base.Circuit.Remap(vertexMap, devN)
+		esp, err := device.ESP(nc, c.cal)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mapper: transferred mapping invalid: %w", err)
+		}
+		execs = append(execs, &Executable{
+			Circuit:       nc,
+			InitialLayout: applyMap(base.InitialLayout, vertexMap),
+			FinalLayout:   applyMap(base.FinalLayout, vertexMap),
+			ESP:           esp,
+			Swaps:         base.Swaps,
+		})
+	}
+	sort.SliceStable(execs, func(i, j int) bool {
+		if execs[i].ESP != execs[j].ESP {
+			return execs[i].ESP > execs[j].ESP
+		}
+		return lexLess(execs[i].InitialLayout, execs[j].InitialLayout)
+	})
+	// Prefer placements on *distinct physical qubit sets*: permutations of
+	// one qubit subset have identical ESP but make near-identical
+	// mistakes, which is exactly the correlation EDM exists to avoid.
+	seenSet := map[string]bool{}
+	for _, e := range execs {
+		key := qubitSetKey(e)
+		if seenSet[key] {
+			dupes = append(dupes, e)
+			continue
+		}
+		seenSet[key] = true
+		distinct = append(distinct, e)
+	}
+	return distinct, dupes, nil
+}
+
+// qubitSetKey fingerprints the physical qubits an executable touches.
+func qubitSetKey(e *Executable) string {
+	used := e.UsedQubits()
+	b := make([]byte, len(used))
+	for i, q := range used {
+		b[i] = byte(q)
+	}
+	return string(b)
+}
+
+// identityExtend builds a full device-sized vertex map sending used[i] to
+// mono[i] and filling the remaining physical qubits injectively.
+func identityExtend(used []int, mono []int, devN int) []int {
+	out := make([]int, devN)
+	taken := make([]bool, devN)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, q := range used {
+		out[q] = mono[i]
+		taken[mono[i]] = true
+	}
+	free := 0
+	for q := 0; q < devN; q++ {
+		if out[q] != -1 {
+			continue
+		}
+		for taken[free] {
+			free++
+		}
+		out[q] = free
+		taken[free] = true
+	}
+	return out
+}
+
+func applyMap(layout, vertexMap []int) []int {
+	out := make([]int, len(layout))
+	for i, p := range layout {
+		if p >= 0 {
+			out[i] = vertexMap[p]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+// Package mitigate implements measurement-error mitigation by confusion-
+// matrix inversion, the standard post-processing counterpart to the
+// paper's hardware-level techniques: every measured qubit's readout is a
+// known binary asymmetric channel (P(1|0) = Meas01, P(0|1) = Meas10 from
+// the calibration), and because the backend's readout errors are
+// independent given the true state, the full confusion matrix factorizes
+// per qubit and can be inverted qubit-by-qubit in O(m * 2^m).
+//
+// Inversion sharpens the distribution EDM merges: it raises P(correct)
+// where ensembling lowers P(strongest wrong), so the two compose. It is
+// only as good as the calibration — with drifted readout rates the
+// inverse is approximate — and it can produce small negative
+// pseudo-probabilities, which are clamped and renormalized as usual.
+//
+// The correlated component of readout noise (the ReadoutCorr neighbour
+// coupling) deliberately stays unmodelled here: real mitigation uses
+// tensored calibration exactly like this, and the residual correlated
+// part is the kind of mistake that remains for EDM to diversify away.
+package mitigate
+
+import (
+	"fmt"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/dist"
+)
+
+// QubitChannel is a per-qubit binary readout channel.
+type QubitChannel struct {
+	// E01 is P(read 1 | true 0); E10 is P(read 0 | true 1).
+	E01, E10 float64
+}
+
+// invertible reports whether the channel's 2x2 confusion matrix has a
+// usable inverse (determinant bounded away from zero).
+func (q QubitChannel) invertible() bool {
+	det := 1 - q.E01 - q.E10
+	return det > 1e-6 || det < -1e-6
+}
+
+// ChannelsFor extracts the readout channels of the qubits that write each
+// classical bit of the executable, using the calibration's rates. The
+// returned slice is indexed by classical bit; bits never written get a
+// perfect channel.
+func ChannelsFor(exe *circuit.Circuit, cal *device.Calibration) ([]QubitChannel, error) {
+	if exe.NumQubits > cal.Topo.Qubits {
+		return nil, fmt.Errorf("mitigate: executable uses %d qubits, device has %d", exe.NumQubits, cal.Topo.Qubits)
+	}
+	chans := make([]QubitChannel, exe.NumClbits)
+	for cb, q := range exe.MeasuredBits() {
+		if q < 0 {
+			continue
+		}
+		chans[cb] = QubitChannel{E01: cal.Meas01[q], E10: cal.Meas10[q]}
+	}
+	return chans, nil
+}
+
+// Invert applies the tensored inverse confusion matrix to the measured
+// distribution: bit by bit, the observed probability vector is multiplied
+// by the inverse of [[1-E01, E10], [E01, 1-E10]]. Negative entries from
+// sampling noise are clamped to zero and the result renormalized.
+func Invert(d *dist.Dist, chans []QubitChannel) (*dist.Dist, error) {
+	m := d.N()
+	if len(chans) != m {
+		return nil, fmt.Errorf("mitigate: %d channels for %d bits", len(chans), m)
+	}
+	// Dense vector over the outcome space (m <= 20 or so in practice; the
+	// paper's workloads have m <= 8).
+	if m > 20 {
+		return nil, fmt.Errorf("mitigate: %d bits is too wide for dense inversion", m)
+	}
+	size := 1 << uint(m)
+	vec := make([]float64, size)
+	for _, o := range d.Sorted() {
+		vec[o.Value.Uint64()] = o.P
+	}
+	for bit := 0; bit < m; bit++ {
+		ch := chans[bit]
+		if ch.E01 == 0 && ch.E10 == 0 {
+			continue
+		}
+		if !ch.invertible() {
+			return nil, fmt.Errorf("mitigate: bit %d channel (%.3f, %.3f) is not invertible", bit, ch.E01, ch.E10)
+		}
+		// Confusion matrix C = [[1-e01, e10],[e01, 1-e10]] maps true ->
+		// observed; apply C^{-1} on this bit's axis.
+		det := 1 - ch.E01 - ch.E10
+		i00 := (1 - ch.E10) / det
+		i01 := -ch.E10 / det
+		i10 := -ch.E01 / det
+		i11 := (1 - ch.E01) / det
+		stride := 1 << uint(bit)
+		for base := 0; base < size; base++ {
+			if base&stride != 0 {
+				continue
+			}
+			p0 := vec[base]
+			p1 := vec[base|stride]
+			vec[base] = i00*p0 + i01*p1
+			vec[base|stride] = i10*p0 + i11*p1
+		}
+	}
+	out := dist.New(m)
+	var total float64
+	for v, p := range vec {
+		if p > 0 {
+			total += p
+			out.Add(bitstr.New(uint64(v), m), p)
+		}
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mitigate: inversion annihilated the distribution")
+	}
+	return out.Scale(1 / total), nil
+}
+
+// InvertCounts is Invert applied to a raw output log.
+func InvertCounts(c *dist.Counts, chans []QubitChannel) (*dist.Dist, error) {
+	return Invert(c.Dist(), chans)
+}

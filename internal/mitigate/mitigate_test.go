@@ -1,0 +1,196 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/backend"
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/dist"
+	"edm/internal/mapper"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+	"edm/internal/workloads"
+)
+
+func TestInvertExactChannel(t *testing.T) {
+	// Push a known distribution through a known confusion channel
+	// analytically, then invert: the original must come back exactly.
+	truth := dist.MustFromMap(map[string]float64{"00": 0.5, "10": 0.2, "01": 0.2, "11": 0.1})
+	chans := []QubitChannel{{E01: 0.04, E10: 0.12}, {E01: 0.02, E10: 0.08}}
+	observed := applyChannel(truth, chans)
+	got, err := Invert(observed, chans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(truth, 1e-9) {
+		t.Fatalf("inversion did not recover the truth:\n%v\nvs\n%v", got, truth)
+	}
+}
+
+// applyChannel pushes d through per-bit confusion channels (the forward
+// direction, written independently of the code under test).
+func applyChannel(d *dist.Dist, chans []QubitChannel) *dist.Dist {
+	m := d.N()
+	out := dist.New(m)
+	size := uint64(1) << uint(m)
+	for obs := uint64(0); obs < size; obs++ {
+		var p float64
+		for truth := uint64(0); truth < size; truth++ {
+			pt := d.PV(truth)
+			if pt == 0 {
+				continue
+			}
+			w := pt
+			for b := 0; b < m; b++ {
+				tb := truth >> uint(b) & 1
+				ob := obs >> uint(b) & 1
+				switch {
+				case tb == 0 && ob == 0:
+					w *= 1 - chans[b].E01
+				case tb == 0 && ob == 1:
+					w *= chans[b].E01
+				case tb == 1 && ob == 0:
+					w *= chans[b].E10
+				default:
+					w *= 1 - chans[b].E10
+				}
+			}
+			p += w
+		}
+		if p > 0 {
+			out.Add(bitstr.New(obs, m), p)
+		}
+	}
+	return out
+}
+
+func TestInvertRecoversOnReadoutOnlyMachine(t *testing.T) {
+	// A machine whose only noise is readout error: mitigation should
+	// recover the ideal distribution within sampling noise.
+	cal := device.Generate(device.Linear(3), device.IdealProfile(), rng.New(1))
+	cal.Meas01 = []float64{0.05, 0.03, 0.08}
+	cal.Meas10 = []float64{0.12, 0.10, 0.15}
+	m := backend.New(cal)
+	c := circuit.New(3, 3)
+	c.H(0).CX(0, 1).CX(1, 2).MeasureAll()
+	counts, err := m.Run(c, 60000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans, err := ChannelsFor(c, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated, err := InvertCounts(counts, chans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := statevec.IdealDist(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := mitigated.TV(want); tv > 0.02 {
+		t.Fatalf("mitigated TV from ideal = %v", tv)
+	}
+	// And it must beat the unmitigated distribution.
+	if raw := counts.Dist().TV(want); raw <= mitigated.TV(want) {
+		t.Fatalf("mitigation did not help: raw %v vs mitigated %v", raw, mitigated.TV(want))
+	}
+}
+
+func TestInvertRemovesReadoutLayer(t *testing.T) {
+	// On the full melbourne noise model, mitigation cannot touch the gate
+	// and coherence errors; its contract is narrower: the mitigated
+	// distribution must be closer to the *readout-error-free* output than
+	// the raw one is. That reference comes from the exact engine with the
+	// same calibration minus its readout rates.
+	w := workloads.BV("1011") // small footprint keeps the exact engine fast
+	wins, rounds := 0, 5
+	for round := 0; round < rounds; round++ {
+		cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(uint64(300+round)))
+		comp := mapper.NewCompiler(cal)
+		exe, err := comp.Compile(w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := backend.New(cal) // no drift: calibration matches machine
+		counts, err := m.Run(exe.Circuit, 16384, rng.New(uint64(400+round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans, err := ChannelsFor(exe.Circuit, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mitigated, err := InvertCounts(counts, chans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := cal.Clone()
+		for q := 0; q < clean.Topo.Qubits; q++ {
+			clean.Meas01[q], clean.Meas10[q] = 0, 0
+		}
+		clean.ReadoutCorr = 0
+		ref, err := backend.New(clean).ExactDist(exe.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mitigated.TV(ref) < counts.Dist().TV(ref) {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Fatalf("mitigation moved toward the readout-free reference in only %d/%d rounds", wins, rounds)
+	}
+}
+
+func TestChannelsFor(t *testing.T) {
+	cal := device.Generate(device.Linear(3), device.MelbourneProfile(), rng.New(5))
+	c := circuit.New(3, 2)
+	c.Measure(2, 0) // bit 0 <- qubit 2; bit 1 unwritten
+	chans, err := ChannelsFor(c, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chans[0].E01 != cal.Meas01[2] || chans[0].E10 != cal.Meas10[2] {
+		t.Fatal("channel rates wrong")
+	}
+	if chans[1].E01 != 0 || chans[1].E10 != 0 {
+		t.Fatal("unwritten bit should have a perfect channel")
+	}
+	if _, err := ChannelsFor(circuit.New(9, 1), cal); err == nil {
+		t.Fatal("oversized executable accepted")
+	}
+}
+
+func TestInvertGuards(t *testing.T) {
+	d := dist.MustFromMap(map[string]float64{"0": 1})
+	if _, err := Invert(d, nil); err == nil {
+		t.Fatal("channel count mismatch accepted")
+	}
+	// Non-invertible channel: e01 + e10 = 1.
+	if _, err := Invert(d, []QubitChannel{{E01: 0.5, E10: 0.5}}); err == nil {
+		t.Fatal("singular channel accepted")
+	}
+}
+
+func TestInvertClampsNegatives(t *testing.T) {
+	// Sampling noise can push inversion negative; results must stay a
+	// valid distribution.
+	d := dist.MustFromMap(map[string]float64{"0": 0.97, "1": 0.03})
+	got, err := Invert(d, []QubitChannel{{E01: 0.05, E10: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Sum()-1) > 1e-9 {
+		t.Fatalf("mass = %v", got.Sum())
+	}
+	for _, o := range got.Sorted() {
+		if o.P < 0 {
+			t.Fatalf("negative probability %v", o.P)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package noise turns a device calibration into concrete quantum channels.
+//
+// The model has three ingredients, chosen to reproduce the error phenomena
+// the paper measures on IBMQ-14:
+//
+//  1. Stochastic (incoherent) errors: depolarizing noise after every gate
+//     and T1/T2 damping over gate and idle windows. These are the errors an
+//     IID simulator captures; on their own they spread wrong answers evenly
+//     and keep IST high (paper Section 4.4, Figure 13's uncorrelated
+//     curve).
+//
+//  2. Coherent (systematic) errors: per-qubit over-rotations, per-link ZZ
+//     over-rotation on CX, and ZZ crosstalk kicks on couplings adjacent to
+//     a firing CX. These are fixed properties of the chosen physical
+//     qubits/links, so all trials of one mapping make the *same* mistake —
+//     the correlated errors that let one wrong answer dominate (Sections
+//     2.6 and 3).
+//
+//  3. Readout errors with state-dependent bias (reading |1> as 0 is more
+//     likely than the reverse) and pairwise correlation between coupled
+//     qubits, after Sun & Geller's correlated-SPAM characterization that
+//     the paper cites.
+package noise
+
+import (
+	"math"
+	"math/cmplx"
+
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/rng"
+)
+
+// Pauli1Q holds the four one-qubit Pauli matrices indexed I, X, Y, Z.
+var Pauli1Q = [4]circuit.Matrix2{
+	circuit.Matrix1Q(circuit.I, nil),
+	circuit.Matrix1Q(circuit.X, nil),
+	circuit.Matrix1Q(circuit.Y, nil),
+	circuit.Matrix1Q(circuit.Z, nil),
+}
+
+// DepolarizingKraus1Q returns the Kraus operators of the one-qubit
+// depolarizing channel with error probability p: with probability p one of
+// X, Y, Z is applied uniformly.
+func DepolarizingKraus1Q(p float64) []circuit.Matrix2 {
+	checkProb(p)
+	if p == 0 {
+		return []circuit.Matrix2{Pauli1Q[0]}
+	}
+	out := make([]circuit.Matrix2, 4)
+	out[0] = scale2(Pauli1Q[0], math.Sqrt(1-p))
+	f := math.Sqrt(p / 3)
+	for i := 1; i < 4; i++ {
+		out[i] = scale2(Pauli1Q[i], f)
+	}
+	return out
+}
+
+// DepolarizingKraus2Q returns the 16 Kraus operators of the two-qubit
+// depolarizing channel with error probability p: with probability p one of
+// the 15 non-identity two-qubit Paulis is applied uniformly.
+func DepolarizingKraus2Q(p float64) []circuit.Matrix4 {
+	checkProb(p)
+	if p == 0 {
+		return []circuit.Matrix4{Kron(Pauli1Q[0], Pauli1Q[0])}
+	}
+	out := make([]circuit.Matrix4, 0, 16)
+	f := math.Sqrt(p / 15)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			w := f
+			if a == 0 && b == 0 {
+				w = math.Sqrt(1 - p)
+			}
+			out = append(out, scale4(Kron(Pauli1Q[a], Pauli1Q[b]), w))
+		}
+	}
+	return out
+}
+
+// SamplePauli1Q applies the stochastic one-qubit depolarizing event for
+// error probability p: with probability p a uniformly chosen X, Y or Z. It
+// returns the Pauli index applied (0 = none).
+func SamplePauli1Q(p float64, r *rng.RNG) int {
+	checkProb(p)
+	if p == 0 || !r.Bernoulli(p) {
+		return 0
+	}
+	return 1 + r.Intn(3)
+}
+
+// SamplePauli2Q returns the pair of Pauli indices for a stochastic
+// two-qubit depolarizing event with probability p ((0,0) = none).
+func SamplePauli2Q(p float64, r *rng.RNG) (int, int) {
+	checkProb(p)
+	if p == 0 || !r.Bernoulli(p) {
+		return 0, 0
+	}
+	k := 1 + r.Intn(15)
+	return k & 3, k >> 2
+}
+
+// AmplitudeDampingKraus returns the Kraus pair of amplitude damping with
+// decay probability gamma.
+func AmplitudeDampingKraus(gamma float64) []circuit.Matrix2 {
+	checkProb(gamma)
+	return []circuit.Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}},
+		{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}},
+	}
+}
+
+// PhaseDampingKraus returns the Kraus pair of pure dephasing with
+// dephasing probability lambda.
+func PhaseDampingKraus(lambda float64) []circuit.Matrix2 {
+	checkProb(lambda)
+	return []circuit.Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-lambda), 0)}},
+		{{0, 0}, {0, complex(math.Sqrt(lambda), 0)}},
+	}
+}
+
+// DampingParams converts an elapsed time into amplitude- and
+// phase-damping probabilities for a qubit with the given T1/T2 (all in
+// consistent units). The pure-dephasing rate is 1/T2 - 1/(2 T1), floored
+// at zero so T2 = 2*T1 means no extra dephasing.
+func DampingParams(elapsed, t1, t2 float64) (gammaAmp, gammaPhase float64) {
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	gammaAmp = 1 - math.Exp(-elapsed/t1)
+	invTphi := 1/t2 - 1/(2*t1)
+	if invTphi > 0 {
+		gammaPhase = 1 - math.Exp(-elapsed*invTphi)
+	}
+	return gammaAmp, gammaPhase
+}
+
+// RYMatrix returns the RY(theta) rotation, the form of the coherent
+// over-rotation applied after gates.
+func RYMatrix(theta float64) circuit.Matrix2 {
+	return circuit.Matrix1Q(circuit.RY, []float64{theta})
+}
+
+// RZMatrix returns the RZ(theta) rotation used for idle phase drift.
+func RZMatrix(theta float64) circuit.Matrix2 {
+	return circuit.Matrix1Q(circuit.RZ, []float64{theta})
+}
+
+// ZZMatrix returns exp(-i theta Z⊗Z), the coherent ZZ interaction used
+// for CX over-rotation and crosstalk. It is diagonal:
+// diag(e^-it, e^it, e^it, e^-it).
+func ZZMatrix(theta float64) circuit.Matrix4 {
+	em := cmplx.Exp(complex(0, -theta))
+	ep := cmplx.Exp(complex(0, theta))
+	return circuit.Matrix4{
+		{em, 0, 0, 0},
+		{0, ep, 0, 0},
+		{0, 0, ep, 0},
+		{0, 0, 0, em},
+	}
+}
+
+// Kron returns low ⊗ high with `low` acting on the first (low-bit)
+// operand, matching the circuit.Matrix4 basis convention.
+func Kron(low, high circuit.Matrix2) circuit.Matrix4 {
+	var out circuit.Matrix4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out[r][c] = low[r&1][c&1] * high[r>>1][c>>1]
+		}
+	}
+	return out
+}
+
+// Mul4 returns a*b.
+func Mul4(a, b circuit.Matrix4) circuit.Matrix4 {
+	var out circuit.Matrix4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var acc complex128
+			for k := 0; k < 4; k++ {
+				acc += a[r][k] * b[k][c]
+			}
+			out[r][c] = acc
+		}
+	}
+	return out
+}
+
+func scale2(m circuit.Matrix2, f float64) circuit.Matrix2 {
+	c := complex(f, 0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] *= c
+		}
+	}
+	return m
+}
+
+func scale4(m circuit.Matrix4, f float64) circuit.Matrix4 {
+	c := complex(f, 0)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] *= c
+		}
+	}
+	return m
+}
+
+func checkProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("noise: probability out of [0,1]")
+	}
+}
+
+// ReadoutFlipProb returns the probability that qubit q's readout flips,
+// given its true bit and whether any coupled neighbour's true bit is 1
+// (the correlated-SPAM scaling).
+func ReadoutFlipProb(cal *device.Calibration, q int, trueBit int, neighbourOne bool) float64 {
+	var p float64
+	if trueBit == 0 {
+		p = cal.Meas01[q]
+	} else {
+		p = cal.Meas10[q]
+	}
+	if neighbourOne {
+		p *= 1 + cal.ReadoutCorr
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	return p
+}

@@ -1,0 +1,251 @@
+package noise
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/rng"
+)
+
+// krausComplete1Q checks sum K†K = I.
+func krausComplete1Q(t *testing.T, ks []circuit.Matrix2) {
+	t.Helper()
+	var sum circuit.Matrix2
+	for _, k := range ks {
+		d := k.Dagger()
+		p := d.Mul(k)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				sum[i][j] += p[i][j]
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(sum[i][j]-want) > 1e-12 {
+				t.Fatalf("Kraus completeness violated: sum[%d][%d] = %v", i, j, sum[i][j])
+			}
+		}
+	}
+}
+
+func TestDepolarizing1QComplete(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.2, 1} {
+		krausComplete1Q(t, DepolarizingKraus1Q(p))
+	}
+}
+
+func TestDampingKrausComplete(t *testing.T) {
+	for _, g := range []float64{0, 0.1, 0.5, 1} {
+		krausComplete1Q(t, AmplitudeDampingKraus(g))
+		krausComplete1Q(t, PhaseDampingKraus(g))
+	}
+}
+
+func TestDepolarizing2QComplete(t *testing.T) {
+	for _, p := range []float64{0, 0.04, 0.5} {
+		ks := DepolarizingKraus2Q(p)
+		var sum circuit.Matrix4
+		for _, k := range ks {
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					for m := 0; m < 4; m++ {
+						sum[r][c] += cmplx.Conj(k[m][r]) * k[m][c]
+					}
+				}
+			}
+		}
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				want := complex128(0)
+				if r == c {
+					want = 1
+				}
+				if cmplx.Abs(sum[r][c]-want) > 1e-12 {
+					t.Fatalf("p=%v: 2q completeness violated at (%d,%d)", p, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSamplePauli1QRates(t *testing.T) {
+	r := rng.New(11)
+	const n = 100000
+	p := 0.3
+	counts := [4]int{}
+	for i := 0; i < n; i++ {
+		counts[SamplePauli1Q(p, r)]++
+	}
+	if got := float64(counts[0]) / n; math.Abs(got-(1-p)) > 0.01 {
+		t.Fatalf("identity rate = %v", got)
+	}
+	for i := 1; i < 4; i++ {
+		if got := float64(counts[i]) / n; math.Abs(got-p/3) > 0.01 {
+			t.Fatalf("Pauli %d rate = %v", i, got)
+		}
+	}
+	if SamplePauli1Q(0, r) != 0 {
+		t.Fatal("p=0 produced an error")
+	}
+}
+
+func TestSamplePauli2QRates(t *testing.T) {
+	r := rng.New(13)
+	const n = 150000
+	p := 0.4
+	errCount := 0
+	seen := map[[2]int]int{}
+	for i := 0; i < n; i++ {
+		a, b := SamplePauli2Q(p, r)
+		if a != 0 || b != 0 {
+			errCount++
+			seen[[2]int{a, b}]++
+		}
+	}
+	if got := float64(errCount) / n; math.Abs(got-p) > 0.01 {
+		t.Fatalf("error rate = %v", got)
+	}
+	if len(seen) != 15 {
+		t.Fatalf("only %d of 15 Pauli pairs seen", len(seen))
+	}
+	for pair, c := range seen {
+		if got := float64(c) / float64(errCount); math.Abs(got-1.0/15) > 0.01 {
+			t.Fatalf("pair %v rate = %v", pair, got)
+		}
+	}
+}
+
+func TestDampingParams(t *testing.T) {
+	// elapsed 0: no damping.
+	if a, p := DampingParams(0, 50, 30); a != 0 || p != 0 {
+		t.Fatal("zero elapsed produced damping")
+	}
+	// T2 = 2*T1: no pure dephasing.
+	if _, p := DampingParams(10, 50, 100); p != 0 {
+		t.Fatalf("no-dephasing case gave lambda=%v", p)
+	}
+	// One T1 of elapsed time: gamma = 1 - 1/e.
+	a, _ := DampingParams(50, 50, 30)
+	if math.Abs(a-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("gammaAmp = %v", a)
+	}
+	// Monotone in elapsed.
+	a1, p1 := DampingParams(1, 50, 30)
+	a2, p2 := DampingParams(5, 50, 30)
+	if a2 <= a1 || p2 <= p1 {
+		t.Fatal("damping not monotone in time")
+	}
+}
+
+func TestZZMatrixProperties(t *testing.T) {
+	m := ZZMatrix(0.3)
+	if !m.IsUnitary(1e-12) {
+		t.Fatal("ZZ not unitary")
+	}
+	// theta=0 is identity.
+	id := ZZMatrix(0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := complex128(0)
+			if r == c {
+				want = 1
+			}
+			if id[r][c] != want {
+				t.Fatal("ZZ(0) != I")
+			}
+		}
+	}
+	// Diagonal signs: |00> and |11> get e^-it, |01>,|10> get e^it.
+	if cmplx.Abs(m[0][0]-m[3][3]) > 1e-15 || cmplx.Abs(m[1][1]-m[2][2]) > 1e-15 {
+		t.Fatal("ZZ diagonal structure wrong")
+	}
+	if cmplx.Abs(m[0][0]-cmplx.Conj(m[1][1])) > 1e-15 {
+		t.Fatal("ZZ phases not conjugate")
+	}
+}
+
+func TestKronConvention(t *testing.T) {
+	// X on low operand only: should map |00> -> |01> i.e. basis 0 -> 1.
+	m := Kron(Pauli1Q[1], Pauli1Q[0])
+	if m[1][0] != 1 || m[0][1] != 1 {
+		t.Fatalf("Kron low-bit convention wrong: %v", m)
+	}
+	// Against circuit's CX convention: CX = |0><0|⊗I + |1><1|⊗X with control low.
+	p0 := circuit.Matrix2{{1, 0}, {0, 0}}
+	p1 := circuit.Matrix2{{0, 0}, {0, 1}}
+	var cx circuit.Matrix4
+	a := Kron(p0, Pauli1Q[0])
+	b := Kron(p1, Pauli1Q[1])
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			cx[r][c] = a[r][c] + b[r][c]
+		}
+	}
+	want := circuit.Matrix2Q(circuit.CX)
+	if cx != want {
+		t.Fatalf("Kron-built CX mismatch:\n%v\nvs\n%v", cx, want)
+	}
+}
+
+func TestMul4(t *testing.T) {
+	zz := ZZMatrix(0.25)
+	inv := ZZMatrix(-0.25)
+	p := Mul4(zz, inv)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := complex128(0)
+			if r == c {
+				want = 1
+			}
+			if cmplx.Abs(p[r][c]-want) > 1e-12 {
+				t.Fatal("Mul4(ZZ, ZZ^-1) != I")
+			}
+		}
+	}
+}
+
+func TestReadoutFlipProb(t *testing.T) {
+	cal := device.Generate(device.Linear(3), device.IdealProfile(), rng.New(1))
+	cal.Meas01[1] = 0.05
+	cal.Meas10[1] = 0.12
+	cal.ReadoutCorr = 0.5
+	if p := ReadoutFlipProb(cal, 1, 0, false); p != 0.05 {
+		t.Fatalf("P(flip|0) = %v", p)
+	}
+	if p := ReadoutFlipProb(cal, 1, 1, false); p != 0.12 {
+		t.Fatalf("P(flip|1) = %v", p)
+	}
+	if p := ReadoutFlipProb(cal, 1, 1, true); math.Abs(p-0.18) > 1e-12 {
+		t.Fatalf("correlated P(flip|1) = %v", p)
+	}
+	// Cap at 0.5.
+	cal.Meas10[1] = 0.45
+	if p := ReadoutFlipProb(cal, 1, 1, true); p != 0.5 {
+		t.Fatalf("cap failed: %v", p)
+	}
+}
+
+func TestProbValidation(t *testing.T) {
+	mustPanic(t, func() { DepolarizingKraus1Q(-0.1) })
+	mustPanic(t, func() { DepolarizingKraus2Q(1.1) })
+	mustPanic(t, func() { AmplitudeDampingKraus(2) })
+	mustPanic(t, func() { SamplePauli1Q(-1, rng.New(1)) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

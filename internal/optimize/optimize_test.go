@@ -1,0 +1,203 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+func TestCancelSelfInversePairs(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.H(0).H(0).X(1).X(1).CX(0, 1).CX(0, 1).SWAP(1, 2).SWAP(2, 1).CZ(0, 2).CZ(2, 0)
+	out, res := Circuit(c)
+	if len(out.Ops) != 0 {
+		t.Fatalf("ops left: %v", out.Ops)
+	}
+	if res.Removed != 10 {
+		t.Fatalf("Removed = %d", res.Removed)
+	}
+	// Input untouched.
+	if len(c.Ops) != 10 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestCXOrderMatters(t *testing.T) {
+	c := circuit.New(2, 0)
+	c.CX(0, 1).CX(1, 0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 2 {
+		t.Fatalf("CX(0,1) CX(1,0) wrongly cancelled: %v", out.Ops)
+	}
+}
+
+func TestInversePairs(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.S(0).Sdg(0).T(0).Tdg(0).Tdg(0).T(0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 0 {
+		t.Fatalf("ops left: %v", out.Ops)
+	}
+}
+
+func TestInterveningOpBlocksCancel(t *testing.T) {
+	c := circuit.New(2, 0)
+	c.H(0).CX(0, 1).H(0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 3 {
+		t.Fatalf("H..H cancelled across CX: %v", out.Ops)
+	}
+	// An op on the *other* qubit does not block.
+	c2 := circuit.New(2, 0)
+	c2.H(0).X(1).H(0)
+	out2, _ := Circuit(c2)
+	if len(out2.Ops) != 1 || out2.Ops[0].Kind != circuit.X {
+		t.Fatalf("independent op blocked cancellation: %v", out2.Ops)
+	}
+}
+
+func TestMeasureBlocks(t *testing.T) {
+	c := circuit.New(1, 1)
+	c.X(0).Measure(0, 0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 2 {
+		t.Fatalf("measure dropped or X cancelled: %v", out.Ops)
+	}
+	c2 := circuit.New(1, 1)
+	c2.X(0).Measure(0, 0).X(0)
+	out2, _ := Circuit(c2)
+	if len(out2.Ops) != 3 {
+		t.Fatalf("X..X cancelled across measurement: %v", out2.Ops)
+	}
+}
+
+func TestBarrierBlocks(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.H(0).Barrier().H(0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 3 {
+		t.Fatalf("H..H cancelled across barrier: %v", out.Ops)
+	}
+}
+
+func TestMergeRotations(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.RZ(0, 0.25).RZ(0, 0.5).RX(0, 1.0).RX(0, -1.0)
+	out, res := Circuit(c)
+	if len(out.Ops) != 1 {
+		t.Fatalf("ops = %v", out.Ops)
+	}
+	if math.Abs(out.Ops[0].Params[0]-0.75) > 1e-12 {
+		t.Fatalf("merged angle = %v", out.Ops[0].Params[0])
+	}
+	if res.Merged != 2 {
+		t.Fatalf("Merged = %d", res.Merged)
+	}
+}
+
+func TestDropNoopRotation(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.RZ(0, 2*math.Pi).RY(0, 0)
+	out, _ := Circuit(c)
+	if len(out.Ops) != 0 {
+		t.Fatalf("no-op rotations survived: %v", out.Ops)
+	}
+}
+
+func TestFixpointCascade(t *testing.T) {
+	// H X X H: inner XX cancels in pass 1, exposing HH for pass 2.
+	c := circuit.New(1, 0)
+	c.H(0).X(0).X(0).H(0)
+	out, res := Circuit(c)
+	if len(out.Ops) != 0 {
+		t.Fatalf("cascade missed: %v", out.Ops)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("Passes = %d, expected a cascade", res.Passes)
+	}
+}
+
+func TestSwapLoweringCancellation(t *testing.T) {
+	// Routed circuits often contain SWAP followed by CX on the same pair;
+	// after lowering, the trailing CX of the SWAP cancels with the gate.
+	c := circuit.New(2, 0)
+	c.SWAP(0, 1).CX(0, 1)
+	out, _ := Circuit(c.LowerSwaps())
+	if got := len(out.Ops); got != 2 {
+		t.Fatalf("lowered swap+cx should reduce to 2 CX, got %d", got)
+	}
+}
+
+// TestSemanticsPreservedProperty is the package's contract: on random
+// circuits the optimized version has the identical ideal output
+// distribution.
+func TestSemanticsPreservedProperty(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 60; trial++ {
+		rr := r.DeriveN("t", trial)
+		c := randomCircuit(4, 30, rr)
+		out, res := Circuit(c)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: optimized circuit invalid: %v", trial, err)
+		}
+		want, err := statevec.IdealDist(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := statevec.IdealDist(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: semantics changed (removed %d, merged %d)\nbefore: %v\nafter:  %v",
+				trial, res.Removed, res.Merged, want, got)
+		}
+	}
+}
+
+// randomCircuit is biased toward producing adjacent duplicates so the
+// optimizer actually fires.
+func randomCircuit(n, ops int, r *rng.RNG) *circuit.Circuit {
+	c := circuit.New(n, n)
+	for i := 0; i < ops; i++ {
+		q := r.Intn(n)
+		switch r.Intn(8) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.X(q)
+		case 2:
+			c.S(q)
+		case 3:
+			c.Sdg(q)
+		case 4:
+			c.RZ(q, r.Float64()*4*3.14159)
+		case 5:
+			b := (q + 1 + r.Intn(n-1)) % n
+			c.CX(q, b)
+		case 6:
+			b := (q + 1 + r.Intn(n-1)) % n
+			c.SWAP(q, b)
+		default:
+			// Duplicate the previous op to create cancellation fodder.
+			if len(c.Ops) > 0 {
+				c.Ops = append(c.Ops, c.Ops[len(c.Ops)-1].Clone())
+			}
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+func TestOptimizerReducesGateCount(t *testing.T) {
+	r := rng.New(7)
+	c := randomCircuit(4, 60, r)
+	before := len(c.Ops)
+	out, _ := Circuit(c)
+	if len(out.Ops) >= before {
+		t.Fatalf("no reduction: %d -> %d", before, len(out.Ops))
+	}
+}

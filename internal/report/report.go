@@ -1,0 +1,170 @@
+// Package report renders experiment results as fixed-width text tables,
+// ASCII bar charts and heat maps, and CSV series — the harness output that
+// stands in for the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes a fixed-width table with a header row and a separator.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsNaN(v):
+		return "nan"
+	case v != 0 && math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Pct formats a probability as a percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// Bars renders a labelled horizontal ASCII bar chart. Values must be
+// non-negative; the widest bar spans `width` characters. A reference line
+// value (e.g. IST = 1) can be marked with refLabel; pass NaN to disable.
+func Bars(w io.Writer, labels []string, values []float64, width int, ref float64, refLabel string) {
+	maxV := ref
+	if math.IsNaN(maxV) {
+		maxV = 0
+	}
+	for _, v := range values {
+		if !math.IsInf(v, 1) && v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labW := 0
+	for _, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := width
+		if !math.IsInf(v, 1) {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		bar := strings.Repeat("#", n)
+		fmt.Fprintf(w, "%s  %s %s\n", pad(label, labW), pad(bar, width), F(v))
+	}
+	if !math.IsNaN(ref) && refLabel != "" {
+		mark := int(math.Round(ref / maxV * float64(width)))
+		if mark >= 0 && mark <= width {
+			fmt.Fprintf(w, "%s  %s^ %s\n", strings.Repeat(" ", labW), strings.Repeat(" ", mark), refLabel)
+		}
+	}
+}
+
+// Heatmap renders a square matrix as ASCII shades, darker meaning larger.
+// It mirrors the paper's Figure 4 heat maps (where *dark* meant *similar*,
+// i.e. low divergence; here shade tracks the raw value, so low-divergence
+// cells print light — the scale is printed alongside).
+func Heatmap(w io.Writer, m [][]float64) {
+	shades := []byte(" .:-=+*#%@")
+	maxV := 0.0
+	for _, row := range m {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Fprintf(w, "    ")
+	for j := range m {
+		fmt.Fprintf(w, "%c ", 'A'+j)
+	}
+	fmt.Fprintln(w)
+	for i, row := range m {
+		fmt.Fprintf(w, "  %c ", 'A'+i)
+		for _, v := range row {
+			idx := int(v / maxV * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			fmt.Fprintf(w, "%c ", shades[idx])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  scale: ' '=0 .. '@'=%.3f\n", maxV)
+}
+
+// CSV writes a simple CSV with a header; cells are written verbatim, so
+// callers must not pass cells containing commas or newlines.
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}

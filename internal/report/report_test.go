@@ -1,0 +1,120 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"b", "22222"},
+	})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// Columns aligned: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22222") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"a", "b"}, [][]string{{"x"}})
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		1.23456:        "1.235",
+		0:              "0.000",
+		math.Inf(1):    "inf",
+		math.Inf(-1):   "-inf",
+		math.NaN():     "nan",
+		0.000012345678: "1.23e-05",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.028); got != "2.80%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, []string{"A", "B", "EDM"}, []float64{0.5, 1.0, 1.2}, 20, 1, "IST=1")
+	out := sb.String()
+	if !strings.Contains(out, "EDM") || !strings.Contains(out, "IST=1") {
+		t.Fatalf("bars missing labels:\n%s", out)
+	}
+	// The longest value gets the most #.
+	lines := strings.Split(out, "\n")
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if !(countHash(lines[2]) > countHash(lines[1]) && countHash(lines[1]) > countHash(lines[0])) {
+		t.Fatalf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestBarsInfinity(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, []string{"x"}, []float64{math.Inf(1)}, 10, math.NaN(), "")
+	if !strings.Contains(sb.String(), "inf") {
+		t.Fatal("infinite bar not labelled")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, [][]float64{
+		{0, 0.5},
+		{0.5, 1.0},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "@") {
+		t.Fatalf("max shade missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Fatal("scale line missing")
+	}
+	// Header letters.
+	if !strings.Contains(out, "A B") {
+		t.Fatalf("column header missing:\n%s", out)
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	var sb strings.Builder
+	Heatmap(&sb, [][]float64{{0, 0}, {0, 0}})
+	if strings.Contains(sb.String(), "@@") {
+		t.Fatal("zero matrix rendered dark")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"x", "y"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "x,y\n1,2\n3,4\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q", sb.String())
+	}
+}

@@ -1,0 +1,209 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Derive("alpha")
+	c2 := parent.Derive("beta")
+	c1again := parent.Derive("alpha")
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Derive with same label is not deterministic")
+	}
+	if c1.state == c2.state {
+		t.Fatal("Derive with different labels produced same state")
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	p1 := New(9)
+	p2 := New(9)
+	_ = p1.Derive("x")
+	_ = p1.DeriveN("y", 3)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	p := New(11)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		c := p.DeriveN("trial", i)
+		if seen[c.state] {
+			t.Fatalf("DeriveN collision at %d", i)
+		}
+		seen[c.state] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(8)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn bucket %d count %d not near uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormRangeClamps(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.NormRange(0.5, 10, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("NormRange escaped clamp: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestChooseProportional(t *testing.T) {
+	r := New(29)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choose(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Choose bucket %d rate %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestChoosePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choose with zero weights did not panic")
+		}
+	}()
+	New(1).Choose([]float64{0, 0})
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	_ = r.Uint64()
+	_ = r.Float64()
+}

@@ -1,0 +1,52 @@
+package statevec
+
+import (
+	"fmt"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/dist"
+)
+
+// IdealDist computes the exact, noise-free output distribution of the
+// circuit over its classical register. The circuit may only measure at the
+// end (no unitary may act on a qubit after it has been measured); this
+// matches all of the paper's workloads and keeps the computation a single
+// statevector pass.
+func IdealDist(c *circuit.Circuit) (*dist.Dist, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	measured := make(map[int]bool)
+	s := NewState(c.NumQubits)
+	for i, op := range c.Ops {
+		switch op.Kind {
+		case circuit.Barrier:
+			continue
+		case circuit.Measure:
+			measured[op.Qubits[0]] = true
+		default:
+			for _, q := range op.Qubits {
+				if measured[q] {
+					return nil, fmt.Errorf("statevec: op %d acts on qubit %d after measurement", i, q)
+				}
+			}
+			s.ApplyOp(op)
+		}
+	}
+	bits := c.MeasuredBits()
+	d := dist.New(c.NumClbits)
+	for b, p := range s.Probabilities() {
+		if p == 0 {
+			continue
+		}
+		var out uint64
+		for cb, q := range bits {
+			if q >= 0 && uint64(b)>>uint(q)&1 == 1 {
+				out |= 1 << uint(cb)
+			}
+		}
+		d.Add(bitstr.New(out, c.NumClbits), p)
+	}
+	return d, nil
+}

@@ -1,0 +1,273 @@
+// Package statevec implements a pure-state (statevector) quantum
+// simulator. It is the workhorse engine of this repository: the noisy
+// backend runs one Monte-Carlo *trajectory* per trial by interleaving
+// unitary gates with stochastically sampled Kraus operators, exactly
+// mirroring the paper's methodology of running a program for thousands of
+// trials and logging one outcome per trial.
+//
+// Amplitude indexing: basis state index b has qubit q in state (b>>q)&1,
+// i.e. qubit 0 is the least-significant bit.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/rng"
+)
+
+// MaxQubits bounds the register size (memory is 16 bytes * 2^n).
+const MaxQubits = 24
+
+// State is the statevector of an n-qubit register.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns the all-zeros computational basis state |0...0>.
+func NewState(n int) *State {
+	if n < 0 || n > MaxQubits {
+		panic(fmt.Sprintf("statevec: %d qubits out of range", n))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NewBasisState returns the computational basis state |b>.
+func NewBasisState(b bitstr.BitString) *State {
+	s := NewState(b.Len())
+	s.amp[0] = 0
+	s.amp[b.Uint64()] = 1
+	return s
+}
+
+// N returns the number of qubits.
+func (s *State) N() int { return s.n }
+
+// Amplitude returns the amplitude of basis state index b.
+func (s *State) Amplitude(b uint64) complex128 { return s.amp[b] }
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Norm returns the 2-norm of the statevector (1 for a valid state).
+func (s *State) Norm() float64 {
+	var sum float64
+	for _, a := range s.amp {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range [0,%d)", q, s.n))
+	}
+}
+
+// Apply1Q applies a one-qubit unitary to qubit q.
+func (s *State) Apply1Q(m circuit.Matrix2, q int) {
+	s.checkQubit(q)
+	bit := uint64(1) << uint(q)
+	size := uint64(len(s.amp))
+	for base := uint64(0); base < size; base++ {
+		if base&bit != 0 {
+			continue
+		}
+		i0 := base
+		i1 := base | bit
+		a0, a1 := s.amp[i0], s.amp[i1]
+		s.amp[i0] = m[0][0]*a0 + m[0][1]*a1
+		s.amp[i1] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// Apply2Q applies a two-qubit unitary to the ordered qubit pair (q0, q1),
+// where q0 is the low bit of the 4x4 matrix basis (the control for CX).
+func (s *State) Apply2Q(m circuit.Matrix4, q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		panic("statevec: Apply2Q with identical qubits")
+	}
+	b0 := uint64(1) << uint(q0)
+	b1 := uint64(1) << uint(q1)
+	size := uint64(len(s.amp))
+	for base := uint64(0); base < size; base++ {
+		if base&b0 != 0 || base&b1 != 0 {
+			continue
+		}
+		var idx [4]uint64
+		idx[0] = base
+		idx[1] = base | b0
+		idx[2] = base | b1
+		idx[3] = base | b0 | b1
+		var in [4]complex128
+		for k := 0; k < 4; k++ {
+			in[k] = s.amp[idx[k]]
+		}
+		for r := 0; r < 4; r++ {
+			s.amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+		}
+	}
+}
+
+// ApplyOp applies a unitary circuit operation. It panics on Measure or
+// Barrier (callers handle those explicitly).
+func (s *State) ApplyOp(op circuit.Op) {
+	switch {
+	case op.Kind == circuit.Barrier || op.Kind == circuit.Measure:
+		panic(fmt.Sprintf("statevec: ApplyOp on non-unitary %v", op.Kind))
+	case op.Kind.IsTwoQubit():
+		s.Apply2Q(circuit.Matrix2Q(op.Kind), op.Qubits[0], op.Qubits[1])
+	default:
+		s.Apply1Q(circuit.Matrix1Q(op.Kind, op.Params), op.Qubits[0])
+	}
+}
+
+// ProbabilityOne returns the probability that measuring qubit q yields 1.
+func (s *State) ProbabilityOne(q int) float64 {
+	s.checkQubit(q)
+	bit := uint64(1) << uint(q)
+	var p float64
+	for i, a := range s.amp {
+		if uint64(i)&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// MeasureQubit projectively measures qubit q, collapsing the state, and
+// returns the observed bit.
+func (s *State) MeasureQubit(q int, r *rng.RNG) int {
+	p1 := s.ProbabilityOne(q)
+	outcome := 0
+	if r.Float64() < p1 {
+		outcome = 1
+	}
+	s.projectQubit(q, outcome)
+	return outcome
+}
+
+// projectQubit zeroes the amplitudes inconsistent with qubit q being in
+// the given state and renormalizes.
+func (s *State) projectQubit(q, outcome int) {
+	bit := uint64(1) << uint(q)
+	var norm float64
+	for i := range s.amp {
+		set := uint64(i)&bit != 0
+		if set != (outcome == 1) {
+			s.amp[i] = 0
+		} else {
+			a := s.amp[i]
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if norm <= 0 {
+		panic("statevec: projection onto zero-probability outcome")
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+}
+
+// ApplyKraus1Q applies a one-qubit quantum channel given by Kraus
+// operators ks to qubit q by sampling one trajectory branch: branch i is
+// chosen with probability ||K_i psi||^2 and the state is renormalized.
+// It returns the index of the chosen branch. The operators must satisfy
+// sum K_i^dagger K_i = I for the probabilities to sum to one; small
+// numerical slack is tolerated.
+func (s *State) ApplyKraus1Q(ks []circuit.Matrix2, q int, r *rng.RNG) int {
+	s.checkQubit(q)
+	if len(ks) == 0 {
+		panic("statevec: empty Kraus set")
+	}
+	if len(ks) == 1 {
+		// Deterministic channel; still renormalize in case K is not unitary.
+		s.Apply1Q(ks[0], q)
+		n := s.Norm()
+		if n <= 0 {
+			panic("statevec: Kraus operator annihilated the state")
+		}
+		s.scale(1 / n)
+		return 0
+	}
+	bit := uint64(1) << uint(q)
+	// Branch probability p_i = sum over basis pairs of |K_i acting on the
+	// (a0, a1) sub-vector|^2.
+	probs := make([]float64, len(ks))
+	for base := uint64(0); base < uint64(len(s.amp)); base++ {
+		if base&bit != 0 {
+			continue
+		}
+		a0 := s.amp[base]
+		a1 := s.amp[base|bit]
+		for i, k := range ks {
+			n0 := k[0][0]*a0 + k[0][1]*a1
+			n1 := k[1][0]*a0 + k[1][1]*a1
+			probs[i] += real(n0)*real(n0) + imag(n0)*imag(n0) +
+				real(n1)*real(n1) + imag(n1)*imag(n1)
+		}
+	}
+	choice := r.Choose(probs)
+	s.Apply1Q(ks[choice], q)
+	p := math.Sqrt(probs[choice])
+	if p <= 0 {
+		panic("statevec: chose zero-probability Kraus branch")
+	}
+	s.scale(1 / p)
+	return choice
+}
+
+func (s *State) scale(f float64) {
+	c := complex(f, 0)
+	for i := range s.amp {
+		s.amp[i] *= c
+	}
+}
+
+// Probabilities returns the probability of every basis state.
+func (s *State) Probabilities() []float64 {
+	out := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// SampleOutcome draws a full-register measurement outcome without
+// collapsing the state.
+func (s *State) SampleOutcome(r *rng.RNG) bitstr.BitString {
+	x := r.Float64()
+	var acc float64
+	for i, a := range s.amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if x < acc {
+			return bitstr.New(uint64(i), s.n)
+		}
+	}
+	return bitstr.New(uint64(len(s.amp)-1), s.n)
+}
+
+// Fidelity returns |<s|other>|^2.
+func (s *State) Fidelity(other *State) float64 {
+	if s.n != other.n {
+		panic("statevec: Fidelity size mismatch")
+	}
+	var dot complex128
+	for i, a := range s.amp {
+		dot += cmplx.Conj(a) * other.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}

@@ -1,0 +1,96 @@
+// Package stats provides bootstrap confidence intervals for the NISQ
+// inference metrics. The paper reports medians over ten rounds; a library
+// user deciding whether an IST of 1.1 really clears 1 needs an interval,
+// not a point estimate, and the output log (a histogram of trials) is
+// exactly the right object to resample.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"edm/internal/bitstr"
+	"edm/internal/dist"
+	"edm/internal/rng"
+)
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Point      float64
+	Lo, Hi     float64
+	Confidence float64
+}
+
+// Contains reports whether v lies within the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// String renders the interval compactly.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f]@%.0f%%", iv.Point, iv.Lo, iv.Hi, iv.Confidence*100)
+}
+
+// Bootstrap computes a percentile bootstrap interval for an arbitrary
+// statistic of the output distribution: the observed histogram is
+// resampled with replacement `resamples` times and the statistic's
+// empirical quantiles bound the interval. Resampling is deterministic in
+// the RNG.
+func Bootstrap(counts *dist.Counts, statistic func(*dist.Dist) float64,
+	resamples int, confidence float64, r *rng.RNG) Interval {
+	if counts.Total() == 0 {
+		panic("stats: bootstrap of an empty histogram")
+	}
+	if resamples < 2 {
+		panic("stats: need at least 2 resamples")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence must be in (0,1)")
+	}
+	empirical := counts.Dist()
+	point := statistic(empirical)
+	values := make([]float64, resamples)
+	for i := 0; i < resamples; i++ {
+		res := dist.Sample(empirical, counts.Total(), r.DeriveN("resample", i))
+		values[i] = statistic(res.Dist())
+	}
+	sort.Float64s(values)
+	alpha := (1 - confidence) / 2
+	lo := values[clampIndex(int(alpha*float64(resamples)), resamples)]
+	hi := values[clampIndex(int((1-alpha)*float64(resamples)), resamples)]
+	return Interval{Point: point, Lo: lo, Hi: hi, Confidence: confidence}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// ISTInterval bootstraps the Inference Strength of the given output log.
+func ISTInterval(counts *dist.Counts, correct bitstr.BitString, resamples int, confidence float64, r *rng.RNG) Interval {
+	return Bootstrap(counts, func(d *dist.Dist) float64 { return d.IST(correct) },
+		resamples, confidence, r)
+}
+
+// PSTInterval bootstraps the success probability of the given output log.
+func PSTInterval(counts *dist.Counts, correct bitstr.BitString, resamples int, confidence float64, r *rng.RNG) Interval {
+	return Bootstrap(counts, func(d *dist.Dist) float64 { return d.PST(correct) },
+		resamples, confidence, r)
+}
+
+// InferenceDecision summarizes whether the log supports inferring the
+// correct answer: "yes" when the whole interval clears IST 1, "no" when
+// it sits entirely below, "uncertain" otherwise.
+func InferenceDecision(iv Interval) string {
+	switch {
+	case iv.Lo > 1:
+		return "yes"
+	case iv.Hi < 1:
+		return "no"
+	default:
+		return "uncertain"
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"edm/internal/bitstr"
+	"edm/internal/dist"
+	"edm/internal/rng"
+)
+
+func logFor(t *testing.T, probs map[string]float64, trials int, seed uint64) *dist.Counts {
+	t.Helper()
+	d := dist.MustFromMap(probs)
+	return dist.Sample(d, trials, rng.New(seed))
+}
+
+func TestISTIntervalContainsPoint(t *testing.T) {
+	correct := bitstr.MustParse("00")
+	counts := logFor(t, map[string]float64{"00": 0.4, "01": 0.3, "10": 0.2, "11": 0.1}, 4000, 1)
+	iv := ISTInterval(counts, correct, 200, 0.95, rng.New(2))
+	if !iv.Contains(iv.Point) {
+		t.Fatalf("interval %v does not contain its point", iv)
+	}
+	if iv.Lo > iv.Hi {
+		t.Fatalf("inverted interval: %v", iv)
+	}
+}
+
+// TestCoverageRate: across many independent logs, the 95% interval should
+// cover the true IST most of the time. Percentile bootstrap of a ratio
+// statistic under-covers slightly, so the bar is set at 80%.
+func TestCoverageRate(t *testing.T) {
+	correct := bitstr.MustParse("00")
+	probs := map[string]float64{"00": 0.4, "01": 0.3, "10": 0.2, "11": 0.1}
+	trueIST := 0.4 / 0.3
+	covered := 0
+	const reps = 40
+	for i := 0; i < reps; i++ {
+		counts := logFor(t, probs, 4000, uint64(100+i))
+		iv := ISTInterval(counts, correct, 150, 0.95, rng.New(uint64(500+i)))
+		if iv.Contains(trueIST) {
+			covered++
+		}
+	}
+	if rate := float64(covered) / reps; rate < 0.8 {
+		t.Fatalf("coverage rate = %v, want >= 0.8", rate)
+	}
+}
+
+func TestIntervalNarrowsWithTrials(t *testing.T) {
+	correct := bitstr.MustParse("00")
+	probs := map[string]float64{"00": 0.4, "01": 0.3, "10": 0.2, "11": 0.1}
+	small := ISTInterval(logFor(t, probs, 500, 3), correct, 200, 0.95, rng.New(4))
+	big := ISTInterval(logFor(t, probs, 50000, 5), correct, 200, 0.95, rng.New(6))
+	if (big.Hi - big.Lo) >= (small.Hi - small.Lo) {
+		t.Fatalf("interval did not narrow: small %v vs big %v", small, big)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	correct := bitstr.MustParse("0")
+	counts := logFor(t, map[string]float64{"0": 0.7, "1": 0.3}, 1000, 7)
+	a := ISTInterval(counts, correct, 100, 0.9, rng.New(8))
+	b := ISTInterval(counts, correct, 100, 0.9, rng.New(8))
+	if a != b {
+		t.Fatalf("bootstrap not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestPSTInterval(t *testing.T) {
+	correct := bitstr.MustParse("0")
+	counts := logFor(t, map[string]float64{"0": 0.7, "1": 0.3}, 10000, 9)
+	iv := PSTInterval(counts, correct, 300, 0.95, rng.New(10))
+	if !iv.Contains(0.7) {
+		t.Fatalf("PST interval %v misses 0.7", iv)
+	}
+	if iv.Hi-iv.Lo > 0.05 {
+		t.Fatalf("PST interval too wide at 10k trials: %v", iv)
+	}
+}
+
+func TestInferenceDecision(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{Interval{Lo: 1.1, Hi: 1.5}, "yes"},
+		{Interval{Lo: 0.4, Hi: 0.9}, "no"},
+		{Interval{Lo: 0.9, Hi: 1.2}, "uncertain"},
+	}
+	for _, tc := range cases {
+		if got := InferenceDecision(tc.iv); got != tc.want {
+			t.Errorf("InferenceDecision(%v) = %q, want %q", tc.iv, got, tc.want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Point: 1.2345, Lo: 1.1, Hi: 1.4, Confidence: 0.95}
+	s := iv.String()
+	if !strings.Contains(s, "1.2345") || !strings.Contains(s, "95%") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBootstrapGuards(t *testing.T) {
+	correct := bitstr.MustParse("0")
+	counts := logFor(t, map[string]float64{"0": 1}, 10, 1)
+	mustPanic(t, func() { ISTInterval(dist.NewCounts(1), correct, 10, 0.9, rng.New(1)) })
+	mustPanic(t, func() { ISTInterval(counts, correct, 1, 0.9, rng.New(1)) })
+	mustPanic(t, func() { ISTInterval(counts, correct, 10, 1.5, rng.New(1)) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,168 @@
+// Package transform implements *program-transformation diversity*, the
+// extension the paper's conclusion marks as future work: "there are other
+// sources of program transformations that can provide diversity as well".
+//
+// The flagship transform is Invert-and-Measure from the authors'
+// companion MICRO-52 paper (cited in Section 7): measurement errors are
+// state-dependent — reading |1> as 0 is far more likely than the reverse
+// — so a variant that applies X to every measured qubit right before
+// readout (and flips the recorded bits back in software) measures the
+// complementary basis state and suffers the *opposite* bias. Splitting
+// trials between the plain and inverted variants diversifies measurement
+// mistakes exactly the way EDM diversifies mapping mistakes, and the two
+// compose: an ensemble over (mapping x measurement-basis) cells.
+package transform
+
+import (
+	"fmt"
+
+	"edm/internal/backend"
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/core"
+	"edm/internal/dist"
+	"edm/internal/mapper"
+	"edm/internal/rng"
+)
+
+// Variant is a transformed executable together with the decoding that
+// maps its raw outcomes back to the original program's outcome space.
+type Variant struct {
+	Name    string
+	Circuit *circuit.Circuit
+	// mask holds the classical bits whose recorded value must be flipped
+	// to undo the transform.
+	mask uint64
+}
+
+// Decode maps a raw outcome of the transformed circuit to the outcome of
+// the original program.
+func (v Variant) Decode(b bitstr.BitString) bitstr.BitString {
+	return bitstr.New(b.Uint64()^v.mask, b.Len())
+}
+
+// Identity returns the untransformed variant.
+func Identity(c *circuit.Circuit) Variant {
+	return Variant{Name: "identity", Circuit: c.Clone()}
+}
+
+// InvertMeasure returns the Invert-and-Measure variant: an X gate is
+// inserted immediately before every measurement, and Decode flips the
+// corresponding classical bits back. On an ideal machine the decoded
+// output distribution is identical to the original program's; on a
+// machine with state-dependent readout bias the variant's measurement
+// errors hit the *complementary* outcomes.
+func InvertMeasure(c *circuit.Circuit) Variant {
+	out := circuit.New(c.NumQubits, c.NumClbits)
+	out.Name = c.Name
+	var mask uint64
+	for _, op := range c.Ops {
+		if op.Kind == circuit.Measure {
+			out.X(op.Qubits[0])
+			mask |= 1 << uint(op.Cbit)
+		}
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	return Variant{Name: "invert-measure", Circuit: out, mask: mask}
+}
+
+// BothBases returns the two measurement-basis variants, the split used by
+// the companion paper.
+func BothBases(c *circuit.Circuit) []Variant {
+	return []Variant{Identity(c), InvertMeasure(c)}
+}
+
+// Run executes a variant on the machine and returns the *decoded*
+// histogram, directly comparable with other variants' outputs.
+func Run(m *backend.Machine, v Variant, trials int, r *rng.RNG) (*dist.Counts, error) {
+	raw, err := m.Run(v.Circuit, trials, r)
+	if err != nil {
+		return nil, fmt.Errorf("transform: variant %s: %w", v.Name, err)
+	}
+	if v.mask == 0 {
+		return raw, nil
+	}
+	decoded := dist.NewCounts(raw.N())
+	for _, e := range raw.Sorted() {
+		decoded.ObserveN(v.Decode(e.Value), e.Count)
+	}
+	return decoded, nil
+}
+
+// Cell is one (mapping, variant) member of a transform-diverse ensemble.
+type Cell struct {
+	Mapping int // index into the executables slice
+	Variant string
+	Counts  *dist.Counts
+	Output  *dist.Dist
+	Weight  float64
+}
+
+// GridResult is the outcome of a (mapping x transform) ensemble run.
+type GridResult struct {
+	Cells  []Cell
+	Merged *dist.Dist
+}
+
+// Ensemble runs every combination of the given mappings and the variants
+// produced by makeVariants, splitting the trial budget evenly across
+// cells (earlier cells absorb the remainder), and merges the decoded
+// outputs under the given weighting. With a single identity variant this
+// reduces exactly to EDM/WEDM; with BothBases it is EDM composed with
+// Invert-and-Measure.
+func Ensemble(m *backend.Machine, execs []*mapper.Executable,
+	makeVariants func(*circuit.Circuit) []Variant,
+	trials int, weighting core.Weighting, r *rng.RNG) (*GridResult, error) {
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("transform: empty ensemble")
+	}
+	type pending struct {
+		mapping int
+		v       Variant
+	}
+	var cells []pending
+	for i, e := range execs {
+		for _, v := range makeVariants(e.Circuit) {
+			cells = append(cells, pending{mapping: i, v: v})
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("transform: no variants")
+	}
+	if trials < len(cells) {
+		return nil, fmt.Errorf("transform: %d trials cannot cover %d cells", trials, len(cells))
+	}
+	res := &GridResult{}
+	base := trials / len(cells)
+	rem := trials % len(cells)
+	for i, c := range cells {
+		t := base
+		if i < rem {
+			t++
+		}
+		counts, err := Run(m, c.v, t, r.DeriveN("cell", i))
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = append(res.Cells, Cell{
+			Mapping: c.mapping,
+			Variant: c.v.Name,
+			Counts:  counts,
+			Output:  counts.Dist(),
+		})
+	}
+	dists := make([]*dist.Dist, len(res.Cells))
+	for i := range res.Cells {
+		dists[i] = res.Cells[i].Output
+	}
+	weights := core.MergeWeights(dists, weighting)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i := range res.Cells {
+		res.Cells[i].Weight = weights[i] / total
+	}
+	res.Merged = dist.WeightedMerge(dists, weights)
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/backend"
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/core"
+	"edm/internal/device"
+	"edm/internal/mapper"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+	"edm/internal/workloads"
+)
+
+func TestInvertMeasureStructure(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.H(0).CX(0, 1).Measure(0, 0).Measure(1, 1)
+	v := InvertMeasure(c)
+	if err := v.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two X gates inserted, original untouched.
+	s := v.Circuit.Stats()
+	if s.SG != c.Stats().SG+2 {
+		t.Fatalf("SG = %d, want %d", s.SG, c.Stats().SG+2)
+	}
+	if len(c.Ops) != 4 {
+		t.Fatal("source circuit mutated")
+	}
+	// Decode flips exactly the measured bits.
+	raw := bitstr.MustParse("000")
+	dec := v.Decode(raw)
+	if dec.String() != "110" {
+		t.Fatalf("Decode = %v", dec)
+	}
+}
+
+func TestIdentityVariant(t *testing.T) {
+	c := circuit.New(1, 1)
+	c.X(0).Measure(0, 0)
+	v := Identity(c)
+	b := bitstr.MustParse("1")
+	if !v.Decode(b).Equal(b) {
+		t.Fatal("identity decode changed outcome")
+	}
+}
+
+// TestInvertMeasureIdealEquivalence: on a noiseless machine the decoded
+// output of the inverted variant equals the original program's ideal
+// distribution exactly.
+func TestInvertMeasureIdealEquivalence(t *testing.T) {
+	cal := device.Generate(device.Melbourne(), device.IdealProfile(), rng.New(1))
+	m := backend.New(cal)
+	w := workloads.BV("1011")
+	comp := mapper.NewCompiler(cal)
+	exe, err := comp.Compile(w.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := statevec.IdealDist(w.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range BothBases(exe.Circuit) {
+		counts, err := Run(m, v, 2000, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv := counts.Dist().TV(want); tv > 1e-9 {
+			t.Fatalf("variant %s deviates on ideal machine: TV=%v", v.Name, tv)
+		}
+	}
+}
+
+// TestInvertMeasureBeatsBiasOnOnes: with readout heavily biased against
+// |1>, a program whose answer is all-ones reads out far more reliably
+// through the inverted variant.
+func TestInvertMeasureBeatsBiasOnOnes(t *testing.T) {
+	cal := device.Generate(device.Linear(4), device.IdealProfile(), rng.New(1))
+	for q := 0; q < 4; q++ {
+		cal.Meas10[q] = 0.25 // strong 1 -> 0 bias
+		cal.Meas01[q] = 0.01
+	}
+	m := backend.New(cal)
+	c := circuit.New(4, 4)
+	for q := 0; q < 4; q++ {
+		c.X(q)
+	}
+	c.MeasureAll()
+	correct := bitstr.Ones(4)
+
+	plain, err := Run(m, Identity(c), 20000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Run(m, InvertMeasure(c), 20000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPlain := plain.Dist().PST(correct)
+	pInv := inv.Dist().PST(correct)
+	// Plain: each bit survives with ~0.75; inverted: ~0.99.
+	if math.Abs(pPlain-math.Pow(0.75, 4)) > 0.03 {
+		t.Fatalf("plain PST = %v, want ~%v", pPlain, math.Pow(0.75, 4))
+	}
+	if pInv < 0.9 {
+		t.Fatalf("inverted PST = %v, want > 0.9", pInv)
+	}
+}
+
+func TestEnsembleGrid(t *testing.T) {
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(7))
+	m := backend.New(cal.Drift(0.1, rng.New(8)))
+	comp := mapper.NewCompiler(cal)
+	w := workloads.BV("1011")
+	execs, err := comp.TopK(w.Circuit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Ensemble(m, execs, BothBases, 2002, core.WeightUniform, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 { // 2 mappings x 2 bases
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	total := 0
+	variants := map[string]int{}
+	for _, c := range res.Cells {
+		total += c.Counts.Total()
+		variants[c.Variant]++
+		if math.Abs(c.Weight-0.25) > 1e-12 {
+			t.Fatalf("uniform weight = %v", c.Weight)
+		}
+	}
+	if total != 2002 {
+		t.Fatalf("total trials = %d", total)
+	}
+	if variants["identity"] != 2 || variants["invert-measure"] != 2 {
+		t.Fatalf("variants = %v", variants)
+	}
+	if math.Abs(res.Merged.Sum()-1) > 1e-9 {
+		t.Fatalf("merged mass = %v", res.Merged.Sum())
+	}
+}
+
+func TestEnsembleReducesToEDM(t *testing.T) {
+	// With only the identity variant, Ensemble must equal core's EDM run
+	// under the same trial split and seeds... structurally: same cell
+	// count and a valid merged distribution.
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(11))
+	m := backend.New(cal)
+	comp := mapper.NewCompiler(cal)
+	w := workloads.BV("101")
+	execs, err := comp.TopK(w.Circuit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Ensemble(m, execs,
+		func(c *circuit.Circuit) []Variant { return []Variant{Identity(c)} },
+		900, core.WeightUniform, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Counts.Total() != 300 {
+			t.Fatalf("cell trials = %d", c.Counts.Total())
+		}
+	}
+}
+
+func TestEnsembleValidation(t *testing.T) {
+	cal := device.Generate(device.Linear(3), device.IdealProfile(), rng.New(1))
+	m := backend.New(cal)
+	if _, err := Ensemble(m, nil, BothBases, 100, core.WeightUniform, rng.New(1)); err == nil {
+		t.Fatal("empty ensemble accepted")
+	}
+	comp := mapper.NewCompiler(cal)
+	c := circuit.New(2, 2)
+	c.H(0).MeasureAll()
+	execs, err := comp.TopK(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Ensemble(m, execs, BothBases, 1, core.WeightUniform, rng.New(1)); err == nil {
+		t.Fatal("insufficient trials accepted")
+	}
+	if _, err := Ensemble(m, execs,
+		func(*circuit.Circuit) []Variant { return nil },
+		100, core.WeightUniform, rng.New(1)); err == nil {
+		t.Fatal("no variants accepted")
+	}
+}
+
+// TestGridImprovesUnderBiasAndCorrelation: on a machine with both
+// mapping-correlated errors and measurement bias, the (mapping x basis)
+// grid should beat plain EDM on median IST for a ones-heavy answer.
+func TestGridImprovesUnderBiasAndCorrelation(t *testing.T) {
+	w := workloads.BV("110111") // heavy key: five 1-bits suffer the bias
+	var edm, grid []float64
+	rounds := 5
+	for round := 0; round < rounds; round++ {
+		cal := device.Generate(device.Melbourne(), device.MelbourneProfile(),
+			rng.New(uint64(40+round)))
+		m := backend.New(cal.Drift(0.2, rng.New(uint64(50+round))))
+		comp := mapper.NewCompiler(cal)
+		execs, err := comp.TopK(w.Circuit, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := rng.New(uint64(60 + round))
+		plain, err := Ensemble(m, execs,
+			func(c *circuit.Circuit) []Variant { return []Variant{Identity(c)} },
+			8192, core.WeightUniform, seed.Derive("edm"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := Ensemble(m, execs, BothBases, 8192, core.WeightUniform, seed.Derive("grid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		edm = append(edm, plain.Merged.IST(w.Correct))
+		grid = append(grid, both.Merged.IST(w.Correct))
+	}
+	me, mg := median(edm), median(grid)
+	t.Logf("median IST: EDM=%.3f EDM+IM=%.3f", me, mg)
+	if mg < me*0.85 {
+		t.Errorf("grid ensemble fell well below EDM: %.3f vs %.3f", mg, me)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

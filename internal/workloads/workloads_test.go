@@ -1,0 +1,254 @@
+package workloads
+
+import (
+	"edm/internal/circuit"
+	"testing"
+
+	"edm/internal/bitstr"
+	"edm/internal/statevec"
+)
+
+// TestGoldenOutputsIdeal verifies the defining property of every
+// benchmark: on an ideal machine the golden output dominates. BV,
+// greycode, fredkin, adder and decode24 are deterministic (probability 1);
+// QAOA is probabilistic but its golden cut must be the unique most likely
+// outcome.
+func TestGoldenOutputsIdeal(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			d, err := statevec.IdealDist(w.Circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ml := d.MostLikely()
+			if !ml.Value.Equal(w.Correct) {
+				t.Fatalf("most likely = %v (p=%v), golden = %v (p=%v)",
+					ml.Value, ml.P, w.Correct, d.P(w.Correct))
+			}
+			if ist := d.IST(w.Correct); ist <= 1 {
+				t.Fatalf("ideal IST = %v, want > 1", ist)
+			}
+		})
+	}
+}
+
+func TestDeterministicWorkloadsAreCertain(t *testing.T) {
+	for _, w := range []Workload{BV("110011"), BV("1101011"), Greycode6(), Fredkin(), Adder(), Decoder24()} {
+		d, err := statevec.IdealDist(w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := d.P(w.Correct); p < 1-1e-9 {
+			t.Errorf("%s: ideal P(correct) = %v, want 1", w.Name, p)
+		}
+	}
+}
+
+func TestQAOASuccessProbability(t *testing.T) {
+	for _, n := range []int{5, 6, 7} {
+		w := QAOA(n)
+		d, err := statevec.IdealDist(w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := d.P(w.Correct)
+		// Depth-1 QAOA concentrates only moderately; what matters for the
+		// paper's experiments is that the golden cut strictly dominates.
+		if p < 0.08 {
+			t.Errorf("qaoa-%d: P(cut) = %v too small for reliable inference", n, p)
+		}
+		// Symmetry must be broken: the complementary cut is strictly less
+		// likely.
+		if pc := d.P(w.Correct.Invert()); pc >= p {
+			t.Errorf("qaoa-%d: complement as likely as cut (%v vs %v)", n, pc, p)
+		}
+	}
+}
+
+func TestBVProperties(t *testing.T) {
+	w := BV("110011")
+	if w.Circuit.NumQubits != 7 || w.Circuit.NumClbits != 6 {
+		t.Fatalf("registers: %d/%d", w.Circuit.NumQubits, w.Circuit.NumClbits)
+	}
+	s := w.Stats()
+	if s.CX != 4 { // one CX per key bit set
+		t.Fatalf("bv-6 logical CX = %d, want 4", s.CX)
+	}
+	if s.M != 6 {
+		t.Fatalf("bv-6 M = %d", s.M)
+	}
+	// BV-7 has one more CX than BV-6 for this key pair (5 ones vs 4).
+	if d := BV("1101011").Stats().CX - s.CX; d != 1 {
+		t.Fatalf("bv-7 minus bv-6 CX = %d", d)
+	}
+}
+
+func TestGreycodeShape(t *testing.T) {
+	w := Greycode6()
+	s := w.Stats()
+	if s.CX != 5 {
+		t.Fatalf("greycode CX = %d, want n-1 = 5 (paper Table 1)", s.CX)
+	}
+	if s.M != 6 {
+		t.Fatalf("greycode M = %d, want 6", s.M)
+	}
+	if s.Swaps != 0 {
+		t.Fatal("logical greycode has swaps")
+	}
+}
+
+func TestGreycodeRoundTripProperty(t *testing.T) {
+	// For several outputs, the constructed input must decode to exactly
+	// that output.
+	for _, out := range []string{"000000", "111111", "001000", "101010", "0110"} {
+		w := Greycode(out)
+		d, err := statevec.IdealDist(w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := d.P(bitstr.MustParse(out)); p < 1-1e-9 {
+			t.Errorf("greycode(%s): P = %v", out, p)
+		}
+	}
+}
+
+func TestQAOAGateShape(t *testing.T) {
+	// Two CX per path edge; SG = H(n) + RZ(n-1 edges + 1 field) + mixer 3n.
+	for _, n := range []int{5, 6, 7} {
+		w := QAOA(n)
+		s := w.Stats()
+		wantCX := 2 * (n - 1)
+		if s.CX != wantCX {
+			t.Fatalf("qaoa-%d CX = %d, want %d", n, s.CX, wantCX)
+		}
+		wantSG := n + (n - 1) + 1 + 3*n
+		if s.SG != wantSG {
+			t.Fatalf("qaoa-%d SG = %d, want %d", n, s.SG, wantSG)
+		}
+		if s.M != n {
+			t.Fatalf("qaoa-%d M = %d", n, s.M)
+		}
+	}
+}
+
+func TestTable1Order(t *testing.T) {
+	names := []string{"greycode-6", "bv-6", "bv-7", "qaoa-5", "qaoa-6", "qaoa-7", "fredkin", "adder", "decode24"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d entries", len(all))
+	}
+	for i, w := range all {
+		if w.Name != names[i] {
+			t.Fatalf("All()[%d] = %s, want %s", i, w.Name, names[i])
+		}
+		if err := w.Circuit.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", w.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, ok := ByName("bv-6")
+	if !ok || w.Name != "bv-6" {
+		t.Fatal("ByName(bv-6) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted garbage")
+	}
+}
+
+func TestBV2ForFigure1(t *testing.T) {
+	w := BV("11")
+	d, err := statevec.IdealDist(w.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := d.P(bitstr.MustParse("11")); p < 1-1e-9 {
+		t.Fatalf("BV-2 ideal P = %v", p)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { BV("") },
+		func() { Greycode("1") },
+		func() { QAOA(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRepetitionCode(t *testing.T) {
+	w := RepetitionCode()
+	d, err := statevec.IdealDist(w.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := d.P(w.Correct); p < 1-1e-9 {
+		t.Fatalf("ideal P(correct) = %v", p)
+	}
+	// Not part of Table 1.
+	if _, ok := ByName("repcode-3"); ok {
+		t.Fatal("repcode leaked into All()")
+	}
+	// A single injected X on any code qubit between encode and decode is
+	// corrected: the golden output still dominates.
+	for q := 0; q < 3; q++ {
+		c := w.Circuit.Clone()
+		// Insert the error right after the barrier (index of barrier + 1).
+		for i, op := range c.Ops {
+			if op.Kind == circuit.Barrier {
+				rest := append([]circuit.Op(nil), c.Ops[i+1:]...)
+				c.Ops = append(c.Ops[:i+1], circuit.Op{Kind: circuit.X, Qubits: []int{q}, Cbit: -1})
+				c.Ops = append(c.Ops, rest...)
+				break
+			}
+		}
+		d, err := statevec.IdealDist(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Data bit must still read 1 (bit 0 of the outcome).
+		most := d.MostLikely().Value
+		if !most.Bit(0) {
+			t.Fatalf("X on qubit %d not corrected: most likely %v", q, most)
+		}
+	}
+}
+
+func TestGrover(t *testing.T) {
+	for _, marked := range []string{"10", "01", "11", "101", "110", "000"} {
+		w := Grover(marked)
+		d, err := statevec.IdealDist(w.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := d.P(w.Correct)
+		if p < 0.9 {
+			t.Errorf("grover(%s): P(marked) = %v, want >= 0.9", marked, p)
+		}
+		if !d.MostLikely().Value.Equal(w.Correct) {
+			t.Errorf("grover(%s): most likely = %v", marked, d.MostLikely().Value)
+		}
+	}
+	mustPanicW(t, func() { Grover("1") })
+	mustPanicW(t, func() { Grover("1111") })
+}
+
+func mustPanicW(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
