@@ -34,9 +34,13 @@ import (
 	"edm/internal/statevec"
 )
 
-// Machine simulates one device with one (runtime) calibration.
+// Machine simulates one device with one (runtime) calibration. It keeps
+// a bounded cache of compiled programs keyed by circuit fingerprint, so
+// experiment loops that re-run the same executable across rounds and
+// policies skip compilation and fusion.
 type Machine struct {
-	cal *device.Calibration
+	cal   *device.Calibration
+	progs progCache
 }
 
 // New returns a machine with the given runtime calibration. The
@@ -64,18 +68,33 @@ const (
 	stepMeasure                 // projective measurement into a classical bit
 )
 
+// matClass tags a unitary step with the kernel that applies it. Classes
+// are detected once, at fusion time, instead of re-inspecting matrices on
+// every trial. The zero value matGeneral is always safe.
+type matClass uint8
+
+const (
+	matGeneral matClass = iota // dense kernel
+	matDiag                    // diagonal matrix (RZ, ZZ, CZ products)
+	matAnti                    // anti-diagonal 1Q matrix (X-like)
+	matPerm                    // 2Q permutation-with-phases (CX-like)
+)
+
 // step is one schedule entry; qubit indices are *local* (compacted).
 type step struct {
-	kind stepKind
-	m2   circuit.Matrix2
-	m4   circuit.Matrix4
-	q0   int
-	q1   int
-	p    float64 // depolarizing probability for stepPauli*
-	ampK []circuit.Matrix2
-	phK  []circuit.Matrix2
-	cbit int
-	phys int // physical qubit, for readout handling of measurements
+	kind  stepKind
+	class matClass
+	m2    circuit.Matrix2
+	m4    circuit.Matrix4
+	d4    [4]complex128 // diagonal of m4 when kind==stepU2 and class==matDiag
+	perm  statevec.Perm4
+	q0    int
+	q1    int
+	p     float64 // depolarizing probability for stepPauli*
+	ampK  []circuit.Matrix2
+	phK   []circuit.Matrix2
+	cbit  int
+	phys  int // physical qubit, for readout handling of measurements
 }
 
 // program is a compiled, noise-annotated schedule for one executable.
@@ -271,27 +290,48 @@ func (p *program) addDamp(cal *device.Calibration, lq, q int, dt float64) {
 // across CPU cores. Below it the goroutine overhead is not worth paying.
 const parallelThreshold = 256
 
+// computeTokens caps the number of trial workers executing concurrently
+// across the whole process, so member-level parallelism (core running K
+// ensemble members at once) and trial-level striping compose instead of
+// oversubscribing the CPUs. The pool size is fixed at init; workers
+// beyond it queue on the channel.
+var computeTokens = make(chan struct{}, maxComputeWorkers())
+
+func maxComputeWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c > n {
+		n = c
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // Run executes the physical circuit for the given number of trials and
 // returns the outcome histogram. The RNG makes the run exactly
 // reproducible: every trial uses an independent stream derived from its
 // index, so the histogram is identical whether trials run serially or
-// across cores.
+// across cores, and whether the compiled program came from the cache or
+// a fresh compile.
 func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("backend: negative trial count")
 	}
-	prog, err := m.compile(exe)
+	prog, err := m.getProgram(exe)
 	if err != nil {
 		return nil, err
 	}
+	return m.runProgram(prog, trials, r), nil
+}
+
+// runProgram executes a compiled program for the given number of trials.
+func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts {
 	workers := runtime.GOMAXPROCS(0)
 	if trials < parallelThreshold || workers < 2 {
-		counts := dist.NewCounts(prog.numClbits)
-		trueBits := make([]int, prog.numClbits)
-		for t := 0; t < trials; t++ {
-			counts.Observe(m.runTrajectory(prog, trueBits, r.DeriveN("trial", t)))
-		}
-		return counts, nil
+		computeTokens <- struct{}{}
+		defer func() { <-computeTokens }()
+		return m.runStripe(prog, 0, 1, trials, r)
 	}
 	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
 	// Each worker fills a private histogram; merging integer counts is
@@ -302,12 +342,9 @@ func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Count
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			counts := dist.NewCounts(prog.numClbits)
-			trueBits := make([]int, prog.numClbits)
-			for t := w; t < trials; t += workers {
-				counts.Observe(m.runTrajectory(prog, trueBits, r.DeriveN("trial", t)))
-			}
-			partial[w] = counts
+			computeTokens <- struct{}{}
+			defer func() { <-computeTokens }()
+			partial[w] = m.runStripe(prog, w, workers, trials, r)
 		}(w)
 	}
 	wg.Wait()
@@ -315,7 +352,19 @@ func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Count
 	for _, p := range partial {
 		counts.Merge(p)
 	}
-	return counts, nil
+	return counts
+}
+
+// runStripe executes trials start, start+stride, ... reusing one
+// statevector and one classical-bit scratch across all of them.
+func (m *Machine) runStripe(prog *program, start, stride, trials int, r *rng.RNG) *dist.Counts {
+	counts := dist.NewCounts(prog.numClbits)
+	scratch := statevec.NewState(prog.nLocal)
+	trueBits := make([]int, prog.numClbits)
+	for t := start; t < trials; t += stride {
+		counts.Observe(m.runTrajectory(prog, scratch, trueBits, r.DeriveN("trial", t)))
+	}
+	return counts
 }
 
 // RunDist is Run followed by histogram normalization.
@@ -327,19 +376,35 @@ func (m *Machine) RunDist(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.D
 	return c.Dist(), nil
 }
 
-// runTrajectory executes one trial. trueBits is scratch space of size
-// numClbits.
-func (m *Machine) runTrajectory(prog *program, trueBits []int, r *rng.RNG) bitstr.BitString {
-	s := statevec.NewState(prog.nLocal)
+// runTrajectory executes one trial. s is a statevector of prog.nLocal
+// qubits and trueBits scratch of size numClbits; both are reset here so
+// callers reuse one allocation across trials.
+func (m *Machine) runTrajectory(prog *program, s *statevec.State, trueBits []int, r *rng.RNG) bitstr.BitString {
+	s.Reset()
 	for i := range trueBits {
 		trueBits[i] = 0
 	}
-	for _, st := range prog.steps {
+	for i := range prog.steps {
+		st := &prog.steps[i]
 		switch st.kind {
 		case stepU1:
-			s.Apply1Q(st.m2, st.q0)
+			switch st.class {
+			case matDiag:
+				s.Apply1QDiag(st.m2[0][0], st.m2[1][1], st.q0)
+			case matAnti:
+				s.Apply1QAntiDiag(st.m2[0][1], st.m2[1][0], st.q0)
+			default:
+				s.Apply1Q(st.m2, st.q0)
+			}
 		case stepU2:
-			s.Apply2Q(st.m4, st.q0, st.q1)
+			switch st.class {
+			case matDiag:
+				s.Apply2QDiag(st.d4, st.q0, st.q1)
+			case matPerm:
+				s.Apply2QPerm(st.perm, st.q0, st.q1)
+			default:
+				s.Apply2Q(st.m4, st.q0, st.q1)
+			}
 		case stepPauli1:
 			if k := noise.SamplePauli1Q(st.p, r); k != 0 {
 				s.Apply1Q(noise.Pauli1Q[k], st.q0)
@@ -405,10 +470,15 @@ func (m *Machine) neighbourOne(prog *program, q int, trueBits []int) bool {
 // executable must only measure at the end and touch at most
 // density.MaxQubits qubits.
 func (m *Machine) ExactDist(exe *circuit.Circuit) (*dist.Dist, error) {
-	prog, err := m.compile(exe)
+	prog, err := m.getProgram(exe)
 	if err != nil {
 		return nil, err
 	}
+	return m.exactFromProgram(prog)
+}
+
+// exactFromProgram evolves a compiled program through the density engine.
+func (m *Machine) exactFromProgram(prog *program) (*dist.Dist, error) {
 	if prog.nLocal > density.MaxQubits {
 		return nil, fmt.Errorf("backend: %d active qubits exceed density engine limit %d", prog.nLocal, density.MaxQubits)
 	}
@@ -418,12 +488,21 @@ func (m *Machine) ExactDist(exe *circuit.Circuit) (*dist.Dist, error) {
 	for i := range localMeasured {
 		localMeasured[i] = -1
 	}
-	for _, st := range prog.steps {
+	for i := range prog.steps {
+		st := &prog.steps[i]
 		switch st.kind {
 		case stepU1:
-			rho.Apply1Q(st.m2, st.q0)
+			if st.class == matDiag {
+				rho.Apply1QDiag(st.m2[0][0], st.m2[1][1], st.q0)
+			} else {
+				rho.Apply1Q(st.m2, st.q0)
+			}
 		case stepU2:
-			rho.Apply2Q(st.m4, st.q0, st.q1)
+			if st.class == matDiag {
+				rho.Apply2QDiag(st.d4, st.q0, st.q1)
+			} else {
+				rho.Apply2Q(st.m4, st.q0, st.q1)
+			}
 		case stepPauli1:
 			rho.ApplyKraus1Q(noise.DepolarizingKraus1Q(st.p), st.q0)
 		case stepPauli2:
@@ -444,6 +523,7 @@ func (m *Machine) ExactDist(exe *circuit.Circuit) (*dist.Dist, error) {
 	out := dist.New(prog.numClbits)
 	diag := rho.Diagonal()
 	trueBits := make([]int, prog.numClbits)
+	sp := newReadoutSpreader(prog)
 	for b, pb := range diag {
 		if pb <= 0 {
 			continue
@@ -456,41 +536,64 @@ func (m *Machine) ExactDist(exe *circuit.Circuit) (*dist.Dist, error) {
 				trueBits[cb] = 1
 			}
 		}
-		m.spreadReadout(prog, trueBits, pb, out)
+		m.spreadReadout(sp, prog, trueBits, pb, out)
 	}
 	return out, nil
 }
 
-// spreadReadout distributes probability mass pb of the true outcome over
-// all possible read outcomes under independent-given-truth flips.
-func (m *Machine) spreadReadout(prog *program, trueBits []int, pb float64, out *dist.Dist) {
-	// Collect measured classical bits and their flip probabilities.
-	type meas struct {
-		cb   int
-		flip float64
-	}
-	var ms []meas
+// readoutSpreader holds the preallocated scratch spreadReadout needs:
+// the measured classical bits with their per-truth flip probabilities,
+// and the doubling expansion buffer over partial read outcomes. One
+// spreader serves every basis state of an ExactDist call, so the
+// per-state cost is pure arithmetic.
+type readoutSpreader struct {
+	cbs   []int     // measured classical bits, ascending
+	flips []float64 // flip probability per entry, refilled per truth
+	buf   []readPartial
+}
+
+type readPartial struct {
+	bits uint64
+	p    float64
+}
+
+func newReadoutSpreader(prog *program) *readoutSpreader {
+	sp := &readoutSpreader{cbs: make([]int, 0, len(prog.measPhys))}
 	for cb, q := range prog.measPhys {
-		if q < 0 {
-			continue
+		if q >= 0 {
+			sp.cbs = append(sp.cbs, cb)
 		}
-		ms = append(ms, meas{cb: cb, flip: noise.ReadoutFlipProb(m.cal, q, trueBits[cb], m.neighbourOne(prog, q, trueBits))})
 	}
-	var rec func(i int, acc float64, bits uint64)
-	rec = func(i int, acc float64, bits uint64) {
-		if acc == 0 {
-			return
-		}
-		if i == len(ms) {
-			out.Add(bitstr.New(bits, prog.numClbits), acc)
-			return
-		}
-		cb := ms[i].cb
+	sp.flips = make([]float64, len(sp.cbs))
+	sp.buf = make([]readPartial, 1<<uint(len(sp.cbs)))
+	return sp
+}
+
+// spreadReadout distributes probability mass pb of the true outcome over
+// all possible read outcomes under independent-given-truth flips. The
+// expansion is iterative: the buffer of partial outcomes doubles once per
+// measured bit, replacing the recursive closure this used to allocate
+// per basis state.
+func (m *Machine) spreadReadout(sp *readoutSpreader, prog *program, trueBits []int, pb float64, out *dist.Dist) {
+	for i, cb := range sp.cbs {
+		q := prog.measPhys[cb]
+		sp.flips[i] = noise.ReadoutFlipProb(m.cal, q, trueBits[cb], m.neighbourOne(prog, q, trueBits))
+	}
+	sp.buf[0] = readPartial{bits: 0, p: pb}
+	n := 1
+	for i, cb := range sp.cbs {
+		flip := sp.flips[i]
 		tb := uint64(trueBits[cb])
-		// No flip.
-		rec(i+1, acc*(1-ms[i].flip), bits|(tb<<uint(cb)))
-		// Flip.
-		rec(i+1, acc*ms[i].flip, bits|((tb^1)<<uint(cb)))
+		for j := 0; j < n; j++ {
+			cur := sp.buf[j]
+			sp.buf[j] = readPartial{bits: cur.bits | (tb << uint(cb)), p: cur.p * (1 - flip)}
+			sp.buf[n+j] = readPartial{bits: cur.bits | ((tb ^ 1) << uint(cb)), p: cur.p * flip}
+		}
+		n <<= 1
 	}
-	rec(0, pb, 0)
+	for _, rp := range sp.buf[:n] {
+		if rp.p != 0 {
+			out.Add(bitstr.New(rp.bits, prog.numClbits), rp.p)
+		}
+	}
 }

@@ -1,0 +1,156 @@
+package backend
+
+import (
+	"edm/internal/circuit"
+	"edm/internal/noise"
+	"edm/internal/statevec"
+)
+
+// identityTol is the threshold below which a fused unitary counts as the
+// identity (up to global phase) and is dropped. It is far below the 1e-9
+// total-variation budget the fusion-equivalence tests enforce, even after
+// thousands of steps.
+const identityTol = 1e-13
+
+// fuseProgram returns a copy of p with deterministic unitary steps fused:
+//
+//   - runs of 1Q unitaries on the same qubit collapse into one Matrix2,
+//   - a lone 1Q unitary folds into the nearest 2Q unitary on the same
+//     qubit (before or after it) via a Kronecker lift,
+//   - identity-within-epsilon steps are dropped,
+//   - every surviving unitary is classified (diagonal / anti-diagonal /
+//     permutation) so the per-trial kernels dispatch on a tag instead of
+//     re-inspecting matrices.
+//
+// Only stepU1/stepU2 entries are touched. The stochastic steps
+// (stepPauli*, stepDamp, stepMeasure) keep their count, order, and
+// parameters, so the trajectory path draws exactly the same random
+// variates in the same order as the unfused schedule; fused matrices are
+// algebraically equal to the step products they replace, with unitaries
+// commuted only across steps acting on disjoint qubits.
+func fuseProgram(p *program) *program {
+	out := &program{
+		nLocal:    p.nLocal,
+		numClbits: p.numClbits,
+		measPhys:  p.measPhys,
+		steps:     make([]step, 0, len(p.steps)),
+	}
+	// pend[q]: index in out.steps of a 1Q unitary on q that can absorb
+	// later unitaries on q; -1 if none. lastU2[q]: index of a 2Q unitary
+	// touching q with no later step touching q; -1 if none. Both are
+	// invalidated the moment a randomness-consuming step touches q,
+	// which is what keeps the commutes exact: every step a unitary is
+	// moved across acts on disjoint qubits.
+	pend := make([]int, p.nLocal)
+	lastU2 := make([]int, p.nLocal)
+	for i := range pend {
+		pend[i] = -1
+		lastU2[i] = -1
+	}
+	dropped := make([]bool, 0, len(p.steps))
+	emit := func(s step) int {
+		out.steps = append(out.steps, s)
+		dropped = append(dropped, false)
+		return len(out.steps) - 1
+	}
+	clobber := func(q int) {
+		pend[q] = -1
+		lastU2[q] = -1
+	}
+
+	for _, s := range p.steps {
+		switch s.kind {
+		case stepU1:
+			q := s.q0
+			if j := pend[q]; j >= 0 {
+				// Later unitary composes on the left: net = s.m2 * old.
+				out.steps[j].m2 = s.m2.Mul(out.steps[j].m2)
+				continue
+			}
+			if j := lastU2[q]; j >= 0 {
+				// Fold after the 2Q gate: net = lift(s.m2) * m4.
+				out.steps[j].m4 = noise.Mul4(lift1Q(s.m2, q, out.steps[j]), out.steps[j].m4)
+				continue
+			}
+			pend[q] = emit(s)
+		case stepU2:
+			for _, q := range [2]int{s.q0, s.q1} {
+				if j := pend[q]; j >= 0 {
+					// Pending unitary runs first: net = m4 * lift(pend).
+					s.m4 = noise.Mul4(s.m4, lift1Q(out.steps[j].m2, q, s))
+					dropped[j] = true
+					pend[q] = -1
+				}
+			}
+			j := emit(s)
+			lastU2[s.q0] = j
+			lastU2[s.q1] = j
+		case stepPauli2:
+			clobber(s.q0)
+			clobber(s.q1)
+			emit(s)
+		case stepPauli1, stepDamp, stepMeasure:
+			clobber(s.q0)
+			emit(s)
+		default:
+			emit(s)
+		}
+	}
+
+	// Compact: remove folded-away steps and near-identity unitaries, then
+	// tag the survivors with their kernel class.
+	kept := out.steps[:0]
+	for i, s := range out.steps {
+		if dropped[i] {
+			continue
+		}
+		if s.kind == stepU1 && s.m2.NearIdentity(identityTol) {
+			continue
+		}
+		if s.kind == stepU2 && s.m4.NearIdentity(identityTol) {
+			continue
+		}
+		classify(&s)
+		kept = append(kept, s)
+	}
+	out.steps = kept
+	return out
+}
+
+// lift1Q embeds a one-qubit unitary on local qubit q into the 4x4 basis
+// of the two-qubit step st (low bit = st.q0).
+func lift1Q(m circuit.Matrix2, q int, st step) circuit.Matrix4 {
+	id := circuit.Matrix2{{1, 0}, {0, 1}}
+	if q == st.q0 {
+		return noise.Kron(m, id)
+	}
+	return noise.Kron(id, m)
+}
+
+// classify tags a unitary step with its kernel class so runTrajectory and
+// ExactDist dispatch without re-inspecting the matrix per trial.
+func classify(s *step) {
+	switch s.kind {
+	case stepU1:
+		switch {
+		case s.m2.IsDiagonal():
+			s.class = matDiag
+		case s.m2.IsAntiDiagonal():
+			s.class = matAnti
+		default:
+			s.class = matGeneral
+		}
+	case stepU2:
+		if d, ok := s.m4.DiagonalOf(); ok {
+			s.class = matDiag
+			s.d4 = d
+			return
+		}
+		if p, ok := statevec.ClassifyPerm4(s.m4); ok {
+			s.class = matPerm
+			s.perm = p
+			return
+		}
+		s.class = matGeneral
+	}
+}

@@ -1,0 +1,48 @@
+package circuit
+
+import "math"
+
+// FNV-1a 64-bit constants, inlined so fingerprinting allocates nothing.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// Fingerprint returns a canonical 64-bit hash of the circuit's semantic
+// content: register sizes and the ordered operation list (kind, operand
+// qubits, classical bit, exact parameter bits). The Name field is
+// excluded — two circuits that execute identically fingerprint
+// identically regardless of labelling. The backend keys its compiled-
+// program cache on this value, so the hash must change whenever anything
+// that affects compilation changes.
+func (c *Circuit) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(c.NumQubits))
+	h = fnvUint64(h, uint64(c.NumClbits))
+	for _, op := range c.Ops {
+		h = fnvUint64(h, uint64(op.Kind))
+		h = fnvUint64(h, uint64(len(op.Qubits)))
+		for _, q := range op.Qubits {
+			h = fnvUint64(h, uint64(q))
+		}
+		// Cbit is -1 for non-measure ops; the uint64 conversion is still
+		// deterministic and collision-free per op position.
+		h = fnvUint64(h, uint64(int64(op.Cbit)))
+		h = fnvUint64(h, uint64(len(op.Params)))
+		for _, p := range op.Params {
+			h = fnvUint64(h, math.Float64bits(p))
+		}
+	}
+	return h
+}

@@ -1,0 +1,65 @@
+package circuit
+
+import "testing"
+
+func fpBell() *Circuit {
+	c := New(2, 2)
+	c.H(0).CX(0, 1).MeasureAll()
+	return c
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpBell(), fpBell()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical circuits produced different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+}
+
+func TestFingerprintIgnoresName(t *testing.T) {
+	a, b := fpBell(), fpBell()
+	b.Name = "some label"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on the display name")
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	base := fpBell()
+	variants := map[string]*Circuit{}
+
+	c := New(3, 2) // more qubits
+	c.H(0).CX(0, 1).Measure(0, 0).Measure(1, 1)
+	variants["qubit count"] = c
+
+	c = New(2, 2) // different gate kind
+	c.H(0).CZ(0, 1).MeasureAll()
+	variants["gate kind"] = c
+
+	c = New(2, 2) // different operand order
+	c.H(0).CX(1, 0).MeasureAll()
+	variants["operand order"] = c
+
+	c = New(2, 2) // different classical wiring
+	c.H(0).CX(0, 1).Measure(0, 1).Measure(1, 0)
+	variants["clbit wiring"] = c
+
+	c = New(2, 2) // extra parameterized gate
+	c.H(0).CX(0, 1).RZ(0, 0.5).MeasureAll()
+	variants["extra op"] = c
+
+	for name, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %q collides with the base circuit", name)
+		}
+	}
+
+	p1, p2 := New(1, 1), New(1, 1)
+	p1.RZ(0, 0.5).Measure(0, 0)
+	p2.RZ(0, 0.5000001).Measure(0, 0)
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Error("fingerprint ignores gate parameters")
+	}
+}

@@ -205,6 +205,67 @@ func Matrix2Q(k Kind) Matrix4 {
 	}
 }
 
+// IsDiagonal reports whether both off-diagonal entries are exactly zero
+// (RZ, U1, Z, S, T and their products). Exact zeros are required so the
+// diagonal fast path is bit-compatible with the general kernel.
+func (m Matrix2) IsDiagonal() bool {
+	return m[0][1] == 0 && m[1][0] == 0
+}
+
+// IsAntiDiagonal reports whether both diagonal entries are exactly zero
+// (X, Y and their diagonal multiples).
+func (m Matrix2) IsAntiDiagonal() bool {
+	return m[0][0] == 0 && m[1][1] == 0
+}
+
+// NearIdentity reports whether m equals the identity up to a global phase
+// within tol: off-diagonals below tol, diagonal entries equal within tol,
+// and unit modulus within tol. A global phase on a trajectory or density
+// state is unobservable, so such gates can be dropped from a schedule.
+func (m Matrix2) NearIdentity(tol float64) bool {
+	if cmplx.Abs(m[0][1]) > tol || cmplx.Abs(m[1][0]) > tol {
+		return false
+	}
+	if cmplx.Abs(m[0][0]-m[1][1]) > tol {
+		return false
+	}
+	return math.Abs(cmplx.Abs(m[0][0])-1) <= tol
+}
+
+// DiagonalOf returns the diagonal of m and whether every off-diagonal
+// entry is exactly zero (ZZ interactions, CZ, products of RZ lifts).
+func (m Matrix4) DiagonalOf() ([4]complex128, bool) {
+	var d [4]complex128
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r == c {
+				d[r] = m[r][c]
+			} else if m[r][c] != 0 {
+				return d, false
+			}
+		}
+	}
+	return d, true
+}
+
+// NearIdentity reports whether m equals the identity up to a global phase
+// within tol.
+func (m Matrix4) NearIdentity(tol float64) bool {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r != c && cmplx.Abs(m[r][c]) > tol {
+				return false
+			}
+		}
+	}
+	for r := 1; r < 4; r++ {
+		if cmplx.Abs(m[r][r]-m[0][0]) > tol {
+			return false
+		}
+	}
+	return math.Abs(cmplx.Abs(m[0][0])-1) <= tol
+}
+
 // Dagger returns the conjugate transpose of m.
 func (m Matrix2) Dagger() Matrix2 {
 	return Matrix2{

@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"edm/internal/backend"
 	"edm/internal/bitstr"
@@ -146,6 +148,14 @@ func (r *Runner) Run(logical *circuit.Circuit, cfg Config, rr *rng.RNG) (*Result
 // RunExecutables runs a pre-compiled ensemble: cfg.Trials are split as
 // evenly as possible (earlier members receive the remainder), each member
 // executes on the machine, and the outputs are merged per cfg.Weighting.
+//
+// Members run concurrently: each one derives an independent RNG stream
+// from its index before its goroutine starts, and results land in their
+// member slot, so the outcome is bit-identical to running them serially.
+// Member fan-out is capped at GOMAXPROCS, and the backend additionally
+// gates its trial workers through a process-wide token pool, so
+// member-level and trial-level parallelism compose instead of
+// oversubscribing the CPUs.
 func (r *Runner) RunExecutables(execs []*mapper.Executable, cfg Config, rr *rng.RNG) (*Result, error) {
 	if len(execs) == 0 {
 		return nil, fmt.Errorf("core: empty ensemble")
@@ -153,16 +163,41 @@ func (r *Runner) RunExecutables(execs []*mapper.Executable, cfg Config, rr *rng.
 	res := &Result{Config: cfg, Members: make([]Member, len(execs))}
 	base := cfg.Trials / len(execs)
 	rem := cfg.Trials % len(execs)
+
+	fanout := runtime.GOMAXPROCS(0)
+	if fanout > len(execs) {
+		fanout = len(execs)
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	sem := make(chan struct{}, fanout)
+	errs := make([]error, len(execs))
+	var wg sync.WaitGroup
 	for i, exe := range execs {
 		trials := base
 		if i < rem {
 			trials++
 		}
-		counts, err := r.Machine.Run(exe.Circuit, trials, rr.DeriveN("member", i))
+		memberRNG := rr.DeriveN("member", i)
+		wg.Add(1)
+		go func(i int, exe *mapper.Executable, trials int, mr *rng.RNG) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			counts, err := r.Machine.Run(exe.Circuit, trials, mr)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: member %d: %w", i, err)
+				return
+			}
+			res.Members[i] = Member{Exec: exe, Counts: counts, Output: counts.Dist()}
+		}(i, exe, trials, memberRNG)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: member %d: %w", i, err)
+			return nil, err
 		}
-		res.Members[i] = Member{Exec: exe, Counts: counts, Output: counts.Dist()}
 	}
 	merge(res, cfg)
 	return res, nil

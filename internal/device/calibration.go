@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"edm/internal/rng"
 )
@@ -343,14 +344,32 @@ func (c *Calibration) Drift(f float64, r *rng.RNG) *Calibration {
 		out.CohZ[q] += f * 0.04 * qr.Norm()
 	}
 	er := r.Derive("edge-drift")
-	for e, v := range out.CXErr {
-		out.CXErr[e] = clamp(v*math.Exp(f*er.Norm()), 0, 0.4)
+	for _, e := range sortedEdges(out.CXErr) {
+		out.CXErr[e] = clamp(out.CXErr[e]*math.Exp(f*er.Norm()), 0, 0.4)
 	}
-	for e, v := range out.CXCohZZ {
-		out.CXCohZZ[e] = v + f*0.08*er.Norm()
+	for _, e := range sortedEdges(out.CXCohZZ) {
+		out.CXCohZZ[e] += f * 0.08 * er.Norm()
 	}
-	for e, v := range out.CrossZZ {
-		out.CrossZZ[e] = v + f*0.02*er.Norm()
+	for _, e := range sortedEdges(out.CrossZZ) {
+		out.CrossZZ[e] += f * 0.02 * er.Norm()
 	}
+	return out
+}
+
+// sortedEdges returns the map's keys in (A, B) order. Drift consumes RNG
+// draws while walking these maps, and Go randomizes map iteration order
+// per process, so an unsorted walk would assign different drift to
+// different edges on every run and break seed reproducibility.
+func sortedEdges(m map[Edge]float64) []Edge {
+	out := make([]Edge, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
 	return out
 }

@@ -12,12 +12,34 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 )
 
 // golden is the SplitMix64 increment (the odd constant 2^64/phi).
 const golden = 0x9E3779B97F4A7C15
+
+// FNV-1a 64-bit constants, inlined (instead of hash/fnv) so that stream
+// derivation — which Run performs once per trial — allocates nothing.
+// The byte-for-byte hashing order matches the original hash/fnv-based
+// implementation, so derived streams are unchanged.
+const (
+	fnvOffset64 uint64 = 0xcbf29ce484222325
+	fnvPrime64  uint64 = 0x100000001b3
+)
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*i)))) * fnvPrime64
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
 
 // RNG is a deterministic pseudo-random generator. The zero value is a valid
 // generator seeded with 0; use New for an explicit seed.
@@ -37,36 +59,20 @@ func New(seed uint64) *RNG {
 // yield (statistically) independent children. Derive does not advance the
 // parent's stream.
 func (r *RNG) Derive(label string) *RNG {
-	h := fnv.New64a()
 	// Mix the parent state first so children of differently seeded parents
 	// differ even for equal labels.
-	var buf [8]byte
-	s := r.state
-	for i := range buf {
-		buf[i] = byte(s >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	return &RNG{state: mix(h.Sum64())}
+	h := fnvUint64(fnvOffset64, r.state)
+	h = fnvString(h, label)
+	return &RNG{state: mix(h)}
 }
 
 // DeriveN is Derive keyed by an integer, convenient for per-trial or
 // per-round sub-streams.
 func (r *RNG) DeriveN(label string, n int) *RNG {
-	h := fnv.New64a()
-	var buf [8]byte
-	s := r.state
-	for i := range buf {
-		buf[i] = byte(s >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(label))
-	u := uint64(n)
-	for i := range buf {
-		buf[i] = byte(u >> (8 * i))
-	}
-	h.Write(buf[:])
-	return &RNG{state: mix(h.Sum64())}
+	h := fnvUint64(fnvOffset64, r.state)
+	h = fnvString(h, label)
+	h = fnvUint64(h, uint64(n))
+	return &RNG{state: mix(h)}
 }
 
 // mix is the SplitMix64 finalizer.

@@ -1,0 +1,99 @@
+package statevec
+
+import (
+	"fmt"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/rng"
+)
+
+// benchSizes are the register widths the kernel micro-benchmarks sweep;
+// 14 matches the Melbourne device the repo's experiments target.
+// The benchmarks reuse randomState (statevec_test.go) so the kernels see
+// a fully entangled state with no special structure to exploit.
+var benchSizes = []int{6, 10, 14}
+
+// denseMatrix4 left-multiplies (H ⊗ H) into CX, producing a 4x4 with no
+// zero entries so no fast-path classification (diagonal, permutation)
+// applies and Apply2Q exercises its general kernel.
+func denseMatrix4() circuit.Matrix4 {
+	h := circuit.Matrix1Q(circuit.H, nil)
+	cx := circuit.Matrix2Q(circuit.CX)
+	var hh circuit.Matrix4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			hh[r][c] = h[r&1][c&1] * h[r>>1][c>>1]
+		}
+	}
+	var out circuit.Matrix4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var acc complex128
+			for k := 0; k < 4; k++ {
+				acc += hh[r][k] * cx[k][c]
+			}
+			out[r][c] = acc
+		}
+	}
+	return out
+}
+
+// BenchmarkApply1Q measures the general dense one-qubit kernel on the
+// middle qubit of each register size.
+func BenchmarkApply1Q(b *testing.B) {
+	h := circuit.Matrix1Q(circuit.H, nil)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(3))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply1Q(h, q)
+			}
+		})
+	}
+}
+
+// BenchmarkApply2Q measures the general dense two-qubit kernel on the
+// worst-case stride pair (lowest and highest qubit).
+func BenchmarkApply2Q(b *testing.B) {
+	dense := denseMatrix4()
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(5))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply2Q(dense, 0, n-1)
+			}
+		})
+	}
+}
+
+// BenchmarkApplyDiagonal measures the diagonal fast paths the fusion pass
+// routes RZ and ZZ-crosstalk steps through.
+func BenchmarkApplyDiagonal(b *testing.B) {
+	rz := circuit.Matrix1Q(circuit.RZ, []float64{0.37})
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("1q/q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(7))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply1QDiag(rz[0][0], rz[1][1], q)
+			}
+		})
+		b.Run(fmt.Sprintf("2q/q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(9))
+			d := [4]complex128{1, rz[1][1], rz[1][1], 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply2QDiag(d, 0, n-1)
+			}
+		})
+	}
+}

@@ -49,6 +49,15 @@ func NewBasisState(b bitstr.BitString) *State {
 // N returns the number of qubits.
 func (s *State) N() int { return s.n }
 
+// Reset returns the state to |0...0> in place, so one allocation can be
+// reused across many Monte-Carlo trajectories.
+func (s *State) Reset() {
+	for i := range s.amp {
+		s.amp[i] = 0
+	}
+	s.amp[0] = 1
+}
+
 // Amplitude returns the amplitude of basis state index b.
 func (s *State) Amplitude(b uint64) complex128 { return s.amp[b] }
 
@@ -74,49 +83,196 @@ func (s *State) checkQubit(q int) {
 	}
 }
 
-// Apply1Q applies a one-qubit unitary to qubit q.
+// Apply1Q applies a one-qubit unitary to qubit q. Diagonal and
+// anti-diagonal matrices (whose zero entries are exact) are routed to the
+// specialized kernels; the results are bit-identical to the general loop
+// because multiplying by an exact complex zero contributes exactly zero.
 func (s *State) Apply1Q(m circuit.Matrix2, q int) {
 	s.checkQubit(q)
-	bit := uint64(1) << uint(q)
-	size := uint64(len(s.amp))
-	for base := uint64(0); base < size; base++ {
-		if base&bit != 0 {
-			continue
+	if m.IsDiagonal() {
+		s.Apply1QDiag(m[0][0], m[1][1], q)
+		return
+	}
+	if m.IsAntiDiagonal() {
+		s.Apply1QAntiDiag(m[0][1], m[1][0], q)
+		return
+	}
+	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	bit := 1 << uint(q)
+	n := len(s.amp)
+	// Stride loop: enumerate only the 2^(n-1) base indices with qubit q
+	// clear, as contiguous runs of length 2^q.
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := s.amp[blk : blk+bit]
+		hi := s.amp[blk+bit : blk+(bit<<1)]
+		for i, a0 := range lo {
+			a1 := hi[i]
+			lo[i] = m00*a0 + m01*a1
+			hi[i] = m10*a0 + m11*a1
 		}
-		i0 := base
-		i1 := base | bit
-		a0, a1 := s.amp[i0], s.amp[i1]
-		s.amp[i0] = m[0][0]*a0 + m[0][1]*a1
-		s.amp[i1] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// Apply1QDiag applies diag(d0, d1) to qubit q: amplitudes with the qubit
+// clear scale by d0, amplitudes with it set scale by d1.
+func (s *State) Apply1QDiag(d0, d1 complex128, q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	n := len(s.amp)
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := s.amp[blk : blk+bit]
+		hi := s.amp[blk+bit : blk+(bit<<1)]
+		for i := range lo {
+			lo[i] *= d0
+			hi[i] *= d1
+		}
+	}
+}
+
+// Apply1QAntiDiag applies the X-like matrix [[0, a01], [a10, 0]] to qubit
+// q: a scaled swap of each amplitude pair.
+func (s *State) Apply1QAntiDiag(a01, a10 complex128, q int) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	n := len(s.amp)
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := s.amp[blk : blk+bit]
+		hi := s.amp[blk+bit : blk+(bit<<1)]
+		for i, a0 := range lo {
+			lo[i] = a01 * hi[i]
+			hi[i] = a10 * a0
+		}
 	}
 }
 
 // Apply2Q applies a two-qubit unitary to the ordered qubit pair (q0, q1),
 // where q0 is the low bit of the 4x4 matrix basis (the control for CX).
+// Exactly diagonal matrices are routed to Apply2QDiag.
 func (s *State) Apply2Q(m circuit.Matrix4, q0, q1 int) {
 	s.checkQubit(q0)
 	s.checkQubit(q1)
 	if q0 == q1 {
 		panic("statevec: Apply2Q with identical qubits")
 	}
-	b0 := uint64(1) << uint(q0)
-	b1 := uint64(1) << uint(q1)
-	size := uint64(len(s.amp))
-	for base := uint64(0); base < size; base++ {
-		if base&b0 != 0 || base&b1 != 0 {
-			continue
+	if d, ok := m.DiagonalOf(); ok {
+		s.Apply2QDiag(d, q0, q1)
+		return
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(s.amp)
+	// Stride loop: enumerate only the 2^(n-2) base indices with both
+	// qubits clear via three nested strides.
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
+				var in [4]complex128
+				for k := 0; k < 4; k++ {
+					in[k] = s.amp[idx[k]]
+				}
+				for r := 0; r < 4; r++ {
+					s.amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+				}
+			}
 		}
-		var idx [4]uint64
-		idx[0] = base
-		idx[1] = base | b0
-		idx[2] = base | b1
-		idx[3] = base | b0 | b1
-		var in [4]complex128
-		for k := 0; k < 4; k++ {
-			in[k] = s.amp[idx[k]]
+	}
+}
+
+// Apply2QDiag applies diag(d) on the ordered pair (q0, q1), where the
+// matrix basis index is (bit q0) + 2*(bit q1). ZZ interactions — the
+// dominant noise-injected two-qubit step — are diagonal, so this kernel
+// carries most of the crosstalk load at 4 multiplies per base index.
+func (s *State) Apply2QDiag(d [4]complex128, q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		panic("statevec: Apply2QDiag with identical qubits")
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(s.amp)
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				s.amp[base] *= d[0]
+				s.amp[base|b0] *= d[1]
+				s.amp[base|b1] *= d[2]
+				s.amp[base|b0|b1] *= d[3]
+			}
 		}
-		for r := 0; r < 4; r++ {
-			s.amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+	}
+}
+
+// Perm4 is a two-qubit permutation-with-phases unitary: row r of the
+// matrix has its single nonzero entry Coef[r] in column Src[r]. CX, CZ,
+// SWAP and their phase products all have this shape.
+type Perm4 struct {
+	Src  [4]uint8
+	Coef [4]complex128
+}
+
+// ClassifyPerm4 reports whether m is a permutation-with-phases matrix
+// (exactly one nonzero entry per row and per column) and returns its
+// compact form. Zero tests are exact, mirroring the diagonal fast paths.
+func ClassifyPerm4(m circuit.Matrix4) (Perm4, bool) {
+	var p Perm4
+	var colUsed [4]bool
+	for r := 0; r < 4; r++ {
+		found := -1
+		for c := 0; c < 4; c++ {
+			if m[r][c] != 0 {
+				if found >= 0 {
+					return Perm4{}, false
+				}
+				found = c
+			}
+		}
+		if found < 0 || colUsed[found] {
+			return Perm4{}, false
+		}
+		colUsed[found] = true
+		p.Src[r] = uint8(found)
+		p.Coef[r] = m[r][found]
+	}
+	return p, true
+}
+
+// Apply2QPerm applies a permutation-with-phases unitary on (q0, q1):
+// out[idx[r]] = Coef[r] * in[idx[Src[r]]], one multiply per amplitude.
+func (s *State) Apply2QPerm(p Perm4, q0, q1 int) {
+	s.checkQubit(q0)
+	s.checkQubit(q1)
+	if q0 == q1 {
+		panic("statevec: Apply2QPerm with identical qubits")
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(s.amp)
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
+				var in [4]complex128
+				for k := 0; k < 4; k++ {
+					in[k] = s.amp[idx[k]]
+				}
+				for r := 0; r < 4; r++ {
+					s.amp[idx[r]] = p.Coef[r] * in[p.Src[r]]
+				}
+			}
 		}
 	}
 }
@@ -137,10 +293,11 @@ func (s *State) ApplyOp(op circuit.Op) {
 // ProbabilityOne returns the probability that measuring qubit q yields 1.
 func (s *State) ProbabilityOne(q int) float64 {
 	s.checkQubit(q)
-	bit := uint64(1) << uint(q)
+	bit := 1 << uint(q)
+	n := len(s.amp)
 	var p float64
-	for i, a := range s.amp {
-		if uint64(i)&bit != 0 {
+	for blk := bit; blk < n; blk += bit << 1 {
+		for _, a := range s.amp[blk : blk+bit] {
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
@@ -188,6 +345,13 @@ func (s *State) projectQubit(q, outcome int) {
 // It returns the index of the chosen branch. The operators must satisfy
 // sum K_i^dagger K_i = I for the probabilities to sum to one; small
 // numerical slack is tolerated.
+//
+// Channels whose operators are all diagonal or anti-diagonal — damping,
+// dephasing, and Pauli channels, i.e. every channel the noise model
+// samples per trial — take a fast path: branch probabilities follow from
+// the qubit's populations alone (one cheap pass instead of a full
+// matrix-action scan), and the chosen operator is applied pre-scaled so
+// renormalization costs no extra pass.
 func (s *State) ApplyKraus1Q(ks []circuit.Matrix2, q int, r *rng.RNG) int {
 	s.checkQubit(q)
 	if len(ks) == 0 {
@@ -203,31 +367,110 @@ func (s *State) ApplyKraus1Q(ks []circuit.Matrix2, q int, r *rng.RNG) int {
 		s.scale(1 / n)
 		return 0
 	}
-	bit := uint64(1) << uint(q)
+	if choice, ok := s.applyKrausDiagLike(ks, q, r); ok {
+		return choice
+	}
+	bit := 1 << uint(q)
+	n := len(s.amp)
 	// Branch probability p_i = sum over basis pairs of |K_i acting on the
-	// (a0, a1) sub-vector|^2.
-	probs := make([]float64, len(ks))
-	for base := uint64(0); base < uint64(len(s.amp)); base++ {
-		if base&bit != 0 {
-			continue
-		}
-		a0 := s.amp[base]
-		a1 := s.amp[base|bit]
-		for i, k := range ks {
-			n0 := k[0][0]*a0 + k[0][1]*a1
-			n1 := k[1][0]*a0 + k[1][1]*a1
-			probs[i] += real(n0)*real(n0) + imag(n0)*imag(n0) +
-				real(n1)*real(n1) + imag(n1)*imag(n1)
+	// (a0, a1) sub-vector|^2. The fixed-size buffer keeps the common case
+	// (2-4 Kraus operators, one channel per damping window per trial)
+	// allocation-free.
+	var pbuf [8]float64
+	var probs []float64
+	if len(ks) <= len(pbuf) {
+		probs = pbuf[:len(ks)]
+	} else {
+		probs = make([]float64, len(ks))
+	}
+	for blk := 0; blk < n; blk += bit << 1 {
+		loAmp := s.amp[blk : blk+bit]
+		hiAmp := s.amp[blk+bit : blk+(bit<<1)]
+		for j, a0 := range loAmp {
+			a1 := hiAmp[j]
+			for i, k := range ks {
+				n0 := k[0][0]*a0 + k[0][1]*a1
+				n1 := k[1][0]*a0 + k[1][1]*a1
+				probs[i] += real(n0)*real(n0) + imag(n0)*imag(n0) +
+					real(n1)*real(n1) + imag(n1)*imag(n1)
+			}
 		}
 	}
 	choice := r.Choose(probs)
-	s.Apply1Q(ks[choice], q)
 	p := math.Sqrt(probs[choice])
 	if p <= 0 {
 		panic("statevec: chose zero-probability Kraus branch")
 	}
-	s.scale(1 / p)
+	// Fold the 1/sqrt(p) renormalization into the operator so the apply
+	// and the rescale are one pass instead of two.
+	inv := complex(1/p, 0)
+	k := ks[choice]
+	s.Apply1Q(circuit.Matrix2{
+		{k[0][0] * inv, k[0][1] * inv},
+		{k[1][0] * inv, k[1][1] * inv},
+	}, q)
 	return choice
+}
+
+// applyKrausDiagLike handles Kraus sets whose operators are each diagonal
+// or anti-diagonal. For such a set the branch probabilities depend only on
+// the target qubit's populations p0, p1:
+//
+//	diagonal K:      ||K psi||^2 = |k00|^2 p0 + |k11|^2 p1
+//	anti-diagonal K: ||K psi||^2 = |k01|^2 p1 + |k10|^2 p0
+//
+// so one population pass replaces the per-operator matrix-action scan, and
+// the chosen operator — pre-scaled by 1/sqrt(p) — is applied by the
+// matching diagonal/anti-diagonal kernel in a single further pass.
+func (s *State) applyKrausDiagLike(ks []circuit.Matrix2, q int, r *rng.RNG) (int, bool) {
+	for _, k := range ks {
+		if !k.IsDiagonal() && !k.IsAntiDiagonal() {
+			return 0, false
+		}
+	}
+	bit := 1 << uint(q)
+	n := len(s.amp)
+	var p0, p1 float64
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := s.amp[blk : blk+bit]
+		hi := s.amp[blk+bit : blk+(bit<<1)]
+		for i, a0 := range lo {
+			a1 := hi[i]
+			p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+			p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+		}
+	}
+	var pbuf [8]float64
+	var probs []float64
+	if len(ks) <= len(pbuf) {
+		probs = pbuf[:len(ks)]
+	} else {
+		probs = make([]float64, len(ks))
+	}
+	for i, k := range ks {
+		if k.IsDiagonal() {
+			probs[i] = abs2(k[0][0])*p0 + abs2(k[1][1])*p1
+		} else {
+			probs[i] = abs2(k[0][1])*p1 + abs2(k[1][0])*p0
+		}
+	}
+	choice := r.Choose(probs)
+	p := math.Sqrt(probs[choice])
+	if p <= 0 {
+		panic("statevec: chose zero-probability Kraus branch")
+	}
+	inv := complex(1/p, 0)
+	k := ks[choice]
+	if k.IsDiagonal() {
+		s.Apply1QDiag(k[0][0]*inv, k[1][1]*inv, q)
+	} else {
+		s.Apply1QAntiDiag(k[0][1]*inv, k[1][0]*inv, q)
+	}
+	return choice, true
+}
+
+func abs2(c complex128) float64 {
+	return real(c)*real(c) + imag(c)*imag(c)
 }
 
 func (s *State) scale(f float64) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_kernels.json: runs the backend trajectory benchmarks
+# and records the results next to the frozen pre-optimization baseline.
+#
+# Usage: scripts/bench_kernels.sh [output.json]
+#   BENCHTIME=5s scripts/bench_kernels.sh   # longer runs, steadier numbers
+#
+# The baseline block below was measured at the commit immediately before
+# the fusion/stride-kernel/cache overhaul, with the same benchmark bodies
+# (single-trial trajectory execution of the representative 6/10/14-qubit
+# executables, and the striped parallel Run path). Do not edit it when
+# re-running; it is the denominator of the recorded speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+# name -> trials/s measured before the optimization PR.
+BASELINE='
+RunTrajectory/q6 20949
+RunTrajectory/q10 817.8
+RunTrajectory/q14 39.13
+RunParallel 700.4
+'
+
+raw=$(go test -run=NONE -bench='RunTrajectory|RunParallel' \
+	-benchtime="$BENCHTIME" ./internal/backend)
+echo "$raw"
+
+echo "$raw" | awk -v baseline="$BASELINE" -v date="$(date -u +%Y-%m-%d)" '
+BEGIN {
+	n = split(baseline, lines, "\n")
+	for (i = 1; i <= n; i++) {
+		if (split(lines[i], kv, " ") == 2) base[kv[1]] = kv[2]
+	}
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "trials/s") tps[name] = $(i - 1)
+		if ($i == "ns/op") nsop[name] = $(i - 1)
+	}
+	if (!(name in seen)) { order[++count] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"description\": \"backend trajectory throughput, baseline (pre fusion/stride/cache overhaul) vs current\",\n"
+	printf "  \"benchmark\": \"go test -bench RunTrajectory|RunParallel ./internal/backend\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"headline\": \"RunTrajectory/q14\",\n"
+	printf "  \"entries\": [\n"
+	for (i = 1; i <= count; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"baseline_trials_per_sec\": %s, \"after_trials_per_sec\": %s, \"after_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
+			name, base[name], tps[name], nsop[name], tps[name] / base[name], (i < count ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' >"$OUT"
+
+echo "wrote $OUT"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: vet, build, full tests, then a race-detector pass over the
+# packages with real concurrency (parallel ensemble members in core, striped
+# trial workers and the program cache in backend).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/core ./internal/backend
+
+echo "CI OK"
