@@ -30,6 +30,7 @@ import (
 	"edm/internal/device"
 	"edm/internal/dist"
 	"edm/internal/noise"
+	"edm/internal/pool"
 	"edm/internal/rng"
 	"edm/internal/statevec"
 )
@@ -290,24 +291,6 @@ func (p *program) addDamp(cal *device.Calibration, lq, q int, dt float64) {
 // across CPU cores. Below it the goroutine overhead is not worth paying.
 const parallelThreshold = 256
 
-// computeTokens caps the number of trial workers executing concurrently
-// across the whole process, so member-level parallelism (core running K
-// ensemble members at once) and trial-level striping compose instead of
-// oversubscribing the CPUs. The pool size is fixed at init; workers
-// beyond it queue on the channel.
-var computeTokens = make(chan struct{}, maxComputeWorkers())
-
-func maxComputeWorkers() int {
-	n := runtime.GOMAXPROCS(0)
-	if c := runtime.NumCPU(); c > n {
-		n = c
-	}
-	if n < 2 {
-		n = 2
-	}
-	return n
-}
-
 // Run executes the physical circuit for the given number of trials and
 // returns the outcome histogram. The RNG makes the run exactly
 // reproducible: every trial uses an independent stream derived from its
@@ -329,21 +312,23 @@ func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Count
 func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts {
 	workers := runtime.GOMAXPROCS(0)
 	if trials < parallelThreshold || workers < 2 {
-		computeTokens <- struct{}{}
-		defer func() { <-computeTokens }()
+		pool.Acquire()
+		defer pool.Release()
 		return m.runStripe(prog, 0, 1, trials, r)
 	}
 	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
 	// Each worker fills a private histogram; merging integer counts is
 	// commutative, so the result is bit-identical to the serial path.
+	// Workers gate through the process-wide compute-token pool so trial
+	// striping composes with member- and experiment-level fan-out.
 	partial := make([]*dist.Counts, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			computeTokens <- struct{}{}
-			defer func() { <-computeTokens }()
+			pool.Acquire()
+			defer pool.Release()
 			partial[w] = m.runStripe(prog, w, workers, trials, r)
 		}(w)
 	}

@@ -1,0 +1,56 @@
+package device
+
+import "math"
+
+// Fingerprint returns a 64-bit FNV-1a hash over every field of the
+// calibration that affects compilation: topology shape, all stochastic and
+// coherent error rates, and gate timings. Two calibrations with the same
+// fingerprint compile identically, so the mapper can cache one Compiler
+// (whose construction runs all-pairs reliability Dijkstra) per calibration
+// window instead of rebuilding it for every workload in an experiment
+// sweep. Edge maps are hashed in the topology's deterministic Edges()
+// order, so the fingerprint is stable across processes.
+func (c *Calibration) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mixF := func(f float64) { mix(math.Float64bits(f)) }
+	mixS := func(s []float64) {
+		mix(uint64(len(s)))
+		for _, f := range s {
+			mixF(f)
+		}
+	}
+	mix(uint64(c.Topo.Qubits))
+	edges := c.Topo.Edges()
+	mix(uint64(len(edges)))
+	for _, e := range edges {
+		mix(uint64(e.A)<<32 | uint64(uint32(e.B)))
+	}
+	mixS(c.SQErr)
+	mixS(c.Meas01)
+	mixS(c.Meas10)
+	mixS(c.T1us)
+	mixS(c.T2us)
+	mixS(c.CohY)
+	mixS(c.CohZ)
+	for _, e := range edges {
+		mixF(c.CXErr[e])
+		mixF(c.CXCohZZ[e])
+		mixF(c.CrossZZ[e])
+	}
+	mixF(c.ReadoutCorr)
+	mixF(c.Gate1QTimeNs)
+	mixF(c.Gate2QTimeNs)
+	mixF(c.MeasTimeNs)
+	return h
+}

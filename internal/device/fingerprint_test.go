@@ -1,0 +1,41 @@
+package device
+
+import (
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	cal := Generate(Melbourne(), MelbourneProfile(), rng.New(7))
+	f1 := cal.Fingerprint()
+	if f2 := cal.Fingerprint(); f2 != f1 {
+		t.Fatalf("fingerprint not stable: %x vs %x", f1, f2)
+	}
+	if f2 := cal.Clone().Fingerprint(); f2 != f1 {
+		t.Fatalf("clone fingerprint differs: %x vs %x", f1, f2)
+	}
+
+	other := Generate(Melbourne(), MelbourneProfile(), rng.New(8))
+	if other.Fingerprint() == f1 {
+		t.Fatal("different calibrations share a fingerprint")
+	}
+
+	mutated := cal.Clone()
+	mutated.SQErr[3] += 1e-9
+	if mutated.Fingerprint() == f1 {
+		t.Fatal("per-qubit rate change did not alter fingerprint")
+	}
+
+	mutated = cal.Clone()
+	e := cal.Topo.Edges()[0]
+	mutated.CXErr[e] += 1e-9
+	if mutated.Fingerprint() == f1 {
+		t.Fatal("per-link rate change did not alter fingerprint")
+	}
+
+	drifted := cal.Drift(0.2, rng.New(9))
+	if drifted.Fingerprint() == f1 {
+		t.Fatal("drifted calibration shares a fingerprint")
+	}
+}

@@ -33,19 +33,23 @@ func Fig1(s Setup) Fig1Result {
 	}
 	out := Fig1Result{Key: w.Correct, Ideal: ideal}
 	deep := deepBV2()
-	for i := 0; i < s.Rounds; i++ {
+	dists := make([]*dist.Dist, s.Rounds)
+	runCells(s.Rounds, func(i int) {
 		r := s.Round(i)
 		m, err := r.Runner.RunSingleBest(deep, s.Trials, r.RNG.Derive("fig1"))
 		if err != nil {
 			panic(err)
 		}
-		ist := m.Output.IST(w.Correct)
+		dists[i] = m.Output
+	})
+	for i := 0; i < s.Rounds; i++ {
+		ist := dists[i].IST(w.Correct)
 		switch {
 		case ist > 1 && (out.Good == nil || ist > out.GoodIST):
-			out.Good = m.Output
+			out.Good = dists[i]
 			out.GoodIST = ist
 		case ist < 1 && (out.Bad == nil || ist < out.BadIST):
-			out.Bad = m.Output
+			out.Bad = dists[i]
 			out.BadIST = ist
 		}
 	}
@@ -125,21 +129,23 @@ func Fig4(s Setup) Fig4Result {
 		panic(err)
 	}
 	sameDists := make([]*dist.Dist, 8)
-	for i := range sameDists {
-		d, err := r.Machine.RunDist(execs[0].Circuit, s.Trials, r.RNG.DeriveN("fig4-same", i))
-		if err != nil {
-			panic(err)
-		}
-		sameDists[i] = d
-	}
 	divDists := make([]*dist.Dist, len(execs))
-	for i, e := range execs {
-		d, err := r.Machine.RunDist(e.Circuit, s.Trials, r.RNG.DeriveN("fig4-div", i))
+	runCells(len(sameDists)+len(divDists), func(i int) {
+		if i < len(sameDists) {
+			d, err := r.Machine.RunDist(execs[0].Circuit, s.Trials, r.RNG.DeriveN("fig4-same", i))
+			if err != nil {
+				panic(err)
+			}
+			sameDists[i] = d
+			return
+		}
+		j := i - len(sameDists)
+		d, err := r.Machine.RunDist(execs[j].Circuit, s.Trials, r.RNG.DeriveN("fig4-div", j))
 		if err != nil {
 			panic(err)
 		}
-		divDists[i] = d
-	}
+		divDists[j] = d
+	})
 	same, avgSame := pairwiseKL(sameDists)
 	div, avgDiv := pairwiseKL(divDists)
 	return Fig4Result{Same: same, Diverse: div, AvgSame: avgSame, AvgDiverse: avgDiv}

@@ -26,15 +26,19 @@ func Fig6(s Setup) Fig6Result {
 	if err != nil {
 		panic(err)
 	}
-	out := Fig6Result{}
-	for i, e := range execs {
+	out := Fig6Result{
+		MappingIST: make([]float64, len(execs)),
+		MappingESP: make([]float64, len(execs)),
+	}
+	runCells(len(execs), func(i int) {
+		e := execs[i]
 		d, err := r.Machine.RunDist(e.Circuit, s.Trials, r.RNG.DeriveN("fig6", i))
 		if err != nil {
 			panic(err)
 		}
-		out.MappingIST = append(out.MappingIST, d.IST(w.Correct))
-		out.MappingESP = append(out.MappingESP, e.ESP)
-	}
+		out.MappingIST[i] = d.IST(w.Correct)
+		out.MappingESP[i] = e.ESP
+	})
 	res, err := r.Runner.RunExecutables(execs[:4],
 		core.Config{K: 4, Trials: s.Trials, Weighting: core.WeightUniform},
 		r.RNG.Derive("fig6-edm"))
@@ -92,82 +96,105 @@ type policySet struct {
 	sizes    bool // EDM-2 and EDM-6
 }
 
+// policyCell is the outcome of one (workload, round) cell of a sweep.
+type policyCell struct {
+	base, post, edm, wedm, edm2, edm6, basePST, edmPST float64
+}
+
 // RunPolicies executes the Section 4.2 protocol for the named workloads:
 // for every round, the baseline and each requested policy run
 // back-to-back with the full trial budget, and the medians across rounds
 // are reported per workload.
+//
+// The (workload x round) cells are mutually independent — each
+// materializes its own Round and derives every RNG stream from the
+// round's root and the workload name, exactly as the serial loop this
+// replaced did — so they run concurrently via runCells and the reported
+// tables are bit-identical to a serial sweep.
 func RunPolicies(s Setup, names []string, set policySet) []PolicyRow {
-	rows := make([]PolicyRow, 0, len(names))
 	for _, name := range names {
-		w, ok := workloads.ByName(name)
-		if !ok {
+		if _, ok := workloads.ByName(name); !ok {
 			panic(fmt.Sprintf("experiment: unknown workload %q", name))
 		}
-		var base, post, edm, wedm, edm2, edm6, basePST, edmPST []float64
-		for i := 0; i < s.Rounds; i++ {
-			r := s.Round(i)
-			seed := r.RNG.Derive("policies-" + name)
+	}
+	cells := make([]policyCell, len(names)*s.Rounds)
+	runCells(len(cells), func(ci int) {
+		name := names[ci/s.Rounds]
+		w, _ := workloads.ByName(name)
+		r := s.Round(ci % s.Rounds)
+		seed := r.RNG.Derive("policies-" + name)
+		cell := &cells[ci]
 
-			bm, err := r.Runner.RunSingleBest(w.Circuit, s.Trials, seed.Derive("base"))
+		bm, err := r.Runner.RunSingleBest(w.Circuit, s.Trials, seed.Derive("base"))
+		if err != nil {
+			panic(err)
+		}
+		cell.base = bm.Output.IST(w.Correct)
+		cell.basePST = bm.Output.PST(w.Correct)
+
+		res, err := r.Runner.Run(w.Circuit,
+			core.Config{K: s.K, Trials: s.Trials, Weighting: core.WeightUniform},
+			seed.Derive("edm"))
+		if err != nil {
+			panic(err)
+		}
+		cell.edm = res.Merged.IST(w.Correct)
+		cell.edmPST = res.Merged.PST(w.Correct)
+
+		if set.wedm {
+			wd := dist.WeightedMerge(memberDists(res), core.MergeWeights(memberDists(res), core.WeightDivergence))
+			cell.wedm = wd.IST(w.Correct)
+		}
+		if set.postExec {
+			pm, err := r.Runner.BestPostExec(res, w.Correct, s.Trials, seed.Derive("post"))
 			if err != nil {
 				panic(err)
 			}
-			base = append(base, bm.Output.IST(w.Correct))
-			basePST = append(basePST, bm.Output.PST(w.Correct))
-
-			res, err := r.Runner.Run(w.Circuit,
-				core.Config{K: s.K, Trials: s.Trials, Weighting: core.WeightUniform},
-				seed.Derive("edm"))
-			if err != nil {
-				panic(err)
-			}
-			edm = append(edm, res.Merged.IST(w.Correct))
-			edmPST = append(edmPST, res.Merged.PST(w.Correct))
-
-			if set.wedm {
-				wd := dist.WeightedMerge(memberDists(res), core.MergeWeights(memberDists(res), core.WeightDivergence))
-				wedm = append(wedm, wd.IST(w.Correct))
-			}
-			if set.postExec {
-				pm, err := r.Runner.BestPostExec(res, w.Correct, s.Trials, seed.Derive("post"))
+			cell.post = pm.Output.IST(w.Correct)
+		}
+		if set.sizes {
+			for _, k := range []int{2, 6} {
+				resK, err := r.Runner.Run(w.Circuit,
+					core.Config{K: k, Trials: s.Trials, Weighting: core.WeightUniform},
+					seed.DeriveN("edm-k", k))
 				if err != nil {
 					panic(err)
 				}
-				post = append(post, pm.Output.IST(w.Correct))
-			}
-			if set.sizes {
-				for _, k := range []int{2, 6} {
-					resK, err := r.Runner.Run(w.Circuit,
-						core.Config{K: k, Trials: s.Trials, Weighting: core.WeightUniform},
-						seed.DeriveN("edm-k", k))
-					if err != nil {
-						panic(err)
-					}
-					ist := resK.Merged.IST(w.Correct)
-					if k == 2 {
-						edm2 = append(edm2, ist)
-					} else {
-						edm6 = append(edm6, ist)
-					}
+				if k == 2 {
+					cell.edm2 = resK.Merged.IST(w.Correct)
+				} else {
+					cell.edm6 = resK.Merged.IST(w.Correct)
 				}
 			}
 		}
+	})
+
+	rows := make([]PolicyRow, 0, len(names))
+	for wi, name := range names {
+		per := cells[wi*s.Rounds : (wi+1)*s.Rounds]
+		pick := func(get func(policyCell) float64) []float64 {
+			xs := make([]float64, len(per))
+			for i, c := range per {
+				xs[i] = get(c)
+			}
+			return xs
+		}
 		row := PolicyRow{
 			Workload:    name,
-			BaselineIST: Median(base),
-			EDMIST:      Median(edm),
-			BaselinePST: Median(basePST),
-			EDMPST:      Median(edmPST),
+			BaselineIST: Median(pick(func(c policyCell) float64 { return c.base })),
+			EDMIST:      Median(pick(func(c policyCell) float64 { return c.edm })),
+			BaselinePST: Median(pick(func(c policyCell) float64 { return c.basePST })),
+			EDMPST:      Median(pick(func(c policyCell) float64 { return c.edmPST })),
 		}
 		if set.postExec {
-			row.PostExecIST = Median(post)
+			row.PostExecIST = Median(pick(func(c policyCell) float64 { return c.post }))
 		}
 		if set.wedm {
-			row.WEDMIST = Median(wedm)
+			row.WEDMIST = Median(pick(func(c policyCell) float64 { return c.wedm }))
 		}
 		if set.sizes {
-			row.EDM2IST = Median(edm2)
-			row.EDM6IST = Median(edm6)
+			row.EDM2IST = Median(pick(func(c policyCell) float64 { return c.edm2 }))
+			row.EDM6IST = Median(pick(func(c policyCell) float64 { return c.edm6 }))
 		}
 		rows = append(rows, row)
 	}
@@ -238,15 +265,19 @@ func Fig8(s Setup) Fig8Result {
 			execs = append(execs, all[i*(len(all)-1)/7])
 		}
 	}
-	out := Fig8Result{}
-	for i, e := range execs {
+	out := Fig8Result{
+		ESP: make([]float64, len(execs)),
+		PST: make([]float64, len(execs)),
+	}
+	runCells(len(execs), func(i int) {
+		e := execs[i]
 		d, err := r.Machine.RunDist(e.Circuit, s.Trials, r.RNG.DeriveN("fig8", i))
 		if err != nil {
 			panic(err)
 		}
-		out.ESP = append(out.ESP, e.ESP)
-		out.PST = append(out.PST, d.PST(w.Correct))
-	}
+		out.ESP[i] = e.ESP
+		out.PST[i] = d.PST(w.Correct)
+	})
 	out.Correlation = pearson(out.ESP, out.PST)
 	out.BestESPIndex = argmax(out.ESP)
 	out.BestPSTIndex = argmax(out.PST)

@@ -54,20 +54,21 @@ func Fig13(s Setup) Fig13Result {
 	out.FrontierQcor10 = ballsim.Correlated(m, 0.10).Frontier(trials, reps, r.Derive("f10"))
 	out.FrontierQcor50 = ballsim.Correlated(m, 0.50).Frontier(trials, reps, r.Derive("f50"))
 
-	for _, name := range []string{"qaoa-6", "bv-6", "greycode-6"} {
+	names := []string{"qaoa-6", "bv-6", "greycode-6"}
+	out.Experimental = make([]Fig13Point, len(names)*s.Rounds)
+	runCells(len(out.Experimental), func(ci int) {
+		name := names[ci/s.Rounds]
 		w, _ := workloads.ByName(name)
-		for i := 0; i < s.Rounds; i++ {
-			rd := s.Round(i)
-			mem, err := rd.Runner.RunSingleBest(w.Circuit, trials, rd.RNG.Derive("fig13-"+name))
-			if err != nil {
-				panic(err)
-			}
-			out.Experimental = append(out.Experimental, Fig13Point{
-				Workload: name,
-				PST:      mem.Output.PST(w.Correct),
-				IST:      mem.Output.IST(w.Correct),
-			})
+		rd := s.Round(ci % s.Rounds)
+		mem, err := rd.Runner.RunSingleBest(w.Circuit, trials, rd.RNG.Derive("fig13-"+name))
+		if err != nil {
+			panic(err)
 		}
-	}
+		out.Experimental[ci] = Fig13Point{
+			Workload: name,
+			PST:      mem.Output.PST(w.Correct),
+			IST:      mem.Output.IST(w.Correct),
+		}
+	})
 	return out
 }

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runCells executes f(0..n-1) concurrently and returns when all cells are
+// done. Experiment cells — one (workload, round) of a campaign — are
+// orchestration: each one compiles and simulates through layers whose
+// leaf workers gate on the process-wide compute-token pool, so the
+// fan-out here is bounded by a plain local semaphore instead (holding a
+// token while waiting on token-gated leaves would deadlock the pool).
+//
+// Cells must be independent and write only per-index results; every RNG
+// stream a cell uses must be derived from the cell's own index or labels.
+// Under that contract the aggregated output is bit-identical to the
+// serial loop the caller replaced, for any GOMAXPROCS. If cells panic,
+// the lowest-index panic is re-raised in the caller, matching what a
+// serial loop would have surfaced first.
+func runCells(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if runtime.GOMAXPROCS(0) < 2 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

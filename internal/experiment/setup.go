@@ -73,12 +73,16 @@ type Round struct {
 	RNG *rng.RNG
 }
 
-// Round materializes round i of the campaign.
+// Round materializes round i of the campaign. Rounds are pure functions
+// of (Setup, i), so concurrent cells of a sweep can each materialize
+// their own; the compiler — whose construction runs all-pairs Dijkstra —
+// is memoized by calibration fingerprint, so the (workload x policy)
+// cells that revisit round i share one instance.
 func (s Setup) Round(i int) *Round {
 	root := rng.New(s.Seed)
 	cal := device.Generate(s.Topo, s.Profile, root.DeriveN("calibration", i))
 	runtimeCal := cal.Drift(s.Drift, root.DeriveN("drift", i))
-	comp := mapper.NewCompiler(cal)
+	comp := mapper.CachedCompiler(cal)
 	mach := backend.New(runtimeCal)
 	return &Round{
 		Index:    i,

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"edm/internal/rng"
+)
+
+// TestParallelMatchesSerialRandom cross-checks the streaming serial
+// enumerator and the work-splitting parallel driver against each other
+// (exact sequence equality) and against the brute-force oracle (set
+// equality) on randomized pattern/target pairs.
+func TestParallelMatchesSerialRandom(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	r := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		pn := 2 + int(r.Uint64()%4)  // 2..5 pattern vertices
+		tn := pn + int(r.Uint64()%4) // up to 3 extra target vertices
+		p := randomGraph(pn, 0.55, r)
+		g := randomGraph(tn, 0.65, r)
+
+		serial := Monomorphisms(p, g, 0)
+		par := MonomorphismsParallel(p, g, 0)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("trial %d: parallel order differs from serial\nserial: %v\nparallel: %v", trial, serial, par)
+		}
+
+		brute := BruteForceMonomorphisms(p, g)
+		ss := append([][]int(nil), serial...)
+		SortMappings(ss)
+		SortMappings(brute)
+		if !reflect.DeepEqual(ss, brute) {
+			t.Fatalf("trial %d: streaming result set differs from brute force (%d vs %d)", trial, len(ss), len(brute))
+		}
+
+		// The limit must truncate the same deterministic prefix in both.
+		if len(serial) > 1 {
+			lim := 1 + int(r.Uint64()%uint64(len(serial)))
+			a := Monomorphisms(p, g, lim)
+			b := MonomorphismsParallel(p, g, lim)
+			if !reflect.DeepEqual(a, serial[:lim]) {
+				t.Fatalf("trial %d: serial limit %d is not a prefix", trial, lim)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d: parallel limit %d differs from serial", trial, lim)
+			}
+		}
+	}
+}
+
+// TestHooksAssignPrune checks that Assign returning false prunes the
+// subtree without a matching Unassign, and that accepted assignments are
+// always unwound in LIFO order.
+func TestHooksAssignPrune(t *testing.T) {
+	p := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+
+	// Forbid any assignment onto target vertex 3; the surviving
+	// monomorphisms are exactly those avoiding vertex 3.
+	var emitted [][]int
+	var depthStack []int
+	s := NewMonoSearch(p, g)
+	r := s.NewRunner(Hooks{
+		Assign: func(depth, pv, tv int) bool {
+			if tv == 3 {
+				return false
+			}
+			depthStack = append(depthStack, depth)
+			return true
+		},
+		Unassign: func(depth, pv, tv int) {
+			if len(depthStack) == 0 || depthStack[len(depthStack)-1] != depth {
+				t.Fatalf("unassign depth %d does not match stack %v", depth, depthStack)
+			}
+			depthStack = depthStack[:len(depthStack)-1]
+		},
+		Emit: func(m []int) bool {
+			emitted = append(emitted, append([]int(nil), m...))
+			return false
+		},
+	})
+	r.Run()
+	if len(depthStack) != 0 {
+		t.Fatalf("assign/unassign not balanced: %v", depthStack)
+	}
+
+	var want [][]int
+	for _, m := range Monomorphisms(p, g, 0) {
+		ok := true
+		for _, tv := range m {
+			if tv == 3 {
+				ok = false
+			}
+		}
+		if ok {
+			want = append(want, m)
+		}
+	}
+	if !reflect.DeepEqual(emitted, want) {
+		t.Fatalf("pruned enumeration = %v, want %v", emitted, want)
+	}
+}
+
+// TestEmitStopsEnumeration checks early termination through Emit.
+func TestEmitStopsEnumeration(t *testing.T) {
+	p := FromEdges(2, [][2]int{{0, 1}})
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	count := 0
+	r := NewMonoSearch(p, g).NewRunner(Hooks{Emit: func(m []int) bool {
+		count++
+		return count >= 2
+	}})
+	if !r.Run() {
+		t.Fatal("Run did not report stop")
+	}
+	if count != 2 {
+		t.Fatalf("emit called %d times, want 2", count)
+	}
+}
+
+func benchGraphs() (*Graph, *Graph) {
+	// Line of 6 qubits into a 14-vertex melbourne-like ladder.
+	p := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	edges := [][2]int{}
+	for i := 0; i < 6; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+		edges = append(edges, [2]int{i + 7, i + 8})
+		edges = append(edges, [2]int{i, i + 7})
+	}
+	edges = append(edges, [2]int{6, 13})
+	g := FromEdges(14, edges)
+	return p, g
+}
+
+func BenchmarkMonomorphisms(b *testing.B) {
+	p, g := benchGraphs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Monomorphisms(p, g, 0)
+	}
+}
+
+func BenchmarkMonomorphismsStreaming(b *testing.B) {
+	// The streaming enumerator with a no-copy Emit: the cost of search
+	// alone, without materializing results.
+	p, g := benchGraphs()
+	s := NewMonoSearch(p, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		r := s.NewRunner(Hooks{Emit: func(m []int) bool { n++; return false }})
+		r.Run()
+	}
+}
+
+func BenchmarkMonomorphismsParallel(b *testing.B) {
+	p, g := benchGraphs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MonomorphismsParallel(p, g, 0)
+	}
+}

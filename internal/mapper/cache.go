@@ -1,0 +1,62 @@
+package mapper
+
+import (
+	"sync"
+
+	"edm/internal/device"
+)
+
+// Compiler construction runs all-pairs reliability Dijkstra and builds
+// the dense gate tables, and the experiment campaign constructs a
+// compiler for the same calibration once per (workload, round, policy)
+// cell. CachedCompiler memoizes compilers by calibration fingerprint so
+// that work happens once per calibration window.
+
+// cacheCap bounds the cache FIFO. An experiment sweep touches one
+// calibration per round; 32 covers every campaign in the repository with
+// room for concurrent sweeps.
+const cacheCap = 32
+
+var compilerCache struct {
+	mu  sync.Mutex
+	fps []uint64
+	cs  []*Compiler
+}
+
+// CachedCompiler returns a compiler for the calibration, reusing a
+// previously built one when the calibration fingerprint matches
+// (device.Calibration.Fingerprint hashes every field that affects
+// compilation). The calibration must not be mutated after the call —
+// the same contract as NewCompiler, made durable by the cache. Compilers
+// are immutable, so a cached instance is safe to share across goroutines.
+func CachedCompiler(cal *device.Calibration) *Compiler {
+	fp := cal.Fingerprint()
+	compilerCache.mu.Lock()
+	for i, f := range compilerCache.fps {
+		if f == fp {
+			c := compilerCache.cs[i]
+			compilerCache.mu.Unlock()
+			return c
+		}
+	}
+	compilerCache.mu.Unlock()
+
+	// Build outside the lock: construction is the expensive part, and a
+	// rare duplicate build is cheaper than serializing every miss.
+	c := NewCompiler(cal)
+
+	compilerCache.mu.Lock()
+	defer compilerCache.mu.Unlock()
+	for i, f := range compilerCache.fps {
+		if f == fp {
+			return compilerCache.cs[i] // lost the race; share the winner
+		}
+	}
+	if len(compilerCache.fps) >= cacheCap {
+		compilerCache.fps = compilerCache.fps[1:]
+		compilerCache.cs = compilerCache.cs[1:]
+	}
+	compilerCache.fps = append(compilerCache.fps, fp)
+	compilerCache.cs = append(compilerCache.cs, c)
+	return c
+}

@@ -1,0 +1,104 @@
+package mapper
+
+import (
+	"testing"
+)
+
+// Micro-benchmarks contrasting the allocation-heavy string keys and
+// map[int]bool qubit sets the candidate pipeline used before against the
+// hashed integer keys and bitmask sets that replaced them. The legacy
+// implementations live here, verbatim, as the comparison baseline.
+
+func legacyLayoutKey(layout []int) string {
+	b := make([]byte, len(layout))
+	for i, q := range layout {
+		b[i] = byte(q + 1)
+	}
+	return string(b)
+}
+
+func legacyQubitSet(used []int) map[int]bool {
+	s := map[int]bool{}
+	for _, q := range used {
+		s[q] = true
+	}
+	return s
+}
+
+func legacyOverlap(a, b map[int]bool) int {
+	n := 0
+	for q := range a {
+		if b[q] {
+			n++
+		}
+	}
+	return n
+}
+
+func benchLayouts() [][]int {
+	layouts := make([][]int, 64)
+	for i := range layouts {
+		l := make([]int, 7)
+		for j := range l {
+			l[j] = (i*7 + j*3) % 14
+		}
+		layouts[i] = l
+	}
+	return layouts
+}
+
+func BenchmarkLayoutKeyString(b *testing.B) {
+	layouts := benchLayouts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seen := map[string]bool{}
+		for _, l := range layouts {
+			seen[legacyLayoutKey(l)] = true
+		}
+	}
+}
+
+func BenchmarkLayoutKeyHash(b *testing.B) {
+	layouts := benchLayouts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seen := map[uint64]bool{}
+		for _, l := range layouts {
+			seen[hashInts(l)] = true
+		}
+	}
+}
+
+func BenchmarkQubitSetMap(b *testing.B) {
+	layouts := benchLayouts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sets := make([]map[int]bool, len(layouts))
+		for j, l := range layouts {
+			sets[j] = legacyQubitSet(l)
+		}
+		n := 0
+		for j := 1; j < len(sets); j++ {
+			n += legacyOverlap(sets[0], sets[j])
+		}
+	}
+}
+
+func BenchmarkQubitSetMask(b *testing.B) {
+	layouts := benchLayouts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sets := make([]qmask, len(layouts))
+		for j, l := range layouts {
+			m := newMask(14)
+			for _, q := range l {
+				m.add(q)
+			}
+			sets[j] = m
+		}
+		n := 0
+		for j := 1; j < len(sets); j++ {
+			n += maskOverlap(sets[0], sets[j])
+		}
+	}
+}

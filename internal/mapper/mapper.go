@@ -12,12 +12,15 @@
 // and limited qubit overlap between members (Section 6.1). Quality
 // relaxes last: the paper warns that buying diversity with lower-ESP
 // mappings at compile time is risky.
+//
+// The candidate pipeline is streaming: placements are scored as the VF2
+// search emits them (topk.go), sharded across the compute-token pool, and
+// only the selected ensemble members are materialized into circuits.
 package mapper
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"edm/internal/circuit"
 	"edm/internal/device"
@@ -47,11 +50,30 @@ func (e *Executable) UsedQubits() []int { return e.Circuit.UsedQubits() }
 
 // Compiler holds the compile-time calibration. Note that the machine's
 // behaviour at run time may have drifted away from this data — the gap the
-// paper discusses in Section 5.3.
+// paper discusses in Section 5.3. A Compiler is immutable after
+// construction and safe for concurrent use.
 type Compiler struct {
-	cal *device.Calibration
-	// edgeCost[e] = -log(1 - CXErr[e]); the additive routing metric.
-	edgeCost map[device.Edge]float64
+	cal  *device.Calibration
+	g    *graph.Graph // coupling graph (shared with the topology)
+	devN int
+
+	// Dense per-qubit and per-link tables, indexed by physical qubit.
+	// Dense lookups replace the map[Edge]float64 of earlier versions: the
+	// candidate pipeline reads them millions of times per TopK call.
+	sqSucc   []float64   // 1 - SQErr[q]
+	measSucc []float64   // 1 - MeasErrAvg(q)
+	measCost []float64   // costOf(MeasErrAvg(q))
+	cxSucc   [][]float64 // 1 - CXErr on coupled pairs, 0 elsewhere
+	cxCost   [][]float64 // costOf(CXErr) on coupled pairs, +Inf elsewhere
+
+	// Device-wide extrema, the ingredients of branch-and-bound bounds: no
+	// completion of a partial placement can beat the best per-op factor.
+	maxSQSucc   float64
+	maxMeasSucc float64
+	maxCXSucc   float64
+	minMeasCost float64
+	minEdgeCost float64
+
 	// pathCost[a][b] = cheapest -log reliability of moving between a and b.
 	pathCost [][]float64
 	// pathNext[a][b] = next hop from a on the cheapest path to b.
@@ -60,13 +82,44 @@ type Compiler struct {
 
 // NewCompiler builds a compiler for the calibration, precomputing
 // reliability-weighted all-pairs shortest paths over the coupling graph.
+// The calibration must not be mutated afterwards.
 func NewCompiler(cal *device.Calibration) *Compiler {
 	if err := cal.Validate(); err != nil {
 		panic(fmt.Sprintf("mapper: invalid calibration: %v", err))
 	}
-	c := &Compiler{cal: cal, edgeCost: make(map[device.Edge]float64)}
+	n := cal.Topo.Qubits
+	c := &Compiler{
+		cal:      cal,
+		g:        cal.Topo.Graph(),
+		devN:     n,
+		sqSucc:   make([]float64, n),
+		measSucc: make([]float64, n),
+		measCost: make([]float64, n),
+		cxSucc:   make([][]float64, n),
+		cxCost:   make([][]float64, n),
+	}
+	c.maxSQSucc, c.maxMeasSucc, c.minMeasCost = 0, 0, math.Inf(1)
+	for q := 0; q < n; q++ {
+		c.sqSucc[q] = 1 - cal.SQErr[q]
+		c.measSucc[q] = 1 - cal.MeasErrAvg(q)
+		c.measCost[q] = costOf(cal.MeasErrAvg(q))
+		c.maxSQSucc = math.Max(c.maxSQSucc, c.sqSucc[q])
+		c.maxMeasSucc = math.Max(c.maxMeasSucc, c.measSucc[q])
+		c.minMeasCost = math.Min(c.minMeasCost, c.measCost[q])
+		c.cxSucc[q] = make([]float64, n)
+		c.cxCost[q] = make([]float64, n)
+		for p := 0; p < n; p++ {
+			c.cxCost[q][p] = math.Inf(1)
+		}
+	}
+	c.maxCXSucc, c.minEdgeCost = 0, math.Inf(1)
 	for _, e := range cal.Topo.Edges() {
-		c.edgeCost[e] = costOf(cal.CXErr[e])
+		s := 1 - cal.CXErr[e]
+		w := costOf(cal.CXErr[e])
+		c.cxSucc[e.A][e.B], c.cxSucc[e.B][e.A] = s, s
+		c.cxCost[e.A][e.B], c.cxCost[e.B][e.A] = w, w
+		c.maxCXSucc = math.Max(c.maxCXSucc, s)
+		c.minEdgeCost = math.Min(c.minEdgeCost, w)
 	}
 	c.computeAllPairs()
 	return c
@@ -84,12 +137,69 @@ func costOf(errRate float64) float64 {
 	return -math.Log(1 - errRate)
 }
 
-// computeAllPairs runs Dijkstra from every vertex with SWAP-cost weights:
-// traversing an edge costs three CX on that edge (a SWAP decomposes into
-// three CX), so the metric is 3 * -log(1 - CXErr).
+// pqItem is a pending (distance, vertex) pair in the Dijkstra heap.
+type pqItem struct {
+	d float64
+	v int
+}
+
+// pqLess orders the heap by distance, ties by vertex id — the same
+// extraction order as a linear scan that picks the lowest-index minimum,
+// so the computed next-hop chains are identical to the O(n^2) scan this
+// replaced.
+func pqLess(a, b pqItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
+}
+
+type pqueue []pqItem
+
+func (pq *pqueue) push(it pqItem) {
+	*pq = append(*pq, it)
+	i := len(*pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !pqLess((*pq)[i], (*pq)[p]) {
+			break
+		}
+		(*pq)[i], (*pq)[p] = (*pq)[p], (*pq)[i]
+		i = p
+	}
+}
+
+func (pq *pqueue) pop() pqItem {
+	q := *pq
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(q) && pqLess(q[l], q[m]) {
+			m = l
+		}
+		if r < len(q) && pqLess(q[r], q[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*pq = q
+	return top
+}
+
+// computeAllPairs runs heap-based Dijkstra from every vertex with
+// SWAP-cost weights: traversing an edge costs three CX on that edge (a
+// SWAP decomposes into three CX), so the metric is 3 * -log(1 - CXErr).
 func (c *Compiler) computeAllPairs() {
-	n := c.cal.Topo.Qubits
-	g := c.cal.Topo.Graph()
+	n := c.devN
 	c.pathCost = make([][]float64, n)
 	c.pathNext = make([][]int, n)
 	for src := 0; src < n; src++ {
@@ -101,22 +211,21 @@ func (c *Compiler) computeAllPairs() {
 			prev[i] = -1
 		}
 		dist[src] = 0
-		for {
-			u, best := -1, math.Inf(1)
-			for v := 0; v < n; v++ {
-				if !done[v] && dist[v] < best {
-					u, best = v, dist[v]
-				}
-			}
-			if u == -1 {
-				break
+		pq := make(pqueue, 0, n)
+		pq.push(pqItem{0, src})
+		for len(pq) > 0 {
+			it := pq.pop()
+			u := it.v
+			if done[u] || it.d > dist[u] {
+				continue
 			}
 			done[u] = true
-			for _, v := range g.Neighbors(u) {
-				w := 3 * c.edgeCost[device.NewEdge(u, v)]
+			for _, v := range c.g.Neighbors(u) {
+				w := 3 * c.cxCost[u][v]
 				if dist[u]+w < dist[v] {
 					dist[v] = dist[u] + w
 					prev[v] = u
+					pq.push(pqItem{dist[v], v})
 				}
 			}
 		}
@@ -164,8 +273,8 @@ func (c *Compiler) Compile(logical *circuit.Circuit) (*Executable, error) {
 	if err := logical.Validate(); err != nil {
 		return nil, err
 	}
-	if logical.NumQubits > c.cal.Topo.Qubits {
-		return nil, fmt.Errorf("mapper: program needs %d qubits, device has %d", logical.NumQubits, c.cal.Topo.Qubits)
+	if logical.NumQubits > c.devN {
+		return nil, fmt.Errorf("mapper: program needs %d qubits, device has %d", logical.NumQubits, c.devN)
 	}
 	layout, err := c.place(logical)
 	if err != nil {
@@ -183,9 +292,9 @@ func (c *Compiler) CompileWithLayout(logical *circuit.Circuit, layout []int) (*E
 	if len(layout) != logical.NumQubits {
 		return nil, fmt.Errorf("mapper: layout has %d entries for %d qubits", len(layout), logical.NumQubits)
 	}
-	seen := map[int]bool{}
+	seen := make([]bool, c.devN)
 	for lq, p := range layout {
-		if p < 0 || p >= c.cal.Topo.Qubits {
+		if p < 0 || p >= c.devN {
 			return nil, fmt.Errorf("mapper: layout maps qubit %d to invalid physical qubit %d", lq, p)
 		}
 		if seen[p] {
@@ -208,11 +317,25 @@ func (c *Compiler) place(logical *circuit.Circuit) ([]int, error) {
 	return c.placeGreedy(logical)
 }
 
-// placeByEmbedding enumerates monomorphisms of the interaction graph into
-// the coupling graph and returns the placement with the lowest total
-// error cost, or nil if the interaction graph does not embed. Logical
-// qubits with no two-qubit gates are assigned afterwards, preferring
-// low-readout-error physical qubits.
+// bbEps is the relative safety margin applied to branch-and-bound
+// thresholds. Bound products and incremental sums accumulate factors in a
+// different order than the final scoring pass, so the two can disagree by
+// a few ulps; the margin makes pruning strictly conservative — a subtree
+// whose bound ties the incumbent within the margin is still explored, so
+// pruning never changes which candidate wins a deterministic tie-break.
+const bbEps = 1e-9
+
+// placeByEmbedding searches the monomorphisms of the interaction graph
+// into the coupling graph for the placement with the lowest total error
+// cost, or returns nil if the interaction graph does not embed. The
+// search is branch-and-bound: a partial assignment is abandoned as soon
+// as its accumulated cost plus a best-case bound on the unassigned
+// remainder exceeds the incumbent. Costs accumulate in a fixed order
+// (match-order depth, then interaction-edge order), so the chosen
+// placement is deterministic — unlike the earlier implementation, which
+// summed edge costs in map-iteration order and could flip near-ties
+// between runs. Logical qubits with no two-qubit gates are assigned
+// afterwards, preferring low-readout-error physical qubits.
 func (c *Compiler) placeByEmbedding(logical *circuit.Circuit) []int {
 	n := logical.NumQubits
 	edges := logical.InteractionGraph()
@@ -220,30 +343,23 @@ func (c *Compiler) placeByEmbedding(logical *circuit.Circuit) []int {
 		return nil // nothing to embed; greedy handles measurement quality
 	}
 	// Compact the interacting logical qubits.
-	interacting := map[int]bool{}
+	interacting := make([]bool, n)
 	for _, e := range edges {
 		interacting[e.A] = true
 		interacting[e.B] = true
 	}
-	compact := make([]int, 0, len(interacting))
+	idx := make([]int, n)
+	var compact []int
 	for q := 0; q < n; q++ {
+		idx[q] = -1
 		if interacting[q] {
+			idx[q] = len(compact)
 			compact = append(compact, q)
 		}
 	}
-	idx := make(map[int]int, len(compact))
-	for i, q := range compact {
-		idx[q] = i
-	}
 	pattern := graph.New(len(compact))
-	weight := map[[2]int]int{}
 	for _, e := range edges {
 		pattern.AddEdge(idx[e.A], idx[e.B])
-		weight[key2(idx[e.A], idx[e.B])] = e.Count
-	}
-	monos := graph.Monomorphisms(pattern, c.cal.Topo.Graph(), enumLimit)
-	if len(monos) == 0 {
-		return nil
 	}
 	measures := make([]int, n)
 	for _, op := range logical.Ops {
@@ -251,23 +367,79 @@ func (c *Compiler) placeByEmbedding(logical *circuit.Circuit) []int {
 			measures[op.Qubits[0]]++
 		}
 	}
+
+	search := graph.NewMonoSearch(pattern, c.g)
+	order := search.Order()
+	depth := len(order)
+	pos := make([]int, len(compact))
+	for d, v := range order {
+		pos[v] = d
+	}
+	// Bucket each weighted interaction edge at the depth where its second
+	// endpoint is assigned; bucket order follows the deterministic
+	// InteractionGraph edge order.
+	type wedge struct{ a, b, w int }
+	edgesAt := make([][]wedge, depth)
+	wsumAt := make([]float64, depth)
+	for _, e := range edges {
+		i, j := idx[e.A], idx[e.B]
+		d := pos[i]
+		if pos[j] > d {
+			d = pos[j]
+		}
+		edgesAt[d] = append(edgesAt[d], wedge{i, j, e.Count})
+		wsumAt[d] += float64(e.Count)
+	}
+	measAt := make([]float64, depth)
+	for d, v := range order {
+		measAt[d] = float64(measures[compact[v]])
+	}
+	// suffixMin[d] lower-bounds the cost contributed by depths >= d: every
+	// edge at least pays the best link, every measurement the best readout.
+	suffixMin := make([]float64, depth+1)
+	for d := depth - 1; d >= 0; d-- {
+		suffixMin[d] = suffixMin[d+1] + wsumAt[d]*c.minEdgeCost + measAt[d]*c.minMeasCost
+	}
+
+	stack := make([]float64, depth+1)
+	mono := make([]int, len(compact))
+	for i := range mono {
+		mono[i] = -1
+	}
 	bestCost := math.Inf(1)
 	var best []int
-	for _, m := range monos {
-		cost := 0.0
-		for e, w := range weight {
-			cost += float64(w) * c.edgeCost[device.NewEdge(m[e[0]], m[e[1]])]
-		}
-		for i, q := range compact {
-			cost += float64(measures[q]) * costOf(c.cal.MeasErrAvg(m[i]))
-		}
-		if cost < bestCost {
-			bestCost = cost
-			best = m
-		}
+	emitted := 0
+	r := search.NewRunner(graph.Hooks{
+		Assign: func(d, pv, tv int) bool {
+			mono[pv] = tv
+			cost := stack[d] + measAt[d]*c.measCost[tv]
+			for _, we := range edgesAt[d] {
+				cost += float64(we.w) * c.cxCost[mono[we.a]][mono[we.b]]
+			}
+			stack[d+1] = cost
+			if cost+suffixMin[d+1] > bestCost*(1+bbEps) {
+				mono[pv] = -1
+				return false
+			}
+			return true
+		},
+		Unassign: func(d, pv, tv int) { mono[pv] = -1 },
+		Emit: func(m []int) bool {
+			if cost := stack[depth]; cost < bestCost {
+				bestCost = cost
+				best = append(best[:0], m...)
+			}
+			emitted++
+			return emitted >= enumLimit
+		},
+	})
+	r.Run()
+	if best == nil {
+		return nil
 	}
+
 	layout := make([]int, n)
-	used := make([]bool, c.cal.Topo.Qubits)
+	used := make([]bool, c.devN)
 	for i := range layout {
 		layout[i] = -1
 	}
@@ -281,11 +453,11 @@ func (c *Compiler) placeByEmbedding(logical *circuit.Circuit) []int {
 			continue
 		}
 		bestP, bestM := -1, math.Inf(1)
-		for p := 0; p < c.cal.Topo.Qubits; p++ {
+		for p := 0; p < c.devN; p++ {
 			if used[p] {
 				continue
 			}
-			mcost := costOf(c.cal.MeasErrAvg(p)) * float64(measures[q]+1)
+			mcost := c.measCost[p] * float64(measures[q]+1)
 			if mcost < bestM {
 				bestM, bestP = mcost, p
 			}
@@ -325,7 +497,7 @@ func (c *Compiler) placeGreedy(logical *circuit.Circuit) ([]int, error) {
 
 	bestCost := math.Inf(1)
 	var bestLayout []int
-	for seed := 0; seed < c.cal.Topo.Qubits; seed++ {
+	for seed := 0; seed < c.devN; seed++ {
 		layout, cost := c.placeFrom(order, icount, measures, seed, n)
 		if layout != nil && cost < bestCost {
 			bestCost = cost
@@ -383,19 +555,19 @@ func (c *Compiler) placeFrom(order []int, icount map[[2]int]int, measures []int,
 	for i := range layout {
 		layout[i] = -1
 	}
-	used := make([]bool, c.cal.Topo.Qubits)
+	used := make([]bool, c.devN)
 	total := 0.0
 	for i, lq := range order {
 		var bestP int = -1
 		bestCost := math.Inf(1)
-		for p := 0; p < c.cal.Topo.Qubits; p++ {
+		for p := 0; p < c.devN; p++ {
 			if used[p] {
 				continue
 			}
 			if i == 0 && p != seed {
 				continue
 			}
-			cost := float64(measures[lq]) * costOf(c.cal.MeasErrAvg(p))
+			cost := float64(measures[lq]) * c.measCost[p]
 			for other, po := range layout {
 				if po < 0 {
 					continue
@@ -437,7 +609,7 @@ func key2(a, b int) [2]int {
 // moving qubits along the reliability-cheapest paths, then computes the
 // executable's ESP.
 func (c *Compiler) route(logical *circuit.Circuit, layout []int) (*Executable, error) {
-	devN := c.cal.Topo.Qubits
+	devN := c.devN
 	phys := circuit.New(devN, logical.NumClbits)
 	phys.Name = logical.Name
 
@@ -513,318 +685,4 @@ func (c *Compiler) route(logical *circuit.Circuit, layout []int) (*Executable, e
 		ESP:           esp,
 		Swaps:         swaps,
 	}, nil
-}
-
-// usageGraph returns the compacted graph of couplings the executable's
-// two-qubit gates actually use, plus the compact-index -> physical-qubit
-// slice.
-func usageGraph(exe *Executable) (*graph.Graph, []int) {
-	used := exe.UsedQubits()
-	idx := make(map[int]int, len(used))
-	for i, q := range used {
-		idx[q] = i
-	}
-	g := graph.New(len(used))
-	for _, op := range exe.Circuit.Ops {
-		if op.Kind.IsTwoQubit() {
-			g.AddEdge(idx[op.Qubits[0]], idx[op.Qubits[1]])
-		}
-	}
-	return g, used
-}
-
-// enumLimit caps the number of isomorphic placements enumerated; the
-// 14-qubit devices of interest stay well under it.
-const enumLimit = 100000
-
-// TopK builds the ensemble of diverse mappings (paper Section 5.2).
-//
-// The candidate pool contains (a) every isomorphic transfer of the
-// compiled baseline onto the coupling graph (VF2) and (b) independently
-// re-compiled placements from every greedy seed — the paper's step 3
-// re-compiles the program per initial mapping, which lets members differ
-// not just in which physical qubits they use but in their routing
-// geometry (and therefore in *which* systematic mistakes they make).
-//
-// Candidates are ranked by ESP and selected greedily under a diversity
-// constraint: a candidate may share at most half of its qubits with every
-// already-selected member (the paper reports its ensemble members shared
-// only two or three qubits out of seven). The cap is relaxed one qubit at
-// a time if the device cannot supply k members under it. Element 0 is
-// always the single best mapping — the paper's baseline.
-func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("mapper: k must be positive")
-	}
-	base, err := c.Compile(logical)
-	if err != nil {
-		return nil, err
-	}
-	distinct, dupes, err := c.rankPlacements(base)
-	if err != nil {
-		return nil, err
-	}
-	pool := append(distinct, dupes...)
-	pool = append(pool, c.alternativePlacements(logical)...)
-	pool = dedupeByLayout(pool)
-	sort.SliceStable(pool, func(i, j int) bool {
-		if pool[i].ESP != pool[j].ESP {
-			return pool[i].ESP > pool[j].ESP
-		}
-		return lexLess(pool[i].InitialLayout, pool[j].InitialLayout)
-	})
-	return selectDiverse(pool, k), nil
-}
-
-// alternativePlacements re-compiles the program from every greedy seed,
-// yielding placements with genuinely different routing geometry. Failures
-// (impossible seeds) are skipped.
-func (c *Compiler) alternativePlacements(logical *circuit.Circuit) []*Executable {
-	edges := logical.InteractionGraph()
-	icount := make(map[[2]int]int)
-	deg := make([]int, logical.NumQubits)
-	for _, e := range edges {
-		icount[[2]int{e.A, e.B}] = e.Count
-		deg[e.A] += e.Count
-		deg[e.B] += e.Count
-	}
-	measures := make([]int, logical.NumQubits)
-	for _, op := range logical.Ops {
-		if op.Kind == circuit.Measure {
-			measures[op.Qubits[0]]++
-		}
-	}
-	order := placeOrder(logical.NumQubits, edges, deg)
-	var out []*Executable
-	for seed := 0; seed < c.cal.Topo.Qubits; seed++ {
-		layout, cost := c.placeFrom(order, icount, measures, seed, logical.NumQubits)
-		if layout == nil || math.IsInf(cost, 1) {
-			continue
-		}
-		exe, err := c.route(logical, layout)
-		if err != nil {
-			continue
-		}
-		out = append(out, exe)
-	}
-	return out
-}
-
-// dedupeByLayout removes executables whose initial layouts coincide.
-func dedupeByLayout(execs []*Executable) []*Executable {
-	seen := map[string]bool{}
-	out := execs[:0:0]
-	for _, e := range execs {
-		key := layoutKey(e.InitialLayout)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, e)
-	}
-	return out
-}
-
-func layoutKey(layout []int) string {
-	b := make([]byte, len(layout))
-	for i, q := range layout {
-		b[i] = byte(q + 1)
-	}
-	return string(b)
-}
-
-// selectDiverse picks k members from the ESP-sorted pool under two
-// constraints drawn from the paper: every member must stay within an ESP
-// slack of the best mapping ("all the mappings used were within 10% of
-// the ESP of best mapping", Section 3.2), and a new member may share at
-// most maxShared qubits with every already-picked member (the paper's
-// members shared only two or three qubits). The overlap cap starts at
-// half the footprint and relaxes first; if still short, the ESP slack
-// widens — mirroring Section 5.5's observation that the number of strong
-// diverse placements on a small machine is inherently limited. The
-// pool's best candidate is always member 0.
-func selectDiverse(pool []*Executable, k int) []*Executable {
-	if len(pool) == 0 {
-		return nil
-	}
-	footprint := len(pool[0].UsedQubits())
-	bestESP := pool[0].ESP
-	for _, slack := range []float64{0.15, 0.3, 0.5, 1.0} {
-		minESP := bestESP * (1 - slack)
-		for maxShared := footprint / 2; maxShared <= footprint; maxShared++ {
-			picked := []*Executable{pool[0]}
-			sets := []map[int]bool{qubitSet(pool[0])}
-			for _, cand := range pool[1:] {
-				if len(picked) == k {
-					break
-				}
-				if cand.ESP < minESP {
-					continue
-				}
-				cs := qubitSet(cand)
-				ok := true
-				for _, s := range sets {
-					if overlap(cs, s) > maxShared {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					picked = append(picked, cand)
-					sets = append(sets, cs)
-				}
-			}
-			if len(picked) == k {
-				return picked
-			}
-			if slack == 1.0 && maxShared == footprint {
-				return picked // entire pool exhausted
-			}
-		}
-	}
-	return []*Executable{pool[0]}
-}
-
-func qubitSet(e *Executable) map[int]bool {
-	s := map[int]bool{}
-	for _, q := range e.UsedQubits() {
-		s[q] = true
-	}
-	return s
-}
-
-func overlap(a, b map[int]bool) int {
-	n := 0
-	for q := range a {
-		if b[q] {
-			n++
-		}
-	}
-	return n
-}
-
-// Placements compiles the program and returns every distinct-subset
-// placement (one executable per physical qubit set, the best of its set)
-// in descending ESP order. max > 0 truncates the list. Fig8-style
-// analyses use this to sample mappings across the full reliability range.
-func (c *Compiler) Placements(logical *circuit.Circuit, max int) ([]*Executable, error) {
-	base, err := c.Compile(logical)
-	if err != nil {
-		return nil, err
-	}
-	distinct, _, err := c.rankPlacements(base)
-	if err != nil {
-		return nil, err
-	}
-	if max > 0 && max < len(distinct) {
-		distinct = distinct[:max]
-	}
-	return distinct, nil
-}
-
-// rankPlacements enumerates all isomorphic re-placements of the base
-// executable, ESP-sorted, split into the best executable per physical
-// qubit set (distinct) and the remaining same-subset variants (dupes).
-func (c *Compiler) rankPlacements(base *Executable) (distinct, dupes []*Executable, err error) {
-	ug, used := usageGraph(base)
-	monos := graph.Monomorphisms(ug, c.cal.Topo.Graph(), enumLimit)
-	if len(monos) == 0 {
-		return nil, nil, fmt.Errorf("mapper: no isomorphic placement found (internal error: the base placement itself should match)")
-	}
-	execs := make([]*Executable, 0, len(monos))
-	devN := c.cal.Topo.Qubits
-	for _, m := range monos {
-		// vertexMap: physical qubit in base -> physical qubit in new
-		// placement. Untouched qubits map arbitrarily but injectively.
-		vertexMap := identityExtend(used, m, devN)
-		nc := base.Circuit.Remap(vertexMap, devN)
-		esp, err := device.ESP(nc, c.cal)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mapper: transferred mapping invalid: %w", err)
-		}
-		execs = append(execs, &Executable{
-			Circuit:       nc,
-			InitialLayout: applyMap(base.InitialLayout, vertexMap),
-			FinalLayout:   applyMap(base.FinalLayout, vertexMap),
-			ESP:           esp,
-			Swaps:         base.Swaps,
-		})
-	}
-	sort.SliceStable(execs, func(i, j int) bool {
-		if execs[i].ESP != execs[j].ESP {
-			return execs[i].ESP > execs[j].ESP
-		}
-		return lexLess(execs[i].InitialLayout, execs[j].InitialLayout)
-	})
-	// Prefer placements on *distinct physical qubit sets*: permutations of
-	// one qubit subset have identical ESP but make near-identical
-	// mistakes, which is exactly the correlation EDM exists to avoid.
-	seenSet := map[string]bool{}
-	for _, e := range execs {
-		key := qubitSetKey(e)
-		if seenSet[key] {
-			dupes = append(dupes, e)
-			continue
-		}
-		seenSet[key] = true
-		distinct = append(distinct, e)
-	}
-	return distinct, dupes, nil
-}
-
-// qubitSetKey fingerprints the physical qubits an executable touches.
-func qubitSetKey(e *Executable) string {
-	used := e.UsedQubits()
-	b := make([]byte, len(used))
-	for i, q := range used {
-		b[i] = byte(q)
-	}
-	return string(b)
-}
-
-// identityExtend builds a full device-sized vertex map sending used[i] to
-// mono[i] and filling the remaining physical qubits injectively.
-func identityExtend(used []int, mono []int, devN int) []int {
-	out := make([]int, devN)
-	taken := make([]bool, devN)
-	for i := range out {
-		out[i] = -1
-	}
-	for i, q := range used {
-		out[q] = mono[i]
-		taken[mono[i]] = true
-	}
-	free := 0
-	for q := 0; q < devN; q++ {
-		if out[q] != -1 {
-			continue
-		}
-		for taken[free] {
-			free++
-		}
-		out[q] = free
-		taken[free] = true
-	}
-	return out
-}
-
-func applyMap(layout, vertexMap []int) []int {
-	out := make([]int, len(layout))
-	for i, p := range layout {
-		if p >= 0 {
-			out[i] = vertexMap[p]
-		} else {
-			out[i] = -1
-		}
-	}
-	return out
-}
-
-func lexLess(a, b []int) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }

@@ -1,0 +1,106 @@
+// Package pool provides the process-wide compute-token pool that every
+// CPU-bound fan-out in the repository gates through.
+//
+// Several layers of the pipeline parallelize independently: the backend
+// stripes trials across workers, core runs ensemble members concurrently,
+// the mapper scores isomorphic placements in parallel and the experiment
+// campaign runs (workload x round) cells side by side. If each layer sized
+// its own worker pool at GOMAXPROCS the composition would oversubscribe
+// the CPUs multiplicatively. Instead, every *leaf* worker — a goroutine
+// that performs raw compute and never spawns or waits for further
+// token-gated work — acquires one token for its lifetime, so total
+// CPU-bound concurrency stays bounded no matter how the layers nest.
+//
+// Deadlock rule: a goroutine must never hold a token while acquiring
+// another or while waiting on work that needs one. Orchestration layers
+// (experiment cells, ensemble members) therefore use plain local
+// semaphores and leave the tokens to their leaves.
+package pool
+
+import "runtime"
+
+// tokens is sized once at init; see Size.
+var tokens = make(chan struct{}, initialSize())
+
+func initialSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c > n {
+		n = c
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Size returns the token-pool capacity, fixed at process init.
+func Size() int { return cap(tokens) }
+
+// Acquire blocks until a compute token is available.
+func Acquire() { tokens <- struct{}{} }
+
+// Release returns a token acquired with Acquire.
+func Release() { <-tokens }
+
+// Workers returns the number of goroutines worth spawning for n
+// independent work items: min(GOMAXPROCS, n), at least 1. Callers decide
+// at call time, so tests that raise GOMAXPROCS exercise the parallel
+// paths even on small machines.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Each runs f(i) for every i in [0, n), fanning out across Workers(n)
+// token-holding goroutines (worker w owns items w, w+W, w+2W, ...). It is
+// intended for leaf compute loops: f must not acquire tokens itself, and
+// results must be written to per-index slots so the outcome is identical
+// to a serial loop. Each returns after all items complete; if any f
+// panicked, the lowest-index panic is re-raised in the caller.
+func Each(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(n)
+	if w < 2 {
+		Acquire()
+		defer Release()
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	done := make(chan struct{})
+	for g := 0; g < w; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			Acquire()
+			defer Release()
+			for i := g; i < n; i += w {
+				func(i int) {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					f(i)
+				}(i)
+			}
+		}(g)
+	}
+	for g := 0; g < w; g++ {
+		<-done
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSizeBounds(t *testing.T) {
+	if Size() < 2 {
+		t.Fatalf("pool size = %d, want >= 2", Size())
+	}
+}
+
+func TestAcquireRelease(t *testing.T) {
+	for i := 0; i < Size(); i++ {
+		Acquire()
+	}
+	for i := 0; i < Size(); i++ {
+		Release()
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d", w)
+	}
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(1 << 20); w > runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers exceeded GOMAXPROCS: %d", w)
+	}
+}
+
+func TestEachCoversAllItems(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 257
+	var hits [n]atomic.Int32
+	Each(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("item %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestEachPropagatesLowestPanic(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	defer func() {
+		r := recover()
+		if r != "boom-3" {
+			t.Fatalf("recovered %v, want boom-3", r)
+		}
+	}()
+	Each(16, func(i int) {
+		if i == 3 || i == 11 {
+			panic("boom-" + string(rune('0'+i%10)))
+		}
+	})
+}
+
+func TestEachZero(t *testing.T) {
+	Each(0, func(int) { t.Fatal("called") })
+	Each(-1, func(int) { t.Fatal("called") })
+}

@@ -20,7 +20,9 @@ package selector
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"edm/internal/backend"
 	"edm/internal/bitstr"
@@ -100,22 +102,44 @@ func Select(cal *device.Calibration, pool []*mapper.Executable, k int, correct b
 		maxQ = 10 // density.MaxQubits
 	}
 	limit := opts.maxCandidates()
-	preds := make([]Prediction, 0, limit)
+	cands := make([]*mapper.Executable, 0, limit)
 	for _, exe := range pool {
-		if len(preds) == limit {
+		if len(cands) == limit {
 			break
 		}
 		if len(exe.UsedQubits()) > maxQ {
 			continue
 		}
-		p, err := Predict(cal, exe, correct)
+		cands = append(cands, exe)
+	}
+	if len(cands) == 0 {
+		return nil, 0, fmt.Errorf("selector: no candidate fits the exact engine (footprint > %d qubits)", maxQ)
+	}
+	// Exact simulation dominates the selection cost, so candidates are
+	// predicted concurrently into per-index slots; the slot order keeps the
+	// result identical to the serial loop this replaced, and the first
+	// error by candidate index is the one reported. The fan-out is bounded
+	// by a local semaphore rather than the compute-token pool: each
+	// simulation is itself a token-gated leaf inside the backend, and an
+	// orchestration layer must never hold tokens its leaves wait on.
+	preds := make([]Prediction, len(cands))
+	errs := make([]error, len(cands))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, exe := range cands {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, exe *mapper.Executable) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			preds[i], errs[i] = Predict(cal, exe, correct)
+		}(i, exe)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, 0, err
 		}
-		preds = append(preds, p)
-	}
-	if len(preds) == 0 {
-		return nil, 0, fmt.Errorf("selector: no candidate fits the exact engine (footprint > %d qubits)", maxQ)
 	}
 	sort.SliceStable(preds, func(i, j int) bool { return preds[i].IST > preds[j].IST })
 

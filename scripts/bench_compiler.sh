@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_compiler.json: runs the compilation-pipeline benchmarks
+# (TopK at the paper's k=4 across the Table 1 workload suite, single-best
+# compilation, compiler construction) and records the results next to the
+# frozen pre-optimization baseline.
+#
+# Usage: scripts/bench_compiler.sh [output.json]
+#   BENCHTIME=3x scripts/bench_compiler.sh   # quick smoke run
+#
+# The baseline block below was measured at the commit immediately before
+# the streaming-VF2/incremental-ESP/parallel-pipeline overhaul, with the
+# same benchmark bodies (internal/mapper/bench_test.go is frozen for this
+# reason). Do not edit it when re-running; it is the denominator of the
+# recorded speedups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_compiler.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+# name -> ns/op measured before the optimization PR.
+BASELINE='
+TopK/greycode-6 1806775
+TopK/bv-6 138941205
+TopK/bv-7 209938928
+TopK/qaoa-5 2364141
+TopK/qaoa-6 2239737
+TopK/qaoa-7 3952558
+TopK/fredkin 511943
+TopK/adder 1113502
+TopK/decode24 1099320
+SingleBest 103668176
+NewCompiler 53408
+'
+
+raw=$(go test -run=NONE -bench='TopK|SingleBest|NewCompiler' \
+	-benchtime="$BENCHTIME" ./internal/mapper)
+echo "$raw"
+
+echo "$raw" | awk -v baseline="$BASELINE" -v date="$(date -u +%Y-%m-%d)" '
+BEGIN {
+	n = split(baseline, lines, "\n")
+	for (i = 1; i <= n; i++) {
+		if (split(lines[i], kv, " ") == 2) base[kv[1]] = kv[2]
+	}
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	# Workload names end in digits (bv-6, qaoa-7), so only strip a trailing
+	# -N (the GOMAXPROCS suffix) when the raw name is not a baseline entry.
+	if (!(name in base)) sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") nsop[name] = $(i - 1)
+	}
+	if (!(name in seen) && (name in base)) { order[++count] = name; seen[name] = 1 }
+}
+END {
+	printf "{\n"
+	printf "  \"description\": \"compilation pipeline latency, baseline (pre streaming-VF2/incremental-ESP/parallel overhaul) vs current\",\n"
+	printf "  \"benchmark\": \"go test -bench TopK|SingleBest|NewCompiler ./internal/mapper\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"headline\": \"TopK/bv-7\",\n"
+	printf "  \"entries\": [\n"
+	for (i = 1; i <= count; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"baseline_ns_per_op\": %s, \"after_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
+			name, base[name], nsop[name], base[name] / nsop[name], (i < count ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' >"$OUT"
+
+echo "wrote $OUT"

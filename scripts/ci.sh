@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: vet, build, full tests, then a race-detector pass over the
 # packages with real concurrency (parallel ensemble members in core, striped
-# trial workers and the program cache in backend).
+# trial workers and the program cache in backend, the work-split VF2 driver
+# in graph, the parallel candidate pipeline in mapper, predicted-IST fan-out
+# in selector, and the cell-parallel sweeps in experiment).
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -17,6 +19,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/core ./internal/backend
+go test -race ./internal/core ./internal/backend ./internal/graph \
+	./internal/mapper ./internal/selector ./internal/experiment
 
 echo "CI OK"
