@@ -22,14 +22,14 @@ func printTable1(s experiment.Setup) {
 			r.Name, r.Output,
 			strconv.Itoa(r.Logical.SG), strconv.Itoa(r.Logical.CX), strconv.Itoa(r.Logical.M),
 			strconv.Itoa(r.Compiled.SG), strconv.Itoa(r.Compiled.CX), strconv.Itoa(r.Compiled.M),
-			strconv.Itoa(r.Depth), report.F(r.ESP),
+			strconv.Itoa(r.Depth), strconv.Itoa(r.Swaps), report.F(r.ESP),
 		})
 	}
 	report.Table(out, []string{
 		"benchmark", "output",
 		"SG", "CX", "M",
 		"SG(mapped)", "CX(mapped)", "M(mapped)",
-		"depth", "ESP",
+		"depth", "swaps", "ESP",
 	}, cells)
 	fmt.Fprintln(out, "\nnote: the paper's Table 1 lists post-mapping counts; compare the (mapped) columns.")
 }

@@ -27,6 +27,23 @@ func (c *Circuit) Inverse() (*Circuit, error) {
 	return out, nil
 }
 
+// UnitaryPart returns a copy of the circuit with every measurement
+// removed; barriers and unitary gates are kept in order. The result is
+// invertible, which is what the bidirectional router needs: it routes the
+// inverse of the compute part of a program to refine the initial layout,
+// and measurements neither move qubits nor have a dagger.
+func (c *Circuit) UnitaryPart() *Circuit {
+	out := New(c.NumQubits, c.NumClbits)
+	out.Name = c.Name
+	for _, op := range c.Ops {
+		if op.Kind == Measure {
+			continue
+		}
+		out.Ops = append(out.Ops, op.Clone())
+	}
+	return out
+}
+
 // inverseOp returns the dagger of a single operation.
 func inverseOp(op Op) (Op, error) {
 	inv := op.Clone()

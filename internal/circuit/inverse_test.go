@@ -146,3 +146,33 @@ func TestInverseKeepsBarriers(t *testing.T) {
 		t.Fatalf("name invented: %q", inv.Name)
 	}
 }
+
+func TestUnitaryPartStripsMeasurements(t *testing.T) {
+	c := New(3, 3)
+	c.H(0).CX(0, 1).Measure(0, 0).Barrier().T(2).Measure(1, 1)
+	u := c.UnitaryPart()
+	for i, op := range u.Ops {
+		if op.Kind == Measure {
+			t.Fatalf("op %d is still a measurement", i)
+		}
+	}
+	wantKinds := []Kind{H, CX, Barrier, T}
+	if len(u.Ops) != len(wantKinds) {
+		t.Fatalf("got %d ops, want %d", len(u.Ops), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if u.Ops[i].Kind != k {
+			t.Fatalf("op %d = %v, want %v", i, u.Ops[i].Kind, k)
+		}
+	}
+	// The unitary part of any measured circuit must invert cleanly — that
+	// is the property the bidirectional router relies on.
+	if _, err := u.Inverse(); err != nil {
+		t.Fatalf("UnitaryPart not invertible: %v", err)
+	}
+	// It must also be a copy: mutating it cannot corrupt the original.
+	u.Ops[0].Kind = X
+	if c.Ops[0].Kind != H {
+		t.Fatal("UnitaryPart aliases the source ops")
+	}
+}

@@ -17,6 +17,7 @@ type Table1Row struct {
 	Logical     circuit.Stats
 	Compiled    circuit.Stats
 	Depth       int
+	Swaps       int // routing SWAPs the mapper inserted (before lowering)
 	ESP         float64
 }
 
@@ -38,6 +39,7 @@ func Table1(s Setup) []Table1Row {
 			Logical:     w.Circuit.Stats(),
 			Compiled:    lowered.Stats(),
 			Depth:       lowered.Depth(),
+			Swaps:       exe.Swaps,
 			ESP:         exe.ESP,
 		})
 	}

@@ -202,6 +202,31 @@ func (g *Graph) IsConnected() bool {
 	return true
 }
 
+// Components returns the connected components as sorted vertex lists, in
+// ascending order of their smallest vertex.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var out [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comp := []int{v}
+		seen[v] = true
+		for i := 0; i < len(comp); i++ {
+			for _, u := range g.Neighbors(comp[i]) {
+				if !seen[u] {
+					seen[u] = true
+					comp = append(comp, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
 // InducedConnected reports whether the subgraph induced by the given
 // vertex set is connected.
 func (g *Graph) InducedConnected(vertices []int) bool {

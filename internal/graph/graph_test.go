@@ -233,3 +233,29 @@ func mustPanic(t *testing.T, f func()) {
 	}()
 	f()
 }
+
+func TestComponents(t *testing.T) {
+	// {0,1,2} path, {3,4} link, {5} isolated.
+	g := FromEdges(6, [][2]int{{1, 0}, {1, 2}, {4, 3}})
+	comps := g.Components()
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d components, want %d: %v", len(comps), len(want), comps)
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+	if got := New(0).Components(); len(got) != 0 {
+		t.Fatalf("empty graph has %d components", len(got))
+	}
+	if got := FromEdges(3, [][2]int{{0, 1}, {1, 2}}).Components(); len(got) != 1 {
+		t.Fatalf("connected graph split into %d components", len(got))
+	}
+}

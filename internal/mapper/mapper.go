@@ -78,6 +78,13 @@ type Compiler struct {
 	pathCost [][]float64
 	// pathNext[a][b] = next hop from a on the cheapest path to b.
 	pathNext [][]int
+	// iCost[a][b] = cxCost[a][b] on coupled pairs, else pathCost[a][b]: the
+	// router's interaction-distance metric as one fused lookup (router.go
+	// reads it in the innermost swap-scoring loop).
+	iCost [][]float64
+	// adj[q] is the sorted neighbor list of q, cached once so the router's
+	// swap-candidate scans allocate nothing.
+	adj [][]int
 }
 
 // NewCompiler builds a compiler for the calibration, precomputing
@@ -121,7 +128,22 @@ func NewCompiler(cal *device.Calibration) *Compiler {
 		c.maxCXSucc = math.Max(c.maxCXSucc, s)
 		c.minEdgeCost = math.Min(c.minEdgeCost, w)
 	}
+	c.adj = make([][]int, n)
+	for q := 0; q < n; q++ {
+		c.adj[q] = c.g.Neighbors(q)
+	}
 	c.computeAllPairs()
+	c.iCost = make([][]float64, n)
+	for a := 0; a < n; a++ {
+		c.iCost[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			if w := c.cxCost[a][b]; !math.IsInf(w, 1) {
+				c.iCost[a][b] = w
+			} else {
+				c.iCost[a][b] = c.pathCost[a][b]
+			}
+		}
+	}
 	return c
 }
 
@@ -284,7 +306,12 @@ func (c *Compiler) Compile(logical *circuit.Circuit) (*Executable, error) {
 }
 
 // CompileWithLayout routes the logical circuit from a caller-supplied
-// initial layout (logical qubit -> physical qubit).
+// initial layout (logical qubit -> physical qubit). The pinned layout is
+// honored exactly: the returned executable's InitialLayout equals layout
+// even when the bidirectional re-router would prefer a different seat, so
+// callers coordinating layouts across programs (or reproducing a published
+// mapping) get what they asked for. Routing still uses the lookahead
+// router for the SWAPs themselves.
 func (c *Compiler) CompileWithLayout(logical *circuit.Circuit, layout []int) (*Executable, error) {
 	if err := logical.Validate(); err != nil {
 		return nil, err
@@ -302,7 +329,7 @@ func (c *Compiler) CompileWithLayout(logical *circuit.Circuit, layout []int) (*E
 		}
 		seen[p] = true
 	}
-	return c.route(logical, append([]int(nil), layout...))
+	return c.routePinned(logical, append([]int(nil), layout...))
 }
 
 // place chooses the initial layout. If the program's interaction graph
@@ -480,10 +507,9 @@ func (c *Compiler) placeGreedy(logical *circuit.Circuit) ([]int, error) {
 	n := logical.NumQubits
 	edges := logical.InteractionGraph()
 	// Interaction counts and measure counts per logical qubit.
-	icount := make(map[[2]int]int)
+	iw := interactionWeights(n, edges)
 	deg := make([]int, n)
 	for _, e := range edges {
-		icount[[2]int{e.A, e.B}] = e.Count
 		deg[e.A] += e.Count
 		deg[e.B] += e.Count
 	}
@@ -498,7 +524,7 @@ func (c *Compiler) placeGreedy(logical *circuit.Circuit) ([]int, error) {
 	bestCost := math.Inf(1)
 	var bestLayout []int
 	for seed := 0; seed < c.devN; seed++ {
-		layout, cost := c.placeFrom(order, icount, measures, seed, n)
+		layout, cost := c.placeFrom(order, iw, measures, seed, n)
 		if layout != nil && cost < bestCost {
 			bestCost = cost
 			bestLayout = layout
@@ -547,10 +573,26 @@ func placeOrder(n int, edges []circuit.InteractionEdge, deg []int) []int {
 	return order
 }
 
+// interactionWeights folds the interaction edges into a dense symmetric
+// n x n matrix: placeFrom reads pair weights in its innermost loop, where
+// the map lookups this replaced dominated placement time.
+func interactionWeights(n int, edges []circuit.InteractionEdge) [][]int {
+	buf := make([]int, n*n)
+	iw := make([][]int, n)
+	for i := range iw {
+		iw[i] = buf[i*n : (i+1)*n]
+	}
+	for _, e := range edges {
+		iw[e.A][e.B] += e.Count
+		iw[e.B][e.A] += e.Count
+	}
+	return iw
+}
+
 // placeFrom runs one greedy placement with the first ordered qubit pinned
 // to the given physical seed. It returns (nil, inf) if placement is
 // impossible.
-func (c *Compiler) placeFrom(order []int, icount map[[2]int]int, measures []int, seed, n int) ([]int, float64) {
+func (c *Compiler) placeFrom(order []int, iw [][]int, measures []int, seed, n int) ([]int, float64) {
 	layout := make([]int, n)
 	for i := range layout {
 		layout[i] = -1
@@ -572,7 +614,7 @@ func (c *Compiler) placeFrom(order []int, icount map[[2]int]int, measures []int,
 				if po < 0 {
 					continue
 				}
-				w := icount[key2(lq, other)]
+				w := iw[lq][other]
 				if w == 0 {
 					continue
 				}
@@ -598,91 +640,6 @@ func (c *Compiler) placeFrom(order []int, icount map[[2]int]int, measures []int,
 	return layout, total
 }
 
-func key2(a, b int) [2]int {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]int{a, b}
-}
-
-// route inserts SWAPs so every two-qubit gate acts on coupled qubits,
-// moving qubits along the reliability-cheapest paths, then computes the
-// executable's ESP.
-func (c *Compiler) route(logical *circuit.Circuit, layout []int) (*Executable, error) {
-	devN := c.devN
-	phys := circuit.New(devN, logical.NumClbits)
-	phys.Name = logical.Name
-
-	l2p := append([]int(nil), layout...)
-	p2l := make([]int, devN)
-	for i := range p2l {
-		p2l[i] = -1
-	}
-	for lq, p := range l2p {
-		p2l[p] = lq
-	}
-	swapTo := func(a, b int) { // swap physical qubits a, b
-		phys.SWAP(a, b)
-		la, lb := p2l[a], p2l[b]
-		p2l[a], p2l[b] = lb, la
-		if la >= 0 {
-			l2p[la] = b
-		}
-		if lb >= 0 {
-			l2p[lb] = a
-		}
-	}
-	swaps := 0
-	for i, op := range logical.Ops {
-		switch {
-		case op.Kind == circuit.Barrier:
-			qs := make([]int, len(op.Qubits))
-			for j, q := range op.Qubits {
-				qs[j] = l2p[q]
-			}
-			phys.Barrier(qs...)
-		case op.Kind == circuit.Measure:
-			phys.Measure(l2p[op.Qubits[0]], op.Cbit)
-		case op.Kind.IsTwoQubit():
-			pa, pb := l2p[op.Qubits[0]], l2p[op.Qubits[1]]
-			// A gate on coupled qubits always executes directly: a detour
-			// would cost three CX per hop against one direct CX, so even a
-			// noisy direct link wins.
-			if !c.cal.Topo.HasEdge(pa, pb) {
-				path := c.pathBetween(pa, pb)
-				if path == nil {
-					return nil, fmt.Errorf("mapper: op %d: no route between physical qubits %d and %d", i, pa, pb)
-				}
-				// Walk operand 0 along the cheapest path until the pair
-				// is coupled. (A lookahead router that also considered
-				// moving operand 1 was evaluated and produced strictly
-				// worse SWAP counts on the Table 1 workloads, so the
-				// simple deterministic walk stays.)
-				for len(path) > 2 {
-					swapTo(path[0], path[1])
-					swaps++
-					path = path[1:]
-				}
-			}
-			pa, pb = l2p[op.Qubits[0]], l2p[op.Qubits[1]]
-			nop := op.Clone()
-			nop.Qubits[0], nop.Qubits[1] = pa, pb
-			phys.Ops = append(phys.Ops, nop)
-		default:
-			nop := op.Clone()
-			nop.Qubits[0] = l2p[op.Qubits[0]]
-			phys.Ops = append(phys.Ops, nop)
-		}
-	}
-	esp, err := device.ESP(phys, c.cal)
-	if err != nil {
-		return nil, fmt.Errorf("mapper: routed circuit invalid: %w", err)
-	}
-	return &Executable{
-		Circuit:       phys,
-		InitialLayout: append([]int(nil), layout...),
-		FinalLayout:   l2p,
-		ESP:           esp,
-		Swaps:         swaps,
-	}, nil
-}
+// Routing lives in router.go: route/routePinned orchestrate the
+// SABRE-style lookahead router against the frozen greedy-walk baseline
+// (greedyPass) and materialize whichever variant scores the higher ESP.

@@ -318,8 +318,18 @@ func TestTopKStarWorkload(t *testing.T) {
 		if !got.Equal(want, 1e-9) {
 			t.Fatalf("executable %d changed semantics", i)
 		}
-		if e.Swaps != execs[0].Swaps {
-			t.Fatalf("swap counts differ across transferred mappings: %d vs %d", e.Swaps, execs[0].Swaps)
+		// Members may be VF2 transfers of the base (same swap count) or
+		// independently re-routed alternative placements (their own swap
+		// count), so swap counts can differ across members; each member's
+		// recorded count must match its own circuit.
+		nswap := 0
+		for _, op := range e.Circuit.Ops {
+			if op.Kind == circuit.SWAP {
+				nswap++
+			}
+		}
+		if e.Swaps != nswap {
+			t.Fatalf("executable %d records %d swaps, circuit has %d", i, e.Swaps, nswap)
 		}
 	}
 }

@@ -1,0 +1,376 @@
+package mapper
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/statevec"
+	"edm/internal/workloads"
+)
+
+// uniformCal builds a calibration with identical error rates everywhere,
+// so every shortest-path tie is a true tie and only the deterministic
+// tie-break decides the route.
+func uniformCal(topo *device.Topology, cxErr float64) *device.Calibration {
+	n := topo.Qubits
+	fill := func(v float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	cal := &device.Calibration{
+		Topo:         topo,
+		SQErr:        fill(0.001),
+		Meas01:       fill(0.02),
+		Meas10:       fill(0.02),
+		T1us:         fill(50),
+		T2us:         fill(30),
+		CohY:         fill(0),
+		CohZ:         fill(0),
+		CXErr:        map[device.Edge]float64{},
+		CXCohZZ:      map[device.Edge]float64{},
+		CrossZZ:      map[device.Edge]float64{},
+		Gate1QTimeNs: 50,
+		Gate2QTimeNs: 300,
+		MeasTimeNs:   1000,
+	}
+	for _, e := range topo.Edges() {
+		cal.CXErr[e] = cxErr
+		cal.CXCohZZ[e] = 0
+		cal.CrossZZ[e] = 0
+	}
+	return cal
+}
+
+// twoComponentTopology is a 5-qubit device whose coupling graph has two
+// components: a 3-qubit path {0,1,2} and a 2-qubit link {3,4}.
+func twoComponentTopology() *device.Topology {
+	return device.NewTopology("twocomp-5", 5, []device.Edge{
+		device.NewEdge(0, 1), device.NewEdge(1, 2), device.NewEdge(3, 4),
+	})
+}
+
+// TestRouteUnroutableOpKind pins the router's behavior on an op kind it
+// cannot route: a multi-operand kind that is neither a recognized
+// two-qubit gate nor a single-qubit gate must surface an explicit error,
+// not fall through to a silent remap of operand 0 (the old behavior,
+// which corrupted the circuit).
+func TestRouteUnroutableOpKind(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 3))
+	qc := circuit.New(3, 3)
+	qc.H(0)
+	// A synthetic future gate kind with three operands, injected directly
+	// into the op list the way a builder extension would.
+	qc.Ops = append(qc.Ops, circuit.Op{Kind: circuit.Kind(97), Qubits: []int{0, 1, 2}, Cbit: -1})
+	_, err := comp.route(qc, []int{0, 1, 2})
+	if err == nil {
+		t.Fatal("route accepted a 3-operand unknown op kind")
+	}
+	if !strings.Contains(err.Error(), "unroutable op kind") {
+		t.Fatalf("error %q does not name the unroutable op kind", err)
+	}
+	if _, err := comp.routePinned(qc, []int{0, 1, 2}); err == nil {
+		t.Fatal("routePinned accepted a 3-operand unknown op kind")
+	}
+}
+
+// TestAlternativePlacementsSkippedSeeds routes a 3-qubit path program on a
+// two-component device: seeds in the 2-qubit component can never place the
+// program and must be reported as skipped, not silently dropped.
+func TestAlternativePlacementsSkippedSeeds(t *testing.T) {
+	comp := NewCompiler(uniformCal(twoComponentTopology(), 0.01))
+	prog := pathQAOAish(3) // path interaction graph: fits {0,1,2} only
+	alts, skipped, err := comp.alternativePlacements(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) == 0 {
+		t.Fatal("no placements from the hosting component")
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (seeds 3 and 4 cannot host a 3-qubit path)", skipped)
+	}
+	for _, a := range alts {
+		for lq, p := range a.layout {
+			if p > 2 {
+				t.Fatalf("logical qubit %d placed on %d, outside the hosting component", lq, p)
+			}
+		}
+	}
+}
+
+// TestAlternativePlacementsAllFail asks for a 4-qubit connected program on
+// the same device, which no component can host: the sweep must error
+// rather than quietly return an empty pool.
+func TestAlternativePlacementsAllFail(t *testing.T) {
+	comp := NewCompiler(uniformCal(twoComponentTopology(), 0.01))
+	_, skipped, err := comp.alternativePlacements(pathQAOAish(4))
+	if err == nil {
+		t.Fatal("alternativePlacements succeeded with no component large enough")
+	}
+	if skipped != 5 {
+		t.Fatalf("skipped = %d, want all 5 seeds", skipped)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "all 5 greedy seeds") || !strings.Contains(msg, "2 connected components") {
+		t.Fatalf("error %q should report the seed count and component count", err)
+	}
+}
+
+// TestDijkstraTieBreaksByQubitIndex pins the all-pairs tie-break on a ring
+// with uniform link errors: between the two equal-cost arcs, the router
+// must always take the one through lower qubit indices, in both
+// directions. This is what makes parallel sweeps bit-identical — a
+// map-ordered Dijkstra would flip these ties between runs.
+func TestDijkstraTieBreaksByQubitIndex(t *testing.T) {
+	comp := NewCompiler(uniformCal(device.Ring(6), 0.01))
+	cases := []struct {
+		src, dst int
+		want     []int
+	}{
+		{0, 3, []int{0, 1, 2, 3}}, // not 0,5,4,3
+		{3, 0, []int{3, 2, 1, 0}}, // not 3,4,5,0
+		{0, 2, []int{0, 1, 2}},
+		{1, 4, []int{1, 2, 3, 4}}, // not 1,0,5,4
+	}
+	for _, tc := range cases {
+		got := comp.pathBetween(tc.src, tc.dst)
+		if !sameInts(got, tc.want) {
+			t.Errorf("pathBetween(%d,%d) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+	if comp.pathNext[0][3] != 1 {
+		t.Errorf("pathNext[0][3] = %d, want 1", comp.pathNext[0][3])
+	}
+
+	comp4 := NewCompiler(uniformCal(device.Ring(4), 0.01))
+	if got := comp4.pathBetween(0, 2); !sameInts(got, []int{0, 1, 2}) {
+		t.Errorf("ring-4 pathBetween(0,2) = %v, want [0 1 2]", got)
+	}
+	if got := comp4.pathBetween(3, 1); !sameInts(got, []int{3, 0, 1}) {
+		t.Errorf("ring-4 pathBetween(3,1) = %v, want [3 0 1]", got)
+	}
+}
+
+// TestCompileWithLayoutPinsInitialLayout pins the CompileWithLayout
+// contract: the caller's layout is the executable's InitialLayout even
+// when it is deliberately bad and the bidirectional re-router would
+// converge somewhere better.
+func TestCompileWithLayoutPinsInitialLayout(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 7))
+	logical := starCircuit(5) // 6 qubits, hub q5: needs swaps on melbourne
+	// Spread the star across both rows so routing has real work to do.
+	pinned := []int{0, 4, 13, 9, 6, 11}
+	exe, err := comp.CompileWithLayout(logical, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameInts(exe.InitialLayout, pinned) {
+		t.Fatalf("InitialLayout = %v, want the pinned %v", exe.InitialLayout, pinned)
+	}
+	if exe.Swaps == 0 {
+		t.Fatal("a spread-out star should need swaps")
+	}
+	// The pinned route must still be semantically correct.
+	want, err := statevec.IdealDist(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := statevec.IdealDist(exe.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("pinned-layout routing changed circuit semantics")
+	}
+	// And the free router is allowed to (and here does) pick another seat.
+	free, err := comp.Compile(logical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.ESP < exe.ESP {
+		t.Fatalf("free placement ESP %v worse than deliberately bad pinned layout %v", free.ESP, exe.ESP)
+	}
+}
+
+// TestRouteESPMatchesDevice pins the dry-pass scoring contract the whole
+// router design rests on: the incrementally-computed ESP of a dry pass
+// must be bit-identical to device.ESP on the materialized circuit, for
+// every Table 1 workload and every alternative placement.
+func TestRouteESPMatchesDevice(t *testing.T) {
+	cal := calFor(device.Melbourne(), 2019)
+	comp := NewCompiler(cal)
+	for _, w := range workloads.All() {
+		exe, err := comp.Compile(w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if got := device.MustESP(exe.Circuit, cal); got != exe.ESP {
+			t.Errorf("%s: inline ESP %v != device.ESP %v", w.Name, exe.ESP, got)
+		}
+		alts, _, err := comp.alternativePlacements(w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for i, a := range alts {
+			exe := a.exe()
+			if got := device.MustESP(exe.Circuit, cal); got != exe.ESP {
+				t.Errorf("%s alt %d: inline ESP %v != device.ESP %v", w.Name, i, exe.ESP, got)
+			}
+			if exe.ESP != a.res.esp {
+				t.Errorf("%s alt %d: replayed ESP %v != dry-pass ESP %v", w.Name, i, exe.ESP, a.res.esp)
+			}
+		}
+	}
+}
+
+// TestRouterUsedMaskMatchesCircuit pins the dry-pass used-qubit
+// derivation against UsedQubits() of the materialized circuit.
+func TestRouterUsedMaskMatchesCircuit(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 2019))
+	for _, w := range workloads.All() {
+		alts, _, err := comp.alternativePlacements(w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for i, a := range alts {
+			want := newMask(comp.devN)
+			for _, q := range a.exe().UsedQubits() {
+				want.add(q)
+			}
+			got := a.usedMask(comp.devN)
+			if got.hash() != want.hash() || maskOverlap(got, want) != want.count() || got.count() != want.count() {
+				t.Errorf("%s alt %d: usedMask != circuit UsedQubits", w.Name, i)
+			}
+		}
+	}
+}
+
+// TestRouterNeverWorseThanGreedy is the hybrid-routing guarantee behind
+// the benchmark acceptance bar: for every workload, the shipped route()
+// must score at least the frozen greedy baseline from the same layout.
+func TestRouterNeverWorseThanGreedy(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 2019))
+	for _, w := range workloads.All() {
+		layout, err := comp.place(w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		grd, err := comp.routeGreedy(w.Circuit, layout)
+		if err != nil {
+			t.Fatalf("%s greedy: %v", w.Name, err)
+		}
+		got, err := comp.route(w.Circuit, append([]int(nil), layout...))
+		if err != nil {
+			t.Fatalf("%s route: %v", w.Name, err)
+		}
+		if got.ESP < grd.ESP*(1-bbEps) {
+			t.Errorf("%s: route ESP %v below greedy baseline %v", w.Name, got.ESP, grd.ESP)
+		}
+	}
+}
+
+// TestRouteSemanticsPreserved checks the SABRE pass and the bidirectional
+// converge against the simulator: whatever layout the router converges
+// to, the routed circuit must compute the logical circuit's function.
+func TestRouteSemanticsPreserved(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 2019))
+	for _, w := range []string{"fredkin", "adder", "qaoa-5", "greycode-6"} {
+		wl, ok := workloads.ByName(w)
+		if !ok {
+			t.Fatalf("workload %s missing", w)
+		}
+		exe, err := comp.Compile(wl.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := statevec.IdealDist(wl.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := statevec.IdealDist(exe.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("%s: routed circuit changed semantics", w)
+		}
+	}
+}
+
+// TestRouterDeterministicAcrossWorkers routes every workload through the
+// full parallel pipeline at 1 worker and at NumCPU workers and requires
+// bit-identical executables: same layouts, same swap placements, same
+// ESP bits.
+func TestRouterDeterministicAcrossWorkers(t *testing.T) {
+	run := func(procs int) []*Executable {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		comp := NewCompiler(calFor(device.Melbourne(), 2019))
+		var out []*Executable
+		for _, w := range workloads.All() {
+			exes, err := comp.TopK(w.Circuit, 4)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			out = append(out, exes...)
+		}
+		return out
+	}
+	serial := run(1)
+	procs := runtime.NumCPU()
+	if procs < 4 {
+		procs = 4 // exercise the parallel paths even on small CI boxes
+	}
+	parallel := run(procs)
+	if len(serial) != len(parallel) {
+		t.Fatalf("ensemble sizes differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if math.Float64bits(a.ESP) != math.Float64bits(b.ESP) {
+			t.Fatalf("member %d: ESP bits differ: %v vs %v", i, a.ESP, b.ESP)
+		}
+		if !sameInts(a.InitialLayout, b.InitialLayout) || !sameInts(a.FinalLayout, b.FinalLayout) {
+			t.Fatalf("member %d: layouts differ", i)
+		}
+		if a.Swaps != b.Swaps || len(a.Circuit.Ops) != len(b.Circuit.Ops) {
+			t.Fatalf("member %d: routing differs (%d vs %d swaps)", i, a.Swaps, b.Swaps)
+		}
+	}
+}
+
+// TestConvergeImprovesSomeWorkload guards against the bidirectional
+// machinery silently never engaging: across the Table 1 workloads, at
+// least one compile must route strictly better than a single pinned
+// forward pass from the same initial placement.
+func TestConvergeImprovesSomeWorkload(t *testing.T) {
+	comp := NewCompiler(calFor(device.Melbourne(), 2019))
+	improved := false
+	for _, w := range workloads.All() {
+		layout, err := comp.place(w.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		pinned, err := comp.routePinned(w.Circuit, append([]int(nil), layout...))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		free, err := comp.route(w.Circuit, append([]int(nil), layout...))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if free.ESP > pinned.ESP*(1+bbEps) {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Skip("bidirectional pass found no strict improvement on this calibration (allowed, but worth noticing)")
+	}
+}

@@ -142,8 +142,8 @@ type candidate struct {
 	lkey   uint64
 	set    qmask
 	skey   uint64
-	mono   []int       // used[i] -> physical; nil when exe is preset
-	exe    *Executable // preset for re-compiled (alternative) placements
+	mono   []int         // used[i] -> physical; nil for alternative placements
+	alt    *altPlacement // dry-routed alternative placement, replayed on demand
 }
 
 // replacer drives isomorphic re-placements of one base executable: the
@@ -375,10 +375,10 @@ func (rp *replacer) enumerate(thr *atomicFloat) []*candidate {
 }
 
 // materialize clones the base circuit under the candidate's relabeling
-// (or returns the pre-routed executable for alternative placements).
+// (or replays the dry routing pass for alternative placements).
 func (rp *replacer) materialize(cd *candidate) *Executable {
-	if cd.exe != nil {
-		return cd.exe
+	if cd.alt != nil {
+		return cd.alt.exe()
 	}
 	vm := identityExtend(rp.used, cd.mono, rp.c.devN)
 	return &Executable{
@@ -390,18 +390,15 @@ func (rp *replacer) materialize(cd *candidate) *Executable {
 	}
 }
 
-func candFromExe(devN int, exe *Executable) *candidate {
-	set := newMask(devN)
-	for _, q := range exe.UsedQubits() {
-		set.add(q)
-	}
+func candFromAlt(devN int, a *altPlacement) *candidate {
+	set := a.usedMask(devN)
 	return &candidate{
-		esp:    exe.ESP,
-		layout: exe.InitialLayout,
-		lkey:   hashInts(exe.InitialLayout),
+		esp:    a.res.esp,
+		layout: a.layout,
+		lkey:   hashInts(a.layout),
 		set:    set,
 		skey:   set.hash(),
-		exe:    exe,
+		alt:    a,
 	}
 }
 
@@ -487,8 +484,12 @@ func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) 
 	sortCandidates(cands)
 	distinct, dupes := splitBySet(cands)
 	cpool := append(distinct, dupes...)
-	for _, exe := range c.alternativePlacements(logical) {
-		cpool = append(cpool, candFromExe(c.devN, exe))
+	alts, _, err := c.alternativePlacements(logical)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range alts {
+		cpool = append(cpool, candFromAlt(c.devN, a))
 	}
 	cpool = dedupeByLayout(cpool)
 	sortCandidates(cpool)
@@ -509,18 +510,21 @@ func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) 
 // including its deterministic tie-breaks — matches what the full pool
 // would have produced.
 func (c *Compiler) singleBest(logical *circuit.Circuit, base *Executable) ([]*Executable, error) {
-	alts := c.alternativePlacements(logical)
+	alts, _, err := c.alternativePlacements(logical)
+	if err != nil {
+		return nil, err
+	}
 	var thr atomicFloat
-	for _, exe := range alts {
-		thr.raise(exe.ESP)
+	for _, a := range alts {
+		thr.raise(a.res.esp)
 	}
 	rp := c.newReplacer(base)
 	cands := rp.enumerate(&thr)
 	sortCandidates(cands)
 	distinct, dupes := splitBySet(cands)
 	cpool := append(distinct, dupes...)
-	for _, exe := range alts {
-		cpool = append(cpool, candFromExe(c.devN, exe))
+	for _, a := range alts {
+		cpool = append(cpool, candFromAlt(c.devN, a))
 	}
 	if len(cpool) == 0 {
 		return nil, fmt.Errorf("mapper: no isomorphic placement found (internal error: the base placement itself should match)")
@@ -562,16 +566,24 @@ func (c *Compiler) Placements(logical *circuit.Circuit, max int) ([]*Executable,
 }
 
 // alternativePlacements re-compiles the program from every greedy seed,
-// yielding placements with genuinely different routing geometry. Seeds
-// are placed and routed concurrently across the compute pool; failures
-// (impossible seeds) are skipped. Results are in seed order, identical to
-// the serial loop this replaced.
-func (c *Compiler) alternativePlacements(logical *circuit.Circuit) []*Executable {
+// yielding placements with genuinely different routing geometry. Distinct
+// seeds frequently settle on the same greedy layout, so layouts are
+// deduplicated before routing and each unique layout is routed once,
+// concurrently across the compute pool; the output lists unique layouts in
+// first-seed order — exactly what survived the downstream layout dedupe
+// when every seed was routed independently.
+//
+// Impossible seeds (a seed qubit whose component cannot host the
+// interacting core) are skipped, and the skip count is returned so
+// callers can see how much of the device contributed nothing. When every
+// seed fails — a disconnected coupling graph none of whose components fit
+// the program — an error is returned instead of quietly degrading the
+// TopK pool to embedding-only candidates.
+func (c *Compiler) alternativePlacements(logical *circuit.Circuit) ([]*altPlacement, int, error) {
 	edges := logical.InteractionGraph()
-	icount := make(map[[2]int]int)
+	iw := interactionWeights(logical.NumQubits, edges)
 	deg := make([]int, logical.NumQubits)
 	for _, e := range edges {
-		icount[[2]int{e.A, e.B}] = e.Count
 		deg[e.A] += e.Count
 		deg[e.B] += e.Count
 	}
@@ -582,25 +594,58 @@ func (c *Compiler) alternativePlacements(logical *circuit.Circuit) []*Executable
 		}
 	}
 	order := placeOrder(logical.NumQubits, edges, deg)
-	slots := make([]*Executable, c.devN)
+
+	layouts := make([][]int, c.devN)
 	pool.Each(c.devN, func(seed int) {
-		layout, cost := c.placeFrom(order, icount, measures, seed, logical.NumQubits)
-		if layout == nil || math.IsInf(cost, 1) {
-			return
+		if layout, cost := c.placeFrom(order, iw, measures, seed, logical.NumQubits); layout != nil && !math.IsInf(cost, 1) {
+			layouts[seed] = layout
 		}
-		exe, err := c.route(logical, layout)
-		if err != nil {
-			return
-		}
-		slots[seed] = exe
 	})
-	var out []*Executable
-	for _, exe := range slots {
-		if exe != nil {
-			out = append(out, exe)
+	uniqIdx := make([]int, c.devN) // seed -> index into uniq, -1 if unplaceable
+	idxOf := make(map[uint64]int)
+	var uniq [][]int
+	for seed, layout := range layouts {
+		uniqIdx[seed] = -1
+		if layout == nil {
+			continue
+		}
+		k := hashInts(layout)
+		j, ok := idxOf[k]
+		if !ok {
+			j = len(uniq)
+			idxOf[k] = j
+			uniq = append(uniq, layout)
+		}
+		uniqIdx[seed] = j
+	}
+	prog := progOf(logical)
+	routed := make([]*altPlacement, len(uniq))
+	pool.Each(len(uniq), func(i int) {
+		if bl, res, err := c.routeDry(prog, uniq[i]); err == nil {
+			routed[i] = &altPlacement{c: c, prog: prog, layout: bl, res: res}
+		}
+	})
+	var out []*altPlacement
+	routedSeeds := 0
+	emitted := make([]bool, len(uniq))
+	for seed := 0; seed < c.devN; seed++ {
+		j := uniqIdx[seed]
+		if j < 0 || routed[j] == nil {
+			continue
+		}
+		routedSeeds++
+		if !emitted[j] {
+			emitted[j] = true
+			out = append(out, routed[j])
 		}
 	}
-	return out
+	skipped := c.devN - routedSeeds
+	if len(out) == 0 {
+		return nil, skipped, fmt.Errorf(
+			"mapper: alternative placements: all %d greedy seeds failed to place the %d-qubit program (coupling graph has %d connected components)",
+			c.devN, logical.NumQubits, len(c.g.Components()))
+	}
+	return out, skipped, nil
 }
 
 // selectDiverse picks k members from the ESP-sorted pool under two

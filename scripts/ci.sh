@@ -22,4 +22,9 @@ echo "== go test -race (concurrent packages) =="
 go test -race ./internal/core ./internal/backend ./internal/graph \
 	./internal/mapper ./internal/selector ./internal/experiment
 
+echo "== router determinism at GOMAXPROCS=1 =="
+# The parallel run above exercises the sweeps at full width; this pins the
+# serial end of the router's bit-identical-across-GOMAXPROCS contract.
+GOMAXPROCS=1 go test -race -count=1 -run 'Deterministic|Router' ./internal/mapper
+
 echo "CI OK"
