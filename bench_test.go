@@ -20,14 +20,19 @@ import (
 	"edm/internal/experiment"
 )
 
-// benchSetup returns the campaign scale for benchmarks.
+// benchSetup returns the campaign scale for benchmarks. NoCache pins the
+// measured work: these benchmarks loop identical figures per iteration,
+// and with the campaign memoization layer on (DESIGN.md §9) every
+// iteration after the first would measure cache hits instead of the
+// compile and simulation work the numbers are frozen against. The
+// cached path is benchmarked end-to-end by scripts/bench_campaign.sh.
 func benchSetup() experiment.Setup {
-	if os.Getenv("EDM_BENCH_FULL") != "" {
-		return experiment.Default()
-	}
 	s := experiment.Default()
-	s.Rounds = 3
-	s.Trials = 4096
+	if os.Getenv("EDM_BENCH_FULL") == "" {
+		s.Rounds = 3
+		s.Trials = 4096
+	}
+	s.NoCache = true
 	return s
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"edm/internal/experiment"
+	"edm/internal/mapper"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		k      = flag.Int("k", 4, "default ensemble size (paper: 4)")
 		drift  = flag.Float64("drift", 0.2, "calibration drift between compile and run time")
 		quick  = flag.Bool("quick", false, "small fast campaign (3 rounds, 2048 trials)")
+		stats  = flag.Bool("cachestats", false, "print campaign cache counters after the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: edm [flags] <experiment>\n\nexperiments:\n")
@@ -63,17 +65,44 @@ func main() {
 			e.run(s)
 			fmt.Println()
 		}
+		if *stats {
+			printCacheStats(os.Stdout)
+		}
 		return
 	}
 	for _, e := range experiments {
 		if e.name == name {
 			e.run(s)
+			if *stats {
+				printCacheStats(os.Stdout)
+			}
 			return
 		}
 	}
 	fmt.Fprintf(os.Stderr, "edm: unknown experiment %q\n", name)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// printCacheStats reports the campaign memoization counters (DESIGN.md
+// §9): the Round cache, the compiler and Top-K ensemble caches, and the
+// per-machine backend caches aggregated across cached rounds.
+func printCacheStats(out *os.File) {
+	round := experiment.RoundCacheStats()
+	comp := mapper.CompilerCacheStats()
+	topk := mapper.TopKCacheStats()
+	prog, run := experiment.BackendCacheStats()
+	fmt.Fprintln(out, "campaign cache stats:")
+	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d waits %-4d evictions %-4d entries %d\n",
+		"round", round.Hits, round.Misses, round.Waits, round.Evictions, round.Entries)
+	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d waits %-4d evictions %-4d entries %d\n",
+		"compiler", comp.Hits, comp.Misses, comp.Waits, comp.Evictions, comp.Entries)
+	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d waits %-4d evictions %-4d entries %d\n",
+		"topk", topk.Hits, topk.Misses, topk.Waits, topk.Evictions, topk.Entries)
+	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d evictions %d entries %d\n",
+		"backend/prog", prog.Hits, prog.Misses, prog.Evictions, prog.Entries)
+	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d waits %-4d evictions %-4d entries %d\n",
+		"backend/run", run.Hits, run.Misses, run.Waits, run.Evictions, run.Entries)
 }
 
 type exp struct {

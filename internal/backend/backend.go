@@ -29,6 +29,7 @@ import (
 	"edm/internal/density"
 	"edm/internal/device"
 	"edm/internal/dist"
+	"edm/internal/memo"
 	"edm/internal/noise"
 	"edm/internal/pool"
 	"edm/internal/rng"
@@ -42,6 +43,9 @@ import (
 type Machine struct {
 	cal   *device.Calibration
 	progs progCache
+	// runs memoizes whole trial runs by (circuit, trials, RNG state);
+	// nil unless EnableRunCache was called. See runcache.go.
+	runs *memo.Cache[*runEntry]
 }
 
 // New returns a machine with the given runtime calibration. The
@@ -297,10 +301,26 @@ const parallelThreshold = 256
 // index, so the histogram is identical whether trials run serially or
 // across cores, and whether the compiled program came from the cache or
 // a fresh compile.
+// When EnableRunCache is on, identical (circuit, trials, RNG state)
+// invocations return one shared immutable histogram; the reproducibility
+// contract makes the cached and fresh results bit-identical.
 func (m *Machine) Run(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("backend: negative trial count")
 	}
+	if m.runs != nil {
+		e := m.runs.Get(runKey(exe, trials, r), func() *runEntry {
+			counts, err := m.runFresh(exe, trials, r)
+			return &runEntry{counts: counts, err: err}
+		})
+		return e.counts, e.err
+	}
+	return m.runFresh(exe, trials, r)
+}
+
+// runFresh is the uncached Run body: compile (through the program cache)
+// and simulate.
+func (m *Machine) runFresh(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
 	prog, err := m.getProgram(exe)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,65 @@
+package backend
+
+import (
+	"edm/internal/circuit"
+	"edm/internal/dist"
+	"edm/internal/memo"
+	"edm/internal/rng"
+)
+
+// Run is a pure function of (runtime calibration, circuit, trials, RNG
+// state): every trial samples from r.DeriveN("trial", t), derivation
+// never advances the parent generator, and the returned histogram is
+// immutable. That makes whole runs memoizable — the experiment campaign
+// re-executes identical (executable, trials, stream) triples whenever
+// two figures visit the same round and policy (Fig9 and Fig11 share
+// every baseline and plain-EDM run), and at campaign scale trajectory
+// simulation is ~99% of wall time, dwarfing the compile caches.
+//
+// The cache is opt-in: a plain Machine always simulates, so benchmarks
+// keep measuring kernel work. The experiment Round cache enables it on
+// the machines it memoizes.
+
+// runCacheCap bounds the per-machine run cache. One campaign figure
+// touches (workloads × policies × member runs) distinct histograms per
+// round-machine; 512 keeps every Quick() and Default() figure fully
+// resident with room to spare, and even full eviction only costs
+// re-simulation.
+const runCacheCap = 512
+
+// runEntry is one memoized Run outcome. Errors (compile rejections) are
+// deterministic for a given circuit, so they are cached alongside
+// results.
+type runEntry struct {
+	counts *dist.Counts
+	err    error
+}
+
+// EnableRunCache attaches a trial-run cache to the machine: subsequent
+// Run/RunDist calls with an identical (circuit fingerprint, trial count,
+// RNG state) return the cached histogram, and concurrent misses on one
+// key share a single simulation. Callers must treat returned counts as
+// immutable — they already must, since Run may serve them from the
+// compiled-program cache path concurrently.
+//
+// Call it before the machine is shared across goroutines (the experiment
+// Round cache does so at construction); it is not safe to race with Run.
+func (m *Machine) EnableRunCache() {
+	m.runs = memo.New[*runEntry](runCacheCap)
+}
+
+// RunCacheStats snapshots the trial-run cache counters. The zero Stats
+// is returned when the cache is not enabled.
+func (m *Machine) RunCacheStats() memo.Stats {
+	if m.runs == nil {
+		return memo.Stats{}
+	}
+	return m.runs.Stats()
+}
+
+// runKey fingerprints one Run invocation.
+func runKey(exe *circuit.Circuit, trials int, r *rng.RNG) uint64 {
+	h := memo.Mix(memo.Seed(), exe.Fingerprint())
+	h = memo.Mix(h, uint64(trials))
+	return memo.Mix(h, r.State())
+}

@@ -1,0 +1,112 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/device"
+	"edm/internal/memo"
+	"edm/internal/rng"
+)
+
+// TestRunCacheBitIdentical checks the run cache's core contract: a
+// cached machine returns histograms bit-identical to a plain machine for
+// the same (circuit, trials, RNG state), and a repeat call is a hit
+// serving the same shared value.
+func TestRunCacheBitIdentical(t *testing.T) {
+	plain := noisyMachine(31)
+	cached := noisyMachine(31)
+	cached.EnableRunCache()
+	c := bell(t)
+	want, err := plain.Run(c, 600, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.Run(c, 600, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached run differs from plain run")
+	}
+	again, err := cached.Run(c, 600, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("repeat run was re-simulated instead of served from the cache")
+	}
+	st := cached.RunCacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("run cache stats = %+v", st)
+	}
+	if plain.RunCacheStats() != (memo.Stats{}) {
+		t.Fatal("plain machine reports run cache activity")
+	}
+}
+
+// TestRunCacheKeySensitivity checks that the key distinguishes trial
+// counts and RNG states: changing either re-simulates.
+func TestRunCacheKeySensitivity(t *testing.T) {
+	m := noisyMachine(33)
+	m.EnableRunCache()
+	c := bell(t)
+	if _, err := m.Run(c, 500, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(c, 501, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(c, 500, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Same seed but advanced state must also miss.
+	r := rng.New(1)
+	r.Uint64()
+	if _, err := m.Run(c, 500, r); err != nil {
+		t.Fatal(err)
+	}
+	st := m.RunCacheStats()
+	if st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("run cache stats = %+v (want 4 distinct misses)", st)
+	}
+}
+
+// TestRunCacheDoesNotAdvanceCaller pins the purity property the cache
+// rests on: Run never advances the caller's generator, hit or miss, so
+// memoizing by RNG state cannot change any downstream stream.
+func TestRunCacheDoesNotAdvanceCaller(t *testing.T) {
+	m := noisyMachine(35)
+	m.EnableRunCache()
+	c := bell(t)
+	r := rng.New(77)
+	before := r.State()
+	if _, err := m.Run(c, 400, r); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := m.Run(c, 400, r); err != nil { // hit
+		t.Fatal(err)
+	}
+	if r.State() != before {
+		t.Fatal("Run advanced the caller's RNG")
+	}
+}
+
+// TestRunCacheCachesErrors checks deterministic rejections are memoized
+// rather than recompiled.
+func TestRunCacheCachesErrors(t *testing.T) {
+	m := idealMachine(device.Linear(3))
+	m.EnableRunCache()
+	bad := circuit.New(3, 3)
+	bad.CX(0, 2).MeasureAll() // violates the linear coupling map
+	_, err1 := m.Run(bad, 100, rng.New(1))
+	_, err2 := m.Run(bad, 100, rng.New(1))
+	if err1 == nil || err2 == nil {
+		t.Fatal("coupling violation not rejected")
+	}
+	st := m.RunCacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("run cache stats = %+v (want cached error hit)", st)
+	}
+}

@@ -11,18 +11,8 @@ import "math"
 // sweep. Edge maps are hashed in the topology's deterministic Edges()
 // order, so the fingerprint is stable across processes.
 func (c *Calibration) Fingerprint() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= x & 0xff
-			h *= prime
-			x >>= 8
-		}
-	}
+	h := uint64(fpOffset)
+	mix := func(x uint64) { h = fpMix(h, x) }
 	mixF := func(f float64) { mix(math.Float64bits(f)) }
 	mixS := func(s []float64) {
 		mix(uint64(len(s)))
@@ -52,5 +42,65 @@ func (c *Calibration) Fingerprint() uint64 {
 	mixF(c.Gate1QTimeNs)
 	mixF(c.Gate2QTimeNs)
 	mixF(c.MeasTimeNs)
+	return h
+}
+
+// FNV-1a 64-bit constants shared by the device fingerprints.
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+func fpMix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fpPrime
+		x >>= 8
+	}
+	return h
+}
+
+// Fingerprint hashes the topology's structure: qubit count and the
+// deterministic edge list. The Name is excluded — two topologies that
+// couple identically fingerprint identically.
+func (t *Topology) Fingerprint() uint64 {
+	h := fpMix(fpOffset, uint64(t.Qubits))
+	edges := t.Edges()
+	h = fpMix(h, uint64(len(edges)))
+	for _, e := range edges {
+		h = fpMix(h, uint64(e.A)<<32|uint64(uint32(e.B)))
+	}
+	return h
+}
+
+// Fingerprint hashes every generation parameter of the profile, so a
+// (seed, topology, profile) triple that fingerprints equal generates a
+// bit-identical calibration. The experiment layer keys its Round cache
+// on it.
+func (p Profile) Fingerprint() uint64 {
+	h := fpOffset
+	mixF := func(f float64) { h = fpMix(h, math.Float64bits(f)) }
+	mixF(p.SQErrMean)
+	mixF(p.SQErrSpread)
+	mixF(p.CXErrMean)
+	mixF(p.CXErrSpread)
+	mixF(p.Meas01Mean)
+	mixF(p.Meas01Spread)
+	mixF(p.Meas10Mean)
+	mixF(p.Meas10Spread)
+	mixF(p.T1MeanUs)
+	mixF(p.T1Spread)
+	mixF(p.T2MeanUs)
+	mixF(p.T2Spread)
+	mixF(p.CohYMax)
+	mixF(p.CohZMax)
+	mixF(p.CXCohMax)
+	mixF(p.CrossMax)
+	mixF(p.ReadoutCorr)
+	h = fpMix(h, uint64(int64(p.BadQubits)))
+	mixF(p.BadFactor)
+	mixF(p.Gate1QNs)
+	mixF(p.Gate2QNs)
+	mixF(p.MeasNs)
 	return h
 }

@@ -39,3 +39,30 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 		t.Fatal("drifted calibration shares a fingerprint")
 	}
 }
+
+func TestTopologyAndProfileFingerprints(t *testing.T) {
+	if Melbourne().Fingerprint() != Melbourne().Fingerprint() {
+		t.Fatal("topology fingerprint unstable")
+	}
+	if Melbourne().Fingerprint() == Linear(14).Fingerprint() {
+		t.Fatal("distinct topologies collided")
+	}
+	// Name is excluded: same structure, same fingerprint.
+	a := NewTopology("a", 3, []Edge{{0, 1}, {1, 2}})
+	b := NewTopology("b", 3, []Edge{{0, 1}, {1, 2}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("renamed topology changed fingerprint")
+	}
+	p := MelbourneProfile()
+	if p.Fingerprint() != MelbourneProfile().Fingerprint() {
+		t.Fatal("profile fingerprint unstable")
+	}
+	q := p
+	q.CXErrMean *= 1.001
+	if q.Fingerprint() == p.Fingerprint() {
+		t.Fatal("profile fingerprint insensitive to CXErrMean")
+	}
+	if IdealProfile().Fingerprint() == p.Fingerprint() {
+		t.Fatal("ideal and melbourne profiles collided")
+	}
+}

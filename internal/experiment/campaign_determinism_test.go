@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// campaignSetup is the reduced-scale campaign the determinism tests
+// sweep: the full Quick() protocol shape (every workload, every policy)
+// at a trial/round budget that keeps the -race run affordable.
+func campaignSetup() Setup {
+	s := Quick()
+	s.Rounds = 2
+	s.Trials = 512
+	return s
+}
+
+// TestCampaignCachedMatchesUncachedSerial is the acceptance gate for the
+// campaign memoization layer (DESIGN.md §9): a fully cached, concurrent
+// Fig7/Fig9/Fig11 sweep must produce tables byte-identical to the frozen
+// uncached path run serially at GOMAXPROCS=1. Run under -race (scripts/
+// ci.sh does) it also checks that sweep cells sharing cached rounds,
+// ensembles and trial runs do so without data races.
+func TestCampaignCachedMatchesUncachedSerial(t *testing.T) {
+	s := campaignSetup()
+	uncached := s
+	uncached.NoCache = true
+
+	old := runtime.GOMAXPROCS(1)
+	wantFig7 := Fig7(uncached)
+	wantFig9 := Fig9(uncached)
+	wantFig11 := Fig11(uncached)
+
+	runtime.GOMAXPROCS(4)
+	ResetCampaignCaches()
+	gotFig7 := Fig7(s)
+	gotFig9 := Fig9(s)
+	gotFig11 := Fig11(s)
+	runtime.GOMAXPROCS(old)
+
+	if !reflect.DeepEqual(gotFig7, wantFig7) {
+		t.Error("cached concurrent Fig7 differs from uncached serial")
+	}
+	if !reflect.DeepEqual(gotFig9, wantFig9) {
+		t.Error("cached concurrent Fig9 differs from uncached serial")
+	}
+	if !reflect.DeepEqual(gotFig11, wantFig11) {
+		t.Error("cached concurrent Fig11 differs from uncached serial")
+	}
+	if st := RoundCacheStats(); st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("round cache never exercised: %+v", st)
+	}
+}
+
+// TestCampaignRepeatRunIdentical checks the fully hot path: re-running a
+// figure against a warm cache returns the same tables, and the repeat
+// sweep is answered almost entirely from the trial-run cache.
+func TestCampaignRepeatRunIdentical(t *testing.T) {
+	s := campaignSetup()
+	ResetCampaignCaches()
+	first := Fig11(s)
+	_, runBefore := BackendCacheStats()
+	second := Fig11(s)
+	_, runAfter := BackendCacheStats()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeat Fig11 against a warm cache differs")
+	}
+	if runAfter.Hits <= runBefore.Hits {
+		t.Fatalf("repeat sweep gained no run-cache hits: before %+v after %+v", runBefore, runAfter)
+	}
+	if runAfter.Misses != runBefore.Misses {
+		t.Fatalf("repeat sweep re-simulated: before %+v after %+v", runBefore, runAfter)
+	}
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCampaignBenchReport regenerates BENCH_campaign.json: the end-to-end
+// Fig9 + Fig11 Quick() campaign with the DESIGN.md §9 memoization layer
+// against the frozen pre-cache baseline (Setup.NoCache, which replicates
+// the PR 3 cost structure: shared compiler tables, no ensemble cache, no
+// Round cache, no trial-run cache). It is the engine behind
+// scripts/bench_campaign.sh and skips unless EDM_BENCH_CAMPAIGN_OUT
+// names the output file.
+//
+// Acceptance bars recorded in the report:
+//   - the cached Fig11 sweep (run after Fig9, as one campaign) is >= 2x
+//     faster than the frozen baseline Fig11 sweep;
+//   - both figures' tables are bit-identical between the two modes.
+func TestCampaignBenchReport(t *testing.T) {
+	out := os.Getenv("EDM_BENCH_CAMPAIGN_OUT")
+	if out == "" {
+		t.Skip("set EDM_BENCH_CAMPAIGN_OUT=path to generate BENCH_campaign.json")
+	}
+
+	s := Quick()
+	frozen := s
+	frozen.NoCache = true
+
+	// Frozen baseline: every cell rebuilds its round, re-runs TopK and
+	// re-simulates. Figures run back-to-back the way `edm all` runs them.
+	ResetCampaignCaches()
+	t0 := time.Now()
+	baseFig9 := Fig9(frozen)
+	baseFig9Ms := time.Since(t0).Milliseconds()
+	t0 = time.Now()
+	baseFig11 := Fig11(frozen)
+	baseFig11Ms := time.Since(t0).Milliseconds()
+
+	// Cached campaign, cold start: Fig9 pays the builds, Fig11 reuses
+	// rounds, ensembles and every (executable, trials, stream) run the
+	// two figures share.
+	ResetCampaignCaches()
+	t0 = time.Now()
+	cacheFig9 := Fig9(s)
+	cacheFig9Ms := time.Since(t0).Milliseconds()
+	t0 = time.Now()
+	cacheFig11 := Fig11(s)
+	cacheFig11Ms := time.Since(t0).Milliseconds()
+
+	if !reflect.DeepEqual(baseFig9, cacheFig9) {
+		t.Fatal("cached Fig9 table differs from frozen baseline")
+	}
+	if !reflect.DeepEqual(baseFig11, cacheFig11) {
+		t.Fatal("cached Fig11 table differs from frozen baseline")
+	}
+
+	speedup := func(base, cached int64) float64 {
+		if cached <= 0 {
+			cached = 1
+		}
+		return float64(base) / float64(cached)
+	}
+	fig9Speedup := speedup(baseFig9Ms, cacheFig9Ms)
+	fig11Speedup := speedup(baseFig11Ms, cacheFig11Ms)
+	totalSpeedup := speedup(baseFig9Ms+baseFig11Ms, cacheFig9Ms+cacheFig11Ms)
+	if fig11Speedup < 2 {
+		t.Errorf("Fig11 speedup %.2fx < 2x acceptance bar (baseline %dms, cached %dms)",
+			fig11Speedup, baseFig11Ms, cacheFig11Ms)
+	}
+
+	round := RoundCacheStats()
+	_, run := BackendCacheStats()
+	report := map[string]any{
+		"description": "end-to-end Fig9+Fig11 Quick() campaign: DESIGN.md §9 memoization vs frozen pre-cache baseline (Setup.NoCache)",
+		"setup": map[string]any{
+			"rounds": s.Rounds, "trials": s.Trials, "k": s.K,
+			"seed": s.Seed, "drift": s.Drift, "workloads": len(allNames()),
+		},
+		"baseline_ms": map[string]int64{"fig9": baseFig9Ms, "fig11": baseFig11Ms, "total": baseFig9Ms + baseFig11Ms},
+		"cached_ms":   map[string]int64{"fig9": cacheFig9Ms, "fig11": cacheFig11Ms, "total": cacheFig9Ms + cacheFig11Ms},
+		"speedup": map[string]string{
+			"fig9":  fmt.Sprintf("%.2fx", fig9Speedup),
+			"fig11": fmt.Sprintf("%.2fx", fig11Speedup),
+			"total": fmt.Sprintf("%.2fx", totalSpeedup),
+		},
+		"tables_bit_identical": true,
+		"cache_stats": map[string]any{
+			"round":       round,
+			"backend_run": run,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil && filepath.Dir(out) != "." {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline fig9 %dms fig11 %dms; cached fig9 %dms fig11 %dms; fig11 speedup %.2fx",
+		baseFig9Ms, baseFig11Ms, cacheFig9Ms, cacheFig11Ms, fig11Speedup)
+}

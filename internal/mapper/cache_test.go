@@ -1,0 +1,210 @@
+package mapper
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"edm/internal/device"
+	"edm/internal/rng"
+	"edm/internal/workloads"
+)
+
+// TestTopKPrefixStability pins the selection-stability facts the
+// ensemble cache is built on. The naive design — cache TopK(c, 6) and
+// answer TopK(c, 4) from its ranked prefix — is WRONG for this pipeline:
+// selectDiverse relaxes its ESP-slack/overlap ladder until it can fill
+// k members, so the constraint level (and therefore members 1..k-1) is a
+// function of k. The test asserts the two invariants that do hold and
+// demonstrates the one that does not:
+//
+//  1. Member 0 (the paper's baseline mapping) is identical for every k.
+//  2. On a cached compiler, each k returns exactly what an uncached
+//     compiler returns for that k — the pool is shared, the selection
+//     re-runs.
+//  3. There exist workloads where TopK(c, 6)[:4] != TopK(c, 4), which is
+//     why the cache shares the candidate pool rather than ranked
+//     prefixes.
+func TestTopKPrefixStability(t *testing.T) {
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(1))
+	fresh := NewCompiler(cal)
+	cached := CachedCompiler(cal)
+	prefixDiffers := false
+	for _, w := range workloads.All() {
+		byK := map[int][]*Executable{}
+		for _, k := range []int{6, 4, 2, 1} {
+			got, err := cached.TopK(w.Circuit, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", w.Name, k, err)
+			}
+			want, err := fresh.TopK(w.Circuit, k)
+			if err != nil {
+				t.Fatalf("%s k=%d (uncached): %v", w.Name, k, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s k=%d: cached TopK differs from uncached", w.Name, k)
+			}
+			byK[k] = got
+		}
+		for _, k := range []int{6, 4, 2} {
+			if !reflect.DeepEqual(byK[k][0], byK[1][0]) {
+				t.Fatalf("%s: member 0 of k=%d differs from k=1 baseline", w.Name, k)
+			}
+		}
+		if len(byK[6]) >= 4 && !reflect.DeepEqual(byK[6][:4], byK[4]) {
+			prefixDiffers = true
+		}
+	}
+	if !prefixDiffers {
+		t.Fatal("every workload had TopK(6)[:4] == TopK(4); the pool-not-prefix cache design comment is stale")
+	}
+}
+
+// TestTopKCachedBitIdenticalAcrossKOrder checks that the pool cache has
+// no order dependence: asking for k in ascending order (baseline first,
+// as RunPolicies does) and in descending order produces bit-identical
+// ensembles, and repeated queries return the same shared executables.
+func TestTopKCachedBitIdenticalAcrossKOrder(t *testing.T) {
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(2))
+	w, ok := workloads.ByName("fredkin")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	asc := CachedCompiler(cal)
+	ResetCompilerCache()
+	desc := CachedCompiler(cal)
+	if asc == desc {
+		t.Fatal("ResetCompilerCache did not drop the compiler")
+	}
+	ascRes := map[int][]*Executable{}
+	for _, k := range []int{1, 2, 4, 6} {
+		exes, err := asc.TopK(w.Circuit, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ascRes[k] = exes
+	}
+	for _, k := range []int{6, 4, 2, 1} {
+		exes, err := desc.TopK(w.Circuit, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(exes, ascRes[k]) {
+			t.Fatalf("k=%d: descending-order query differs from ascending-order", k)
+		}
+	}
+	// A repeat query is a pure cache hit sharing the same executables.
+	again, err := asc.TopK(w.Circuit, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != ascRes[4][i] {
+			t.Fatalf("member %d: repeat query rematerialized instead of sharing", i)
+		}
+	}
+}
+
+// TestUncachedView checks the frozen-baseline escape hatch: Uncached
+// returns a compiler that shares the tables but rebuilds every TopK
+// call, producing equal values but distinct objects.
+func TestUncachedView(t *testing.T) {
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(3))
+	cached := CachedCompiler(cal)
+	raw := cached.Uncached()
+	if raw.ens != nil {
+		t.Fatal("Uncached view still has an ensemble cache")
+	}
+	if raw.cal != cached.cal || &raw.cxSucc[0] != &cached.cxSucc[0] {
+		t.Fatal("Uncached view does not share the compiler tables")
+	}
+	w, ok := workloads.ByName("bv-6")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	a, err := cached.TopK(w.Circuit, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := raw.TopK(w.Circuit, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Uncached TopK differs from cached")
+	}
+	if a[0] == b[0] {
+		t.Fatal("Uncached TopK returned a cached executable")
+	}
+	// NewCompiler never attaches a cache; Uncached on it is the identity.
+	plain := NewCompiler(cal)
+	if plain.Uncached() != plain {
+		t.Fatal("Uncached on an uncached compiler allocated a copy")
+	}
+}
+
+// TestCompilerCacheEvictionReleases pins the satellite leak fix: pushing
+// the compiler cache past capacity evicts FIFO entries (counted in the
+// stats) and an evicted fingerprint is rebuilt on the next call.
+func TestCompilerCacheEvictionReleases(t *testing.T) {
+	ResetCompilerCache()
+	base := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(40))
+	first := CachedCompiler(base)
+	before := CompilerCacheStats()
+	r := rng.New(41)
+	for i := 0; i < compilerCacheCap; i++ {
+		CachedCompiler(base.Drift(0.2, r.DeriveN("evict", i)))
+	}
+	st := CompilerCacheStats()
+	if st.Evictions <= before.Evictions {
+		t.Fatalf("no evictions after %d inserts past capacity: %+v", compilerCacheCap, st)
+	}
+	if st.Entries > compilerCacheCap {
+		t.Fatalf("cache holds %d entries, cap %d", st.Entries, compilerCacheCap)
+	}
+	if second := CachedCompiler(base); second == first {
+		t.Fatal("evicted compiler was still served from the cache")
+	}
+}
+
+// TestTopKCacheSingleflight checks that concurrent first queries for the
+// same circuit build one pool and share one set of executables.
+func TestTopKCacheSingleflight(t *testing.T) {
+	ResetCompilerCache()
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(50))
+	comp := CachedCompiler(cal)
+	w, ok := workloads.ByName("qaoa-5")
+	if !ok {
+		t.Fatal("unknown workload")
+	}
+	const n = 4
+	results := make([][]*Executable, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			exes, err := comp.TopK(w.Circuit, 4)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			results[i] = exes
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("goroutine %d: ensemble size %d != %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("goroutine %d member %d: got a distinct executable; pool not shared", i, j)
+			}
+		}
+	}
+	st := TopKCacheStats()
+	if st.Misses == 0 {
+		t.Fatalf("no Top-K cache misses recorded: %+v", st)
+	}
+}

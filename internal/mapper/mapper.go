@@ -85,6 +85,12 @@ type Compiler struct {
 	// adj[q] is the sorted neighbor list of q, cached once so the router's
 	// swap-candidate scans allocate nothing.
 	adj [][]int
+
+	// ens memoizes TopK ensembles per circuit fingerprint. nil on
+	// compilers built with NewCompiler (every call recomputes, the
+	// behaviour the frozen benchmarks measure); CachedCompiler attaches
+	// one. See cache.go.
+	ens *ensembleCache
 }
 
 // NewCompiler builds a compiler for the calibration, precomputing

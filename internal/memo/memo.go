@@ -1,0 +1,232 @@
+// Package memo provides the fingerprint-keyed memoization table shared by
+// the campaign caches: the compiler cache and per-compiler Top-K pools in
+// internal/mapper, the trial-run cache in internal/backend, and the Round
+// cache in internal/experiment.
+//
+// A Cache is a bounded map from 64-bit fingerprints to immutable values
+// with three properties the experiment sweeps need:
+//
+//   - Singleflight builds: when concurrent sweep cells miss on the same
+//     key, exactly one goroutine runs the build function and the others
+//     wait for its result instead of duplicating the most expensive work
+//     in the process (compiler construction, VF2 enumeration, a 2048-trial
+//     simulation).
+//   - Ring-buffer FIFO eviction: evicted keys release their values
+//     immediately. The slice-FIFO pattern this replaces
+//     (fps = fps[1:]) kept every evicted value reachable through the
+//     backing array for the lifetime of the cache.
+//   - Hit / miss / singleflight-wait / eviction counters, optionally
+//     shared across caches so a family of per-object caches (one Top-K
+//     pool cache per compiler) reports one aggregate line.
+//
+// Values must be immutable once built — callers on a hit share the exact
+// value the builder returned. Keys are caller-computed fingerprints; the
+// cache trusts them, so two semantically different inputs hashing to the
+// same 64 bits would alias (the repo-wide convention for its FNV-1a
+// fingerprints, whose collision odds are negligible at campaign scale).
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of a cache's counters, mirroring the backend's
+// compiled-program CacheStats.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Waits     uint64 // singleflight waits: misses that joined an in-flight build
+	Evictions uint64
+	Entries   int // live entries (inserts minus evictions)
+}
+
+// Counters accumulates cache activity. A zero Counters is ready to use.
+// One Counters may be shared by several caches (see NewShared), in which
+// case its Stats aggregate across all of them.
+type Counters struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	waits     atomic.Uint64
+	evictions atomic.Uint64
+	inserts   atomic.Uint64
+}
+
+// Stats snapshots the counters.
+func (c *Counters) Stats() Stats {
+	ins, ev := c.inserts.Load(), c.evictions.Load()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Waits:     c.waits.Load(),
+		Evictions: ev,
+		Entries:   int(ins - ev),
+	}
+}
+
+// entry is one cache slot. done is closed when val is ready; a build that
+// panicked records the panic value instead and re-raises it in every
+// waiter.
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked any
+}
+
+// Cache is a fingerprint-keyed, capacity-bounded memoization table with
+// singleflight build deduplication. It is safe for concurrent use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*entry[V]
+	ring    []uint64 // circular insertion-order buffer of keys
+	head    int      // index of the oldest key in ring
+	n       int      // number of keys in ring
+	ctr     *Counters
+}
+
+// New returns a cache holding at most capacity entries, with its own
+// counters. capacity must be positive.
+func New[V any](capacity int) *Cache[V] {
+	return NewShared[V](capacity, &Counters{})
+}
+
+// NewShared is New with caller-supplied counters, so several caches can
+// report one aggregate Stats line.
+func NewShared[V any](capacity int, ctr *Counters) *Cache[V] {
+	if capacity <= 0 {
+		panic("memo: cache capacity must be positive")
+	}
+	return &Cache[V]{
+		cap:     capacity,
+		entries: make(map[uint64]*entry[V], capacity),
+		ring:    make([]uint64, capacity),
+		ctr:     ctr,
+	}
+}
+
+// Get returns the cached value for key, building it with build on a miss.
+// Concurrent Gets for the same key run build once; the rest wait for the
+// winner. If build panics, the panic propagates to the builder and every
+// waiter, and the key is removed so a later Get retries.
+func (c *Cache[V]) Get(key uint64, build func() V) V {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			c.ctr.hits.Add(1)
+		default:
+			c.ctr.waits.Add(1)
+		}
+		c.mu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.val
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.ctr.misses.Add(1)
+	c.ctr.inserts.Add(1)
+	c.evictOldestLocked()
+	c.entries[key] = e
+	c.ring[(c.head+c.n)%c.cap] = key
+	c.n++
+	c.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			close(e.done)
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.ctr.evictions.Add(1)
+			}
+			c.mu.Unlock()
+			panic(r)
+		}
+	}()
+	e.val = build()
+	close(e.done)
+	return e.val
+}
+
+// evictOldestLocked makes room for one insertion. Every live entry owns
+// exactly one ring slot (a key re-inserted after eviction gets a fresh
+// slot; a panicked build leaves a stale slot behind), so len(entries) <=
+// n always, and popping the ring until it has a free slot also guarantees
+// the map does. A popped key whose entry is already gone is just a stale
+// slot; a live one is the FIFO eviction.
+func (c *Cache[V]) evictOldestLocked() {
+	for c.n >= c.cap {
+		old := c.ring[c.head]
+		c.head = (c.head + 1) % c.cap
+		c.n--
+		if _, ok := c.entries[old]; ok {
+			delete(c.entries, old)
+			c.ctr.evictions.Add(1)
+		}
+	}
+}
+
+// Stats snapshots the cache's counters. For a NewShared cache the numbers
+// aggregate every cache sharing the Counters.
+func (c *Cache[V]) Stats() Stats { return c.ctr.Stats() }
+
+// Len returns the number of live entries in this cache.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Each calls f with every live, completed value. In-flight builds are
+// skipped (Each never blocks on a builder). Iteration order is
+// unspecified. f must not call back into the cache.
+func (c *Cache[V]) Each(f func(key uint64, v V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.panicked == nil {
+				f(k, e.val)
+			}
+		default:
+		}
+	}
+}
+
+// Reset drops every entry (in-flight builds still complete for their
+// waiters but are no longer shared) and counts the drops as evictions so
+// shared counters stay consistent.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ctr.evictions.Add(uint64(len(c.entries)))
+	c.entries = make(map[uint64]*entry[V], c.cap)
+	c.head, c.n = 0, 0
+}
+
+// FNV-1a 64-bit constants, matching the repo's other fingerprints.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Mix folds one 64-bit word into a running FNV-1a hash, byte by byte —
+// the building block for composite cache keys such as
+// (setup fingerprint, round index) or (circuit fingerprint, trials, rng
+// state). Start from Seed.
+func Mix(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// Seed is the FNV-1a offset basis, the canonical starting hash for Mix
+// chains.
+func Seed() uint64 { return fnvOffset64 }

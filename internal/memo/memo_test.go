@@ -1,0 +1,202 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetHitMiss(t *testing.T) {
+	c := New[int](4)
+	builds := 0
+	get := func(k uint64) int {
+		return c.Get(k, func() int { builds++; return int(k) * 10 })
+	}
+	if v := get(1); v != 10 {
+		t.Fatalf("get(1) = %d", v)
+	}
+	if v := get(1); v != 10 {
+		t.Fatalf("get(1) second = %d", v)
+	}
+	if v := get(2); v != 20 {
+		t.Fatalf("get(2) = %d", v)
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New[int](3)
+	for k := uint64(1); k <= 5; k++ {
+		c.Get(k, func() int { return int(k) })
+	}
+	// Keys 1 and 2 evicted; 3, 4, 5 live.
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	rebuilt := false
+	c.Get(1, func() int { rebuilt = true; return 1 })
+	if !rebuilt {
+		t.Fatal("evicted key 1 still cached")
+	}
+	hit := true
+	c.Get(4, func() int { hit = false; return 4 })
+	if !hit {
+		t.Fatal("key 4 was evicted out of FIFO order")
+	}
+	st := c.Stats()
+	// 6 misses (1..5 plus re-built 1), 1 hit (4), 3 evictions (1, 2, then 3
+	// when 1 was re-inserted).
+	if st.Misses != 6 || st.Hits != 1 || st.Evictions != 3 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestEvictionReleasesValue pins the satellite fix: eviction must drop the
+// cache's reference to the value (the slice-FIFO pattern this package
+// replaces kept evicted values reachable through the backing array).
+func TestEvictionReleasesValue(t *testing.T) {
+	c := New[*int](2)
+	seen := 0
+	c.Get(1, func() *int { v := 1; return &v })
+	c.Get(2, func() *int { v := 2; return &v })
+	c.Get(3, func() *int { v := 3; return &v }) // evicts key 1
+	c.Each(func(k uint64, v *int) {
+		seen++
+		if k == 1 {
+			t.Fatal("evicted entry still reachable via Each")
+		}
+	})
+	if seen != 2 {
+		t.Fatalf("live entries = %d", seen)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New[int](8)
+	release := make(chan struct{})
+	var builds atomic.Int32
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(7, func() int {
+				builds.Add(1)
+				<-release
+				return 42
+			})
+		}(i)
+	}
+	// Let the goroutines pile up on the key, then release the builder.
+	for c.Stats().Misses == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if b := builds.Load(); b != 1 {
+		t.Fatalf("builds = %d, want 1", b)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Waits != waiters-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBuildPanicPropagatesAndRetries(t *testing.T) {
+	c := New[int](4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("builder panic swallowed")
+			}
+		}()
+		c.Get(9, func() int { panic("boom") })
+	}()
+	// The key must be retryable after a failed build.
+	if v := c.Get(9, func() int { return 99 }); v != 99 {
+		t.Fatalf("retry = %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Stale ring slots from the panicked insert must not corrupt capacity
+	// accounting: fill far past cap and check the bound holds.
+	for k := uint64(100); k < 120; k++ {
+		c.Get(k, func() int { return int(k) })
+	}
+	if c.Len() > 4 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestSharedCounters(t *testing.T) {
+	var ctr Counters
+	a := NewShared[int](4, &ctr)
+	b := NewShared[int](4, &ctr)
+	a.Get(1, func() int { return 1 })
+	a.Get(1, func() int { return 1 })
+	b.Get(1, func() int { return 1 }) // separate cache: a miss of its own
+	st := ctr.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Entries != 2 {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int](4)
+	c.Get(1, func() int { return 1 })
+	c.Get(2, func() int { return 2 })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("len after reset = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Evictions != 2 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	rebuilt := false
+	c.Get(1, func() int { rebuilt = true; return 1 })
+	if !rebuilt {
+		t.Fatal("reset did not drop entries")
+	}
+}
+
+func TestMixDistinguishesComposites(t *testing.T) {
+	// (a, b) and (b, a) must hash differently, as must (x, y) vs (x', y')
+	// differing in either word.
+	h1 := Mix(Mix(Seed(), 1), 2)
+	h2 := Mix(Mix(Seed(), 2), 1)
+	h3 := Mix(Mix(Seed(), 1), 3)
+	if h1 == h2 || h1 == h3 || h2 == h3 {
+		t.Fatalf("mix collisions: %x %x %x", h1, h2, h3)
+	}
+}
+
+func TestGetConcurrentDistinctKeys(t *testing.T) {
+	c := New[uint64](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(0); k < 32; k++ {
+				if v := c.Get(k, func() uint64 { return k * k }); v != k*k {
+					t.Errorf("key %d: got %d", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

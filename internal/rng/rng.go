@@ -53,6 +53,13 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's current internal state. Two generators
+// with equal states produce identical streams and identical derived
+// children, so the state is a sound cache key for any computation that
+// is a pure function of its RNG — the backend's trial-run cache keys on
+// it. Reading the state does not advance the stream.
+func (r *RNG) State() uint64 { return r.state }
+
 // Derive returns a new independent generator whose seed is a function of the
 // parent's seed and the given label. Deriving with the same label from
 // generators in the same state yields identical children; different labels

@@ -207,3 +207,23 @@ func TestZeroValueUsable(t *testing.T) {
 	_ = r.Uint64()
 	_ = r.Float64()
 }
+
+func TestStateIsCacheKey(t *testing.T) {
+	a, b := New(9), New(9)
+	if a.State() != b.State() {
+		t.Fatal("equal seeds, different states")
+	}
+	// Equal states => identical streams and identical children.
+	if a.Derive("x").Uint64() != b.Derive("x").Uint64() {
+		t.Fatal("equal states derived different children")
+	}
+	// Reading the state must not advance the stream.
+	s := a.State()
+	if a.State() != s || a.Uint64() != b.Uint64() {
+		t.Fatal("State advanced the stream")
+	}
+	// Advancing the stream must change the state.
+	if a.State() == s {
+		t.Fatal("Uint64 did not change the state")
+	}
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_campaign.json: the end-to-end Fig9 + Fig11 Quick()
+# campaign with the DESIGN.md §9 memoization layer (Round cache,
+# ensemble cache, trial-run cache) versus the frozen pre-cache baseline
+# (Setup.NoCache), the way bench_kernels.sh / bench_compiler.sh /
+# bench_router.sh froze PRs 1-3.
+#
+# Usage: scripts/bench_campaign.sh [output.json]
+#
+# The measurement itself lives in TestCampaignBenchReport
+# (internal/experiment/campaign_report_test.go), which skips unless
+# EDM_BENCH_CAMPAIGN_OUT is set; keeping it in Go lets the report assert
+# table bit-equality between the two modes in-process.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_campaign.json}"
+case "$OUT" in
+/*) ABS="$OUT" ;;
+*) ABS="$(pwd)/$OUT" ;;
+esac
+
+EDM_BENCH_CAMPAIGN_OUT="$ABS" go test -run 'TestCampaignBenchReport$' -v -count=1 -timeout 60m ./internal/experiment |
+	grep -v '^=== RUN\|^--- PASS' || true
+
+if [ ! -s "$ABS" ]; then
+	echo "bench_campaign: report was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"

@@ -27,4 +27,12 @@ echo "== router determinism at GOMAXPROCS=1 =="
 # serial end of the router's bit-identical-across-GOMAXPROCS contract.
 GOMAXPROCS=1 go test -race -count=1 -run 'Deterministic|Router' ./internal/mapper
 
+echo "== campaign cache determinism (DESIGN.md §9) =="
+# Cached concurrent sweeps must be byte-identical to the frozen uncached
+# serial path, under the race detector; the memo singleflight core gets
+# its own race pass.
+go test -race -count=1 -run 'Campaign|TopKCache|RunCache|PrefixStability' \
+	./internal/experiment ./internal/mapper ./internal/backend
+go test -race -count=1 ./internal/memo
+
 echo "CI OK"
