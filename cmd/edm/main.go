@@ -10,13 +10,16 @@
 //
 // Flags scale the campaign; the defaults match the paper's protocol
 // (16384 trials, 10 rounds, 4-member ensembles, median reported).
-// Use -quick for a fast smoke run.
+// Use -quick for a fast smoke run, and -cpuprofile/-memprofile to
+// capture pprof profiles of the campaign hot path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"edm/internal/experiment"
 	"edm/internal/mapper"
@@ -31,6 +34,8 @@ func main() {
 		drift  = flag.Float64("drift", 0.2, "calibration drift between compile and run time")
 		quick  = flag.Bool("quick", false, "small fast campaign (3 rounds, 2048 trials)")
 		stats  = flag.Bool("cachestats", false, "print campaign cache counters after the run")
+		cpuOut = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to `file`")
+		memOut = flag.String("memprofile", "", "write a pprof heap profile to `file` after the run")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: edm [flags] <experiment>\n\nexperiments:\n")
@@ -58,30 +63,88 @@ func main() {
 	s.K = *k
 	s.Drift = *drift
 
+	// Resolve the experiment list up front so an unknown name exits
+	// before any profile file is created or started.
 	name := flag.Arg(0)
+	var todo []exp
 	if name == "all" {
+		todo = experiments
+	} else {
 		for _, e := range experiments {
+			if e.name == name {
+				todo = []exp{e}
+				break
+			}
+		}
+		if todo == nil {
+			fmt.Fprintf(os.Stderr, "edm: unknown experiment %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	stopProfiles := startProfiles(*cpuOut, *memOut)
+
+	for _, e := range todo {
+		if name == "all" {
 			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
-			e.run(s)
+		}
+		e.run(s)
+		if name == "all" {
 			fmt.Println()
 		}
-		if *stats {
-			printCacheStats(os.Stdout)
-		}
-		return
 	}
-	for _, e := range experiments {
-		if e.name == name {
-			e.run(s)
-			if *stats {
-				printCacheStats(os.Stdout)
+	if *stats {
+		printCacheStats(os.Stdout)
+	}
+	stopProfiles()
+}
+
+// startProfiles arms the requested pprof outputs and returns the hook
+// main calls once the campaign is done: it stops the CPU profile and
+// writes the heap profile after a final GC, so the snapshot reflects
+// retained campaign state (caches, checkpoints) rather than transient
+// garbage. Profiling failures are fatal up front — a silently missing
+// profile after a long campaign is worse than an early exit.
+func startProfiles(cpuOut, memOut string) func() {
+	var cpuFile *os.File
+	if cpuOut != "" {
+		f, err := os.Create(cpuOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edm: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "edm: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "edm: -cpuprofile: %v\n", err)
+				os.Exit(1)
 			}
-			return
+		}
+		if memOut != "" {
+			f, err := os.Create(memOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edm: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "edm: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "edm: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "edm: unknown experiment %q\n", name)
-	flag.Usage()
-	os.Exit(2)
 }
 
 // printCacheStats reports the campaign memoization counters (DESIGN.md

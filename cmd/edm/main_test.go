@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -113,4 +115,32 @@ func TestPrintFig7(t *testing.T) {
 	if !strings.Contains(got, "EDM/compile") || !strings.Contains(got, "qaoa-5") {
 		t.Errorf("fig7 output wrong:\n%s", got)
 	}
+}
+
+func TestStartProfilesWritesBothOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop := startProfiles(cpu, mem)
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	stop()
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabledIsNoOp(t *testing.T) {
+	stop := startProfiles("", "")
+	stop() // must not panic or create files
 }

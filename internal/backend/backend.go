@@ -46,7 +46,35 @@ type Machine struct {
 	// runs memoizes whole trial runs by (circuit, trials, RNG state);
 	// nil unless EnableRunCache was called. See runcache.go.
 	runs *memo.Cache[*runEntry]
+	// engine selects the Monte-Carlo execution strategy; the zero value
+	// is the prefix-sharing engine (see prefix.go).
+	engine TrajectoryEngine
 }
+
+// TrajectoryEngine selects how Run turns a compiled program into trial
+// outcomes.
+type TrajectoryEngine uint8
+
+const (
+	// EnginePrefixSharing (the default) executes the dominant stochastic
+	// path once per program and replays trials against its recorded
+	// branch thresholds, simulating only each trial's post-divergence
+	// suffix. Output histograms are byte-identical to EngineLegacy at
+	// any GOMAXPROCS; see prefix.go for the soundness argument.
+	EnginePrefixSharing TrajectoryEngine = iota
+	// EngineLegacy runs every trial's full trajectory from |0...0>. It
+	// is kept as the frozen baseline for benchmarks and as a
+	// cross-check in the byte-identity tests.
+	EngineLegacy
+)
+
+// SetTrajectoryEngine selects the trial execution strategy. Like
+// EnableRunCache it must be called before the machine is shared across
+// goroutines; it is not safe to race with Run.
+func (m *Machine) SetTrajectoryEngine(e TrajectoryEngine) { m.engine = e }
+
+// Engine returns the machine's trajectory engine.
+func (m *Machine) Engine() TrajectoryEngine { return m.engine }
 
 // New returns a machine with the given runtime calibration. The
 // calibration passed here may differ from the one the compiler used — that
@@ -108,6 +136,12 @@ type program struct {
 	numClbits int
 	steps     []step
 	measPhys  []int // classical bit -> physical qubit (-1 if unwritten)
+
+	// prefix is the dominant-path threshold tape + checkpoints of the
+	// prefix-sharing engine (prefix.go), built at most once per compiled
+	// program on first use and shared read-only by every stripe.
+	prefixOnce sync.Once
+	prefix     *prefixPlan
 }
 
 // compile lowers the executable onto the machine: SWAPs become CX
@@ -330,11 +364,12 @@ func (m *Machine) runFresh(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.
 
 // runProgram executes a compiled program for the given number of trials.
 func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts {
+	plan := m.planFor(prog) // nil when the legacy engine is selected
 	workers := runtime.GOMAXPROCS(0)
 	if trials < parallelThreshold || workers < 2 {
 		pool.Acquire()
 		defer pool.Release()
-		return m.runStripe(prog, 0, 1, trials, r)
+		return m.runStripe(prog, plan, 0, 1, trials, r)
 	}
 	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
 	// Each worker fills a private histogram; merging integer counts is
@@ -349,7 +384,7 @@ func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts
 			defer wg.Done()
 			pool.Acquire()
 			defer pool.Release()
-			partial[w] = m.runStripe(prog, w, workers, trials, r)
+			partial[w] = m.runStripe(prog, plan, w, workers, trials, r)
 		}(w)
 	}
 	wg.Wait()
@@ -361,13 +396,24 @@ func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts
 }
 
 // runStripe executes trials start, start+stride, ... reusing one
-// statevector and one classical-bit scratch across all of them.
-func (m *Machine) runStripe(prog *program, start, stride, trials int, r *rng.RNG) *dist.Counts {
+// statevector and one classical-bit scratch across all of them. The
+// scratch statevector comes from the process-wide buffer pool, so
+// stripes across runs and workers recycle a handful of buffers. With a
+// non-nil plan, trials go through the prefix-sharing engine; the plan's
+// checkpoints are shared read-only across all stripes.
+func (m *Machine) runStripe(prog *program, plan *prefixPlan, start, stride, trials int, r *rng.RNG) *dist.Counts {
 	counts := dist.NewCounts(prog.numClbits)
-	scratch := statevec.NewState(prog.nLocal)
+	scratch := statevec.GetState(prog.nLocal)
+	defer statevec.PutState(scratch)
 	trueBits := make([]int, prog.numClbits)
+	if plan == nil {
+		for t := start; t < trials; t += stride {
+			counts.Observe(m.runTrajectory(prog, scratch, trueBits, r.DeriveN("trial", t)))
+		}
+		return counts
+	}
 	for t := start; t < trials; t += stride {
-		counts.Observe(m.runTrajectory(prog, scratch, trueBits, r.DeriveN("trial", t)))
+		counts.Observe(m.runTrialShared(prog, plan, scratch, trueBits, r, t))
 	}
 	return counts
 }
@@ -389,27 +435,20 @@ func (m *Machine) runTrajectory(prog *program, s *statevec.State, trueBits []int
 	for i := range trueBits {
 		trueBits[i] = 0
 	}
-	for i := range prog.steps {
+	return m.resumeTrajectory(prog, s, trueBits, r, 0)
+}
+
+// resumeTrajectory runs the trajectory loop from schedule step `from` to
+// the end, then applies readout. Callers position s, trueBits, and r at
+// step `from` first: runTrajectory starts from the reset state with a
+// fresh trial stream, the prefix-sharing engine from a restored
+// checkpoint with the stream skipped to the checkpoint's draw index.
+func (m *Machine) resumeTrajectory(prog *program, s *statevec.State, trueBits []int, r *rng.RNG, from int) bitstr.BitString {
+	for i := from; i < len(prog.steps); i++ {
 		st := &prog.steps[i]
 		switch st.kind {
-		case stepU1:
-			switch st.class {
-			case matDiag:
-				s.Apply1QDiag(st.m2[0][0], st.m2[1][1], st.q0)
-			case matAnti:
-				s.Apply1QAntiDiag(st.m2[0][1], st.m2[1][0], st.q0)
-			default:
-				s.Apply1Q(st.m2, st.q0)
-			}
-		case stepU2:
-			switch st.class {
-			case matDiag:
-				s.Apply2QDiag(st.d4, st.q0, st.q1)
-			case matPerm:
-				s.Apply2QPerm(st.perm, st.q0, st.q1)
-			default:
-				s.Apply2Q(st.m4, st.q0, st.q1)
-			}
+		case stepU1, stepU2:
+			applyUnitaryStep(s, st)
 		case stepPauli1:
 			if k := noise.SamplePauli1Q(st.p, r); k != 0 {
 				s.Apply1Q(noise.Pauli1Q[k], st.q0)
@@ -434,6 +473,33 @@ func (m *Machine) runTrajectory(prog *program, s *statevec.State, trueBits []int
 		}
 	}
 	return m.applyReadout(prog, trueBits, r)
+}
+
+// applyUnitaryStep dispatches a deterministic unitary step to its fused
+// kernel class. It is shared by the legacy trial loop, the prefix
+// engine's replay path, and the dominant-path builder, so all three
+// evolve states through identical kernels.
+func applyUnitaryStep(s *statevec.State, st *step) {
+	switch st.kind {
+	case stepU1:
+		switch st.class {
+		case matDiag:
+			s.Apply1QDiag(st.m2[0][0], st.m2[1][1], st.q0)
+		case matAnti:
+			s.Apply1QAntiDiag(st.m2[0][1], st.m2[1][0], st.q0)
+		default:
+			s.Apply1Q(st.m2, st.q0)
+		}
+	case stepU2:
+		switch st.class {
+		case matDiag:
+			s.Apply2QDiag(st.d4, st.q0, st.q1)
+		case matPerm:
+			s.Apply2QPerm(st.perm, st.q0, st.q1)
+		default:
+			s.Apply2Q(st.m4, st.q0, st.q1)
+		}
+	}
 }
 
 // applyReadout converts true measured bits into read-out bits by applying

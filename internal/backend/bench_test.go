@@ -71,6 +71,49 @@ func BenchmarkRunTrajectory(b *testing.B) {
 	}
 }
 
+// BenchmarkTrajectoryEngine measures per-trial execution of the legacy
+// full-replay loop against the prefix-sharing engine on the same
+// compiled programs. legacy/q14 vs prefix/q14 is the BENCH_trajectory.json
+// headline pair; the prefix sub-benchmarks also report the threshold-tape
+// length and checkpoint memory overhead.
+func BenchmarkTrajectoryEngine(b *testing.B) {
+	for _, nq := range []int{6, 10, 14} {
+		m := noisyMachine(7)
+		prog, err := m.getProgram(benchCircuit(nq))
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch := statevec.NewState(prog.nLocal)
+		trueBits := make([]int, prog.numClbits)
+		b.Run(fmt.Sprintf("legacy/q%d", nq), func(b *testing.B) {
+			r := rng.New(11)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.runTrajectory(prog, scratch, trueBits, r.DeriveN("trial", i))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+		b.Run(fmt.Sprintf("prefix/q%d", nq), func(b *testing.B) {
+			plan := m.planFor(prog)
+			if plan == nil {
+				b.Fatal("no prefix plan")
+			}
+			r := rng.New(11)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.runTrialShared(prog, plan, scratch, trueBits, r, i)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+			b.ReportMetric(float64(len(plan.tape)), "tape-entries")
+			b.ReportMetric(float64(plan.stateBytes)/1024, "ckpt-KiB")
+		})
+	}
+}
+
 // BenchmarkRunParallel measures the striped multi-worker Run path
 // (trial count above parallelThreshold) end to end, including compile.
 func BenchmarkRunParallel(b *testing.B) {

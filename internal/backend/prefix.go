@@ -1,0 +1,323 @@
+package backend
+
+// Prefix-sharing trajectory engine.
+//
+// At the device's error rates most Monte-Carlo trials follow the same
+// branch at every stochastic step for a long prefix of the schedule —
+// the depolarizing events overwhelmingly sample "no error", the damping
+// channels overwhelmingly sample their no-jump operator. Along such a
+// shared prefix the statevector is bit-identical across trials, which
+// means every state-dependent branch probability (Kraus weights,
+// measurement probabilities) is bit-identical too. So the schedule is
+// executed once along its *dominant path* — every stochastic step takes
+// a fixed preferred branch — recording, per stochastic draw, the exact
+// floating-point comparison the live code would perform (the threshold
+// tape) plus copy-on-write statevector checkpoints every few steps.
+//
+// A trial then needs no linear algebra while it agrees with the
+// dominant path: it burns its private stream's uniforms against the
+// tape — pure float comparisons — until the first divergent draw,
+// restores the nearest checkpoint at or before the divergent step, and
+// simulates only the suffix through the unchanged legacy step loop.
+// Trials whose whole stochastic schedule stays dominant collapse to the
+// shared final outcome bits plus their per-trial readout draws.
+//
+// Soundness (byte-identity with runTrajectory, DESIGN.md section 10):
+//
+//   - Thresholds are recorded as the operands of the live comparison
+//     and re-evaluated with the same operations ((u < p) for Bernoulli
+//     draws, (u*total - w0 < 0) for two-branch Kraus selection via
+//     rng.Choose, (u < p1) for measurements), so a tape scan and a live
+//     trial branch identically on every uniform.
+//   - Every stochastic step consumes exactly one uniform when it takes
+//     a recorded branch (Bernoulli, two-operator Choose, and
+//     MeasureQubit each draw one Float64), so the tape index equals the
+//     trial stream's draw index; a checkpoint at tape index k is
+//     restored by deriving the trial stream afresh and Skip(k)-ing it.
+//   - Replay from a checkpoint re-executes the remaining schedule with
+//     the live code path: the steps between the checkpoint and the
+//     divergent draw re-sample their recorded branches (same state,
+//     same uniforms, same comparisons), and the divergent step itself
+//     consumes whatever extra draws its branch needs (e.g. the Pauli
+//     kind draw), exactly as the legacy loop would.
+//
+// The engine therefore changes only how trials are scheduled, never
+// what they compute.
+
+import (
+	"sort"
+
+	"edm/internal/bitstr"
+	"edm/internal/circuit"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+// tapeOp discriminates threshold-tape entries; each entry corresponds
+// to exactly one uniform drawn from the trial stream.
+type tapeOp uint8
+
+const (
+	// tapeBern is a depolarizing-event Bernoulli draw whose recorded
+	// branch is "no error": a trial follows iff !(u < a), a = p.
+	tapeBern tapeOp = iota
+	// tapeChoose0 / tapeChoose1 are a two-operator Kraus selection via
+	// rng.Choose with recorded branch 0 / 1: Choose returns 0 iff
+	// u*b - a < 0, with a = probs[0] and b = probs[0]+probs[1] summed in
+	// Choose's order.
+	tapeChoose0
+	tapeChoose1
+	// tapeMeas0 / tapeMeas1 are a measurement with recorded outcome
+	// 0 / 1: MeasureQubit observes 1 iff u < a, a = P(1).
+	tapeMeas0
+	tapeMeas1
+)
+
+// tapeEntry is one recorded stochastic draw of the dominant path.
+type tapeEntry struct {
+	a, b float64
+	step int32 // schedule step this draw belongs to
+	op   tapeOp
+}
+
+// follows reports whether a trial whose next uniform is u takes this
+// entry's recorded branch. The comparisons replicate the live code's
+// float operations exactly; see the tapeOp constants.
+func (e *tapeEntry) follows(u float64) bool {
+	switch e.op {
+	case tapeBern:
+		return !(u < e.a)
+	case tapeChoose0:
+		return e.choosesZero(u)
+	case tapeChoose1:
+		return !e.choosesZero(u)
+	case tapeMeas1:
+		return u < e.a
+	default: // tapeMeas0
+		return !(u < e.a)
+	}
+}
+
+// choosesZero replicates rng.Choose's two-weight branch test, statement
+// for statement (so an FMA-fusing compiler treats both identically):
+// with x := u*total, Choose returns 0 iff x - w0 < 0.
+func (e *tapeEntry) choosesZero(u float64) bool {
+	x := u * e.b
+	x -= e.a
+	return x < 0
+}
+
+// checkpoint is a copy-on-write snapshot of the dominant path: the
+// state and classical bits *before* executing schedule step stepIdx,
+// with tapeIdx stochastic draws consumed so far. Checkpoints are built
+// once per program and only ever read afterwards — trials restore by
+// copying into their private scratch.
+type checkpoint struct {
+	stepIdx int
+	tapeIdx int
+	state   *statevec.State // nil for the initial |0...0> checkpoint
+	bits    []int
+}
+
+// prefixPlan is the per-program artifact of the dominant-path run.
+type prefixPlan struct {
+	tape    []tapeEntry
+	ckpts   []checkpoint // ascending stepIdx; ckpts[0] is the initial state
+	domBits []int        // classical bits after the full dominant path
+	// stateBytes is the checkpoint memory footprint (amplitude buffers
+	// only), reported by benchmarks as the engine's space overhead.
+	stateBytes int64
+}
+
+// Checkpoint spacing. More checkpoints shorten the replayed suffix of a
+// diverging trial (expected extra work ~ spacing/2 steps) but cost
+// 16*2^n bytes each, so the count is bounded and the spacing floored:
+// at the paper's error rates most trials replay nothing at all, making
+// checkpoint memory — not replay time — the binding constraint. An
+// extra checkpoint right before the first measurement bounds the replay
+// of the common "gates stayed dominant, a measurement draw diverged"
+// trial to the measurement block.
+const (
+	maxCheckpoints       = 12
+	minCheckpointSpacing = 24
+)
+
+func checkpointSpacing(nSteps int) int {
+	sp := (nSteps + maxCheckpoints - 1) / maxCheckpoints
+	if sp < minCheckpointSpacing {
+		sp = minCheckpointSpacing
+	}
+	return sp
+}
+
+// planFor returns the program's prefix plan, building it on first use.
+// It returns nil when the machine runs the legacy engine.
+func (m *Machine) planFor(prog *program) *prefixPlan {
+	if m.engine == EngineLegacy {
+		return nil
+	}
+	prog.prefixOnce.Do(func() { prog.prefix = buildPrefixPlan(prog) })
+	return prog.prefix
+}
+
+// buildPrefixPlan executes the dominant path once: unitary steps evolve
+// the state through the shared kernels, stochastic steps record their
+// threshold and apply their preferred branch. It returns nil if the
+// schedule contains a stochastic step the tape cannot model (a Kraus
+// set that is not two operators — nothing the noise model emits), which
+// falls the machine back to the legacy loop.
+func buildPrefixPlan(prog *program) *prefixPlan {
+	for i := range prog.steps {
+		st := &prog.steps[i]
+		if st.kind == stepDamp &&
+			((st.ampK != nil && len(st.ampK) != 2) || (st.phK != nil && len(st.phK) != 2)) {
+			return nil
+		}
+	}
+	plan := &prefixPlan{
+		ckpts: []checkpoint{{stepIdx: 0, tapeIdx: 0}},
+	}
+	s := statevec.GetState(prog.nLocal)
+	defer statevec.PutState(s)
+	bits := make([]int, prog.numClbits)
+	spacing := checkpointSpacing(len(prog.steps))
+	snapshot := func(next int) {
+		last := &plan.ckpts[len(plan.ckpts)-1]
+		if last.stepIdx == next {
+			return
+		}
+		plan.ckpts = append(plan.ckpts, checkpoint{
+			stepIdx: next,
+			tapeIdx: len(plan.tape),
+			state:   s.Clone(),
+			bits:    append([]int(nil), bits...),
+		})
+		plan.stateBytes += int64(16) << uint(prog.nLocal)
+	}
+	measSeen := false
+	for i := range prog.steps {
+		st := &prog.steps[i]
+		if st.kind == stepMeasure && !measSeen {
+			measSeen = true
+			snapshot(i)
+		}
+		switch st.kind {
+		case stepU1, stepU2:
+			applyUnitaryStep(s, st)
+		case stepPauli1, stepPauli2:
+			// Preferred branch: no error. This is the maximum-probability
+			// branch whenever p < 1/2, which holds for every calibrated
+			// error rate; it is also the only branch with a fixed draw
+			// count (one uniform), which is what keeps tape index == draw
+			// index.
+			if st.p > 0 {
+				plan.tape = append(plan.tape, tapeEntry{op: tapeBern, a: st.p, step: int32(i)})
+			}
+		case stepDamp:
+			if st.ampK != nil {
+				emitKraus(plan, s, st.ampK, st.q0, i)
+			}
+			if st.phK != nil {
+				emitKraus(plan, s, st.phK, st.q0, i)
+			}
+		case stepMeasure:
+			p1 := s.ProbabilityOne(st.q0)
+			dom := 0
+			op := tapeMeas0
+			if p1 >= 0.5 {
+				dom = 1
+				op = tapeMeas1
+			}
+			plan.tape = append(plan.tape, tapeEntry{op: op, a: p1, step: int32(i)})
+			s.Project(st.q0, dom)
+			bits[st.cbit] = dom
+		}
+		if (i+1)%spacing == 0 && i+1 < len(prog.steps) {
+			snapshot(i + 1)
+		}
+	}
+	plan.domBits = bits
+	return plan
+}
+
+// emitKraus records one two-operator Kraus selection on the dominant
+// path: branch probabilities are computed exactly as a live
+// ApplyKraus1Q would on this state, the higher-probability branch is
+// recorded and applied (pre-scaled, through the same kernels).
+func emitKraus(plan *prefixPlan, s *statevec.State, ks []circuit.Matrix2, q, stepIdx int) {
+	var probs [2]float64
+	s.KrausBranchProbs1Q(ks, q, probs[:])
+	// total replicates rng.Choose's summation order.
+	total := probs[0] + probs[1]
+	dom := 0
+	op := tapeChoose0
+	if probs[1] > probs[0] {
+		dom = 1
+		op = tapeChoose1
+	}
+	plan.tape = append(plan.tape, tapeEntry{op: op, a: probs[0], b: total, step: int32(stepIdx)})
+	s.ApplyKrausBranch1Q(ks, q, dom, probs[dom])
+}
+
+// checkpointBefore returns the latest checkpoint whose stepIdx is at or
+// before the given schedule step. The initial checkpoint (stepIdx 0)
+// guarantees a hit.
+func (p *prefixPlan) checkpointBefore(step int) *checkpoint {
+	i := sort.Search(len(p.ckpts), func(i int) bool { return p.ckpts[i].stepIdx > step })
+	return &p.ckpts[i-1]
+}
+
+// testHookPrefix, when set by a test, observes each trial's divergence
+// point — the tape index of the first divergent draw, or -1 for a fully
+// dominant trial — and the trial stream after its last draw, which the
+// draw-order contract test compares against the legacy loop's stream.
+// Production runs leave it nil.
+var testHookPrefix func(trial, divergedAt int, final *rng.RNG)
+
+// runTrialShared executes one trial through the prefix-sharing engine.
+// It must produce exactly the bits runTrajectory would produce for
+// r.DeriveN("trial", t) — the byte-identity tests enforce this across
+// every workload.
+func (m *Machine) runTrialShared(prog *program, plan *prefixPlan, scratch *statevec.State, trueBits []int, r *rng.RNG, t int) bitstr.BitString {
+	rt := r.DeriveN("trial", t)
+	tape := plan.tape
+	div := -1
+	for i := range tape {
+		if !tape[i].follows(rt.Float64()) {
+			div = i
+			break
+		}
+	}
+	if div < 0 {
+		// Fully dominant: the trial shares the dominant final state, so
+		// only its readout draws are private. rt has consumed exactly
+		// len(tape) uniforms — the same count a live trajectory consumes
+		// before readout on this path.
+		copy(trueBits, plan.domBits)
+		out := m.applyReadout(prog, trueBits, rt)
+		if testHookPrefix != nil {
+			testHookPrefix(t, div, rt)
+		}
+		return out
+	}
+	// Divergent: restore the nearest checkpoint at or before the
+	// divergent step and replay the suffix through the legacy loop with
+	// a fresh stream skipped to the checkpoint's draw index.
+	ck := plan.checkpointBefore(int(tape[div].step))
+	rr := r.DeriveN("trial", t)
+	rr.Skip(ck.tapeIdx)
+	if ck.state == nil {
+		scratch.Reset()
+		for i := range trueBits {
+			trueBits[i] = 0
+		}
+	} else {
+		scratch.CopyFrom(ck.state)
+		copy(trueBits, ck.bits)
+	}
+	out := m.resumeTrajectory(prog, scratch, trueBits, rr, ck.stepIdx)
+	if testHookPrefix != nil {
+		testHookPrefix(t, div, rr)
+	}
+	return out
+}

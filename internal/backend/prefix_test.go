@@ -1,0 +1,310 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+
+	"edm/internal/device"
+	"edm/internal/dist"
+	"edm/internal/mapper"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+	"edm/internal/workloads"
+)
+
+// physicalWorkloads compiles every paper workload onto the Melbourne
+// device, returning the physical executables the byte-identity tests
+// run on both engines.
+func physicalWorkloads(t testing.TB) map[string]*mapper.Executable {
+	t.Helper()
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
+	comp := mapper.NewCompiler(cal)
+	out := make(map[string]*mapper.Executable)
+	for _, w := range workloads.All() {
+		exe, err := comp.Compile(w.Circuit)
+		if err != nil {
+			t.Fatalf("compile %s: %v", w.Name, err)
+		}
+		out[w.Name] = exe
+	}
+	return out
+}
+
+func countsEqual(a, b *dist.Counts) bool {
+	return a.N() == b.N() && a.Total() == b.Total() &&
+		reflect.DeepEqual(a.Sorted(), b.Sorted())
+}
+
+// TestPrefixEngineByteIdentityWorkloads is the acceptance gate of the
+// prefix-sharing engine: for every workload in internal/workloads, the
+// Counts it produces must be byte-identical to the legacy trajectory
+// loop's, on both the serial path (trials < parallelThreshold) and the
+// striped parallel path. ci.sh re-runs it under -race at GOMAXPROCS=1
+// and at full width.
+func TestPrefixEngineByteIdentityWorkloads(t *testing.T) {
+	exes := physicalWorkloads(t)
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
+	for name, exe := range exes {
+		for _, trials := range []int{100, 1000} { // serial and parallel
+			legacy := New(cal)
+			legacy.SetTrajectoryEngine(EngineLegacy)
+			prefix := New(cal)
+			want, err := legacy.Run(exe.Circuit, trials, rng.New(42))
+			if err != nil {
+				t.Fatalf("%s legacy run: %v", name, err)
+			}
+			got, err := prefix.Run(exe.Circuit, trials, rng.New(42))
+			if err != nil {
+				t.Fatalf("%s prefix run: %v", name, err)
+			}
+			if !countsEqual(want, got) {
+				t.Errorf("%s (%d trials): prefix-sharing Counts differ from legacy", name, trials)
+			}
+		}
+	}
+}
+
+// TestPrefixEngineByteIdentityCached pins the interaction with the PR 4
+// run cache: the prefix engine sits below it (same key), so a cached
+// prefix machine must serve histograms byte-identical to an uncached
+// legacy machine.
+func TestPrefixEngineByteIdentityCached(t *testing.T) {
+	exes := physicalWorkloads(t)
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
+	exe := exes["bv-6"].Circuit
+	legacy := New(cal)
+	legacy.SetTrajectoryEngine(EngineLegacy)
+	cached := New(cal)
+	cached.EnableRunCache()
+	want, err := legacy.Run(exe, 600, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cached.Run(exe, 600, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cached.Run(exe, 600, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !countsEqual(want, first) {
+		t.Error("cached prefix Counts differ from uncached legacy")
+	}
+	if first != again {
+		t.Error("run cache missed on an identical (circuit, trials, stream) key")
+	}
+	if s := cached.RunCacheStats(); s.Hits != 1 {
+		t.Errorf("run cache hits = %d, want 1", s.Hits)
+	}
+}
+
+// countingStream is the counting RNG wrapper of the draw-order contract
+// test: it exposes how many Uint64 draws a computation consumed from a
+// derived trial stream, via state deltas (every draw advances the
+// SplitMix64 state by the fixed increment, so the count is exact even
+// through Intn's rejection loop).
+type countingStream struct {
+	r    *rng.RNG
+	base uint64
+}
+
+func newCountingStream(root *rng.RNG, t int) *countingStream {
+	r := root.DeriveN("trial", t)
+	return &countingStream{r: r, base: r.State()}
+}
+
+func (c *countingStream) draws() uint64 { return rng.DrawCount(c.base, c.r.State()) }
+
+// TestPrefixDrawOrderContract proves the new engine consumes each
+// trial's stream in exactly the same order and count as runTrajectory:
+// for every trial of every workload, the legacy loop and the prefix
+// engine must land the trial stream on the same final state (equal
+// total draw counts from the same derivation base) and produce the same
+// outcome bits. It also checks the engine's internal accounting — a
+// trial that diverged at tape index i consumed exactly i+1 scan draws —
+// and that the suite exercises fully dominant trials, divergent trials,
+// and checkpoint restores.
+func TestPrefixDrawOrderContract(t *testing.T) {
+	exes := physicalWorkloads(t)
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
+	m := New(cal)
+
+	sawDominant, sawDivergent := false, false
+	var hookDiv int
+	var hookFinal *rng.RNG
+	testHookPrefix = func(_, div int, final *rng.RNG) {
+		hookDiv = div
+		hookFinal = final
+	}
+	defer func() { testHookPrefix = nil }()
+
+	const trials = 300
+	for name, exe := range exes {
+		prog, err := m.getProgram(exe.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := m.planFor(prog)
+		if plan == nil {
+			t.Fatalf("%s: no prefix plan", name)
+		}
+		sLegacy := statevec.NewState(prog.nLocal)
+		sPrefix := statevec.NewState(prog.nLocal)
+		bitsLegacy := make([]int, prog.numClbits)
+		bitsPrefix := make([]int, prog.numClbits)
+		root := rng.New(99)
+		for trial := 0; trial < trials; trial++ {
+			legacyStream := newCountingStream(root, trial)
+			want := m.runTrajectory(prog, sLegacy, bitsLegacy, legacyStream.r)
+
+			hookFinal = nil
+			got := m.runTrialShared(prog, plan, sPrefix, bitsPrefix, root, trial)
+			if hookFinal == nil {
+				t.Fatalf("%s trial %d: hook not invoked", name, trial)
+			}
+			prefixStream := &countingStream{r: hookFinal, base: root.DeriveN("trial", trial).State()}
+
+			if want != got {
+				t.Fatalf("%s trial %d: outcome differs (legacy %v, prefix %v)", name, trial, want, got)
+			}
+			if legacyStream.draws() != prefixStream.draws() {
+				t.Fatalf("%s trial %d: draw count differs (legacy %d, prefix %d)",
+					name, trial, legacyStream.draws(), prefixStream.draws())
+			}
+			if legacyStream.r.State() != prefixStream.r.State() {
+				t.Fatalf("%s trial %d: final stream state differs", name, trial)
+			}
+			if hookDiv < 0 {
+				sawDominant = true
+				// A fully dominant trial consumes one draw per tape entry
+				// plus one readout draw per measured bit — nothing else.
+				wantDraws := uint64(len(plan.tape))
+				for _, q := range prog.measPhys {
+					if q >= 0 {
+						wantDraws++
+					}
+				}
+				if prefixStream.draws() != wantDraws {
+					t.Fatalf("%s trial %d: dominant trial drew %d, want %d",
+						name, trial, prefixStream.draws(), wantDraws)
+				}
+			} else {
+				sawDivergent = true
+				if hookDiv >= len(plan.tape) {
+					t.Fatalf("%s trial %d: divergence index %d out of tape", name, trial, hookDiv)
+				}
+			}
+		}
+	}
+	if !sawDominant || !sawDivergent {
+		t.Fatalf("contract test lacks coverage: dominant=%v divergent=%v", sawDominant, sawDivergent)
+	}
+}
+
+// TestPrefixPlanShape sanity-checks the built plan: checkpoints are
+// strictly ordered with consistent tape indices, the tape is ordered by
+// schedule step with one entry per stochastic draw, and checkpointBefore
+// returns the tightest checkpoint.
+func TestPrefixPlanShape(t *testing.T) {
+	m := noisyMachine(7)
+	prog, err := m.getProgram(benchCircuit(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := m.planFor(prog)
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	if len(plan.tape) == 0 {
+		t.Fatal("empty threshold tape for a noisy program")
+	}
+	if got := m.planFor(prog); got != plan {
+		t.Fatal("planFor rebuilt the plan")
+	}
+	if plan.ckpts[0].stepIdx != 0 || plan.ckpts[0].tapeIdx != 0 || plan.ckpts[0].state != nil {
+		t.Fatalf("initial checkpoint malformed: %+v", plan.ckpts[0])
+	}
+	for i := 1; i < len(plan.ckpts); i++ {
+		prev, cur := &plan.ckpts[i-1], &plan.ckpts[i]
+		if cur.stepIdx <= prev.stepIdx || cur.tapeIdx < prev.tapeIdx {
+			t.Fatalf("checkpoints out of order at %d: %+v -> %+v", i, prev, cur)
+		}
+		if cur.state == nil || cur.state.N() != prog.nLocal || len(cur.bits) != prog.numClbits {
+			t.Fatalf("checkpoint %d snapshot malformed", i)
+		}
+		// tapeIdx must count exactly the entries belonging to earlier steps.
+		n := 0
+		for _, e := range plan.tape {
+			if int(e.step) < cur.stepIdx {
+				n++
+			}
+		}
+		if n != cur.tapeIdx {
+			t.Fatalf("checkpoint %d: tapeIdx %d, want %d", i, cur.tapeIdx, n)
+		}
+	}
+	for i := 1; i < len(plan.tape); i++ {
+		if plan.tape[i].step < plan.tape[i-1].step {
+			t.Fatal("tape not ordered by schedule step")
+		}
+	}
+	if plan.stateBytes != int64(len(plan.ckpts)-1)*(16<<uint(prog.nLocal)) {
+		t.Fatalf("stateBytes = %d, inconsistent with %d checkpoints", plan.stateBytes, len(plan.ckpts))
+	}
+	for _, e := range plan.tape {
+		ck := plan.checkpointBefore(int(e.step))
+		if ck.stepIdx > int(e.step) {
+			t.Fatalf("checkpointBefore(%d) returned later step %d", e.step, ck.stepIdx)
+		}
+		// No other checkpoint sits strictly between ck and the step.
+		for i := range plan.ckpts {
+			c := &plan.ckpts[i]
+			if c.stepIdx > ck.stepIdx && c.stepIdx <= int(e.step) {
+				t.Fatalf("checkpointBefore(%d) not tightest (%d vs %d)", e.step, ck.stepIdx, c.stepIdx)
+			}
+		}
+	}
+	if len(plan.domBits) != prog.numClbits {
+		t.Fatalf("domBits length %d, want %d", len(plan.domBits), prog.numClbits)
+	}
+}
+
+// TestTrialAllocsSteadyState pins the backend's steady-state allocation
+// contract from PR 1: about one allocation per trial (the derived trial
+// stream) on the legacy path, and at most two on the prefix-sharing
+// path (divergent trials derive a second stream to skip to their
+// checkpoint). Regressions here mean a scratch buffer leaked back into
+// the hot loop.
+func TestTrialAllocsSteadyState(t *testing.T) {
+	m := noisyMachine(7)
+	prog, err := m.getProgram(benchCircuit(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := m.planFor(prog)
+	scratch := statevec.NewState(prog.nLocal)
+	trueBits := make([]int, prog.numClbits)
+	root := rng.New(11)
+	const trials = 200
+
+	legacyBody := func() {
+		for trial := 0; trial < trials; trial++ {
+			m.runTrajectory(prog, scratch, trueBits, root.DeriveN("trial", trial))
+		}
+	}
+	prefixBody := func() {
+		for trial := 0; trial < trials; trial++ {
+			m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+		}
+	}
+	legacyBody() // warm up scratch pools and lazily built state
+	prefixBody()
+
+	if per := testing.AllocsPerRun(10, legacyBody) / trials; per > 1.1 {
+		t.Errorf("legacy path: %.2f allocs/trial, want ~1", per)
+	}
+	if per := testing.AllocsPerRun(10, prefixBody) / trials; per > 2.1 {
+		t.Errorf("prefix path: %.2f allocs/trial, want <= 2", per)
+	}
+}

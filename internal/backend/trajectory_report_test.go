@@ -1,0 +1,129 @@
+package backend
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+// TestTrajectoryBenchReport regenerates BENCH_trajectory.json (via
+// scripts/bench_trajectory.sh): the prefix-sharing engine versus the
+// frozen legacy trajectory loop, per-trial, on the representative
+// executables of BENCH_kernels.json. Keeping the measurement in Go lets
+// the report assert Counts byte-equality between the engines in the
+// same process that times them. It skips unless EDM_BENCH_TRAJECTORY_OUT
+// names the output file.
+func TestTrajectoryBenchReport(t *testing.T) {
+	out := os.Getenv("EDM_BENCH_TRAJECTORY_OUT")
+	if out == "" {
+		t.Skip("set EDM_BENCH_TRAJECTORY_OUT to write the trajectory benchmark report")
+	}
+
+	type row struct {
+		Case          string  `json:"case"`
+		Trials        int     `json:"trials"`
+		LegacyTrialsS float64 `json:"legacy_trials_per_s"`
+		PrefixTrialsS float64 `json:"prefix_trials_per_s"`
+		Speedup       float64 `json:"speedup"`
+		TapeEntries   int     `json:"tape_entries"`
+		Checkpoints   int     `json:"checkpoints"`
+		CkptBytes     int64   `json:"checkpoint_bytes"`
+		Identical     bool    `json:"counts_identical"`
+	}
+	report := struct {
+		Date       string `json:"date"`
+		Go         string `json:"go"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Note       string `json:"note"`
+		Headline   string `json:"headline"`
+		Rows       []row  `json:"rows"`
+	}{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "per-trial trajectory execution, prefix-sharing engine (DESIGN.md section 10) vs " +
+			"the frozen legacy full-replay loop (Machine.SetTrajectoryEngine(EngineLegacy)); " +
+			"checkpoint_bytes is the engine's resident memory overhead per compiled program",
+	}
+
+	cases := []struct {
+		nq, trials int
+	}{
+		{6, 20000},
+		{10, 4000},
+		{14, 800},
+	}
+	for _, tc := range cases {
+		m := noisyMachine(7)
+		prog, err := m.getProgram(benchCircuit(tc.nq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := m.planFor(prog)
+		if plan == nil {
+			t.Fatal("no prefix plan")
+		}
+		scratch := statevec.NewState(prog.nLocal)
+		trueBits := make([]int, prog.numClbits)
+		root := rng.New(11)
+
+		// Warm both paths, and pin byte-identity while at it.
+		identical := true
+		for trial := 0; trial < 200; trial++ {
+			a := m.runTrajectory(prog, scratch, trueBits, root.DeriveN("trial", trial))
+			b := m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+			if a != b {
+				identical = false
+			}
+		}
+
+		start := time.Now()
+		for trial := 0; trial < tc.trials; trial++ {
+			m.runTrajectory(prog, scratch, trueBits, root.DeriveN("trial", trial))
+		}
+		legacyS := float64(tc.trials) / time.Since(start).Seconds()
+
+		start = time.Now()
+		for trial := 0; trial < tc.trials; trial++ {
+			m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+		}
+		prefixS := float64(tc.trials) / time.Since(start).Seconds()
+
+		if !identical {
+			t.Errorf("q%d: engines disagree on outcome bits", tc.nq)
+		}
+		report.Rows = append(report.Rows, row{
+			Case:          fmt.Sprintf("RunTrajectory/q%d", tc.nq),
+			Trials:        tc.trials,
+			LegacyTrialsS: legacyS,
+			PrefixTrialsS: prefixS,
+			Speedup:       prefixS / legacyS,
+			TapeEntries:   len(plan.tape),
+			Checkpoints:   len(plan.ckpts),
+			CkptBytes:     plan.stateBytes,
+			Identical:     identical,
+		})
+	}
+
+	head := report.Rows[len(report.Rows)-1]
+	report.Headline = fmt.Sprintf("RunTrajectory/q14: %.2fx trials/s vs frozen legacy loop (%.0f vs %.0f)",
+		head.Speedup, head.PrefixTrialsS, head.LegacyTrialsS)
+	if head.Speedup < 1.5 {
+		t.Errorf("headline speedup %.2fx below the 1.5x acceptance bar", head.Speedup)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", report.Headline)
+}

@@ -1,0 +1,48 @@
+package pool
+
+import "sync"
+
+// Buffers is a size-classed free list for fixed-length scratch slices.
+// It complements the compute-token pool: tokens bound how many leaf
+// workers run at once, Buffers bounds how much scratch memory those
+// workers allocate. A stripe worker that needs a statevector (or any
+// other large slice) of length n takes one from the class for n and
+// returns it when the stripe completes, so campaigns that launch
+// thousands of stripes recycle a handful of buffers instead of
+// allocating one per stripe.
+//
+// Returned slices carry stale contents; callers must reinitialize. Each
+// size class is a sync.Pool, so unused buffers are reclaimed by the GC
+// under memory pressure rather than pinned forever.
+type Buffers[T any] struct {
+	classes sync.Map // int (length) -> *sync.Pool of []T
+}
+
+// Get returns a slice of exactly length n, reusing a previously Put
+// buffer of the same length when one is available. Contents are
+// unspecified.
+func (b *Buffers[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	if p, ok := b.classes.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.([]T)
+		}
+	}
+	return make([]T, n)
+}
+
+// Put returns a slice obtained from Get (or any slice whose length is
+// its full capacity class) to the free list. Put of a nil or empty
+// slice is a no-op. The caller must not retain references to s.
+func (b *Buffers[T]) Put(s []T) {
+	if len(s) == 0 {
+		return
+	}
+	p, ok := b.classes.Load(len(s))
+	if !ok {
+		p, _ = b.classes.LoadOrStore(len(s), &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(s[:len(s):len(s)])
+}

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -65,4 +66,50 @@ func TestEachPropagatesLowestPanic(t *testing.T) {
 func TestEachZero(t *testing.T) {
 	Each(0, func(int) { t.Fatal("called") })
 	Each(-1, func(int) { t.Fatal("called") })
+}
+
+func TestBuffersReuse(t *testing.T) {
+	var b Buffers[complex128]
+	s := b.Get(16)
+	if len(s) != 16 {
+		t.Fatalf("Get(16) returned len %d", len(s))
+	}
+	s[3] = 7i
+	b.Put(s)
+	got := b.Get(16)
+	if len(got) != 16 {
+		t.Fatalf("reused Get(16) returned len %d", len(got))
+	}
+	// Different size classes never mix.
+	if other := b.Get(8); len(other) != 8 {
+		t.Fatalf("Get(8) returned len %d", len(other))
+	}
+	// Degenerate cases are no-ops.
+	if b.Get(0) != nil {
+		t.Fatal("Get(0) should be nil")
+	}
+	b.Put(nil)
+}
+
+func TestBuffersConcurrent(t *testing.T) {
+	var b Buffers[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 << uint(i%6)
+				s := b.Get(n)
+				if len(s) != n {
+					panic("wrong length")
+				}
+				for j := range s {
+					s[j] = j
+				}
+				b.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
 }

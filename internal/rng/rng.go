@@ -82,6 +82,40 @@ func (r *RNG) DeriveN(label string, n int) *RNG {
 	return &RNG{state: mix(h)}
 }
 
+// Skip advances the generator as if n Uint64 draws had been made and
+// their values discarded, in O(1). Uint64 advances the state by the
+// fixed increment `golden` before mixing, so skipping is a single
+// multiply-add; Float64 and Bernoulli consume exactly one Uint64 each,
+// which is what lets the backend's prefix-sharing trajectory engine
+// fast-forward a trial stream to a checkpoint's draw position.
+func (r *RNG) Skip(n int) {
+	if n < 0 {
+		panic("rng: Skip with negative n")
+	}
+	r.state += golden * uint64(n)
+}
+
+// goldenInv is the multiplicative inverse of golden modulo 2^64
+// (golden is odd, hence invertible). Computed by Newton iteration:
+// each step doubles the number of correct low bits.
+var goldenInv = func() uint64 {
+	x := uint64(golden) // correct to 3 bits: a*a == 1 (mod 8) for odd a
+	for i := 0; i < 5; i++ {
+		x *= 2 - golden*x
+	}
+	return x
+}()
+
+// DrawCount returns how many Uint64 draws advanced a generator from
+// state a to state b. Every draw — including each rejection-loop
+// iteration inside Intn — moves the state by exactly `golden`, so the
+// count is the state delta times golden's modular inverse. Tests use it
+// as a non-invasive draw counter: snapshot State before and after a
+// computation and compare counts across implementations.
+func DrawCount(a, b uint64) uint64 {
+	return (b - a) * goldenInv
+}
+
 // mix is the SplitMix64 finalizer.
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

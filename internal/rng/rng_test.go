@@ -227,3 +227,61 @@ func TestStateIsCacheKey(t *testing.T) {
 		t.Fatal("Uint64 did not change the state")
 	}
 }
+
+func TestSkipMatchesDraws(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a, b := New(31), New(31)
+		a.Skip(n)
+		for i := 0; i < n; i++ {
+			b.Uint64()
+		}
+		if a.State() != b.State() {
+			t.Fatalf("Skip(%d) != %d Uint64 draws", n, n)
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams differ after Skip(%d)", n)
+		}
+	}
+}
+
+func TestSkipRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Skip(-1) did not panic")
+		}
+	}()
+	New(1).Skip(-1)
+}
+
+func TestDrawCount(t *testing.T) {
+	r := New(77)
+	start := r.State()
+	draws := uint64(0)
+	check := func() {
+		t.Helper()
+		if got := DrawCount(start, r.State()); got != draws {
+			t.Fatalf("DrawCount = %d, want %d", got, draws)
+		}
+	}
+	check()
+	r.Float64()
+	draws++
+	check()
+	r.Bernoulli(0.5)
+	draws++
+	check()
+	// Mixed draws, including Intn's (possibly multi-draw) rejection loop:
+	// count by state delta on a twin stream.
+	twin := New(77)
+	twin.Skip(int(draws))
+	before := twin.State()
+	r.Intn(3)
+	twin.state = r.state
+	draws += DrawCount(before, twin.State())
+	check()
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	draws += 100
+	check()
+}

@@ -1,0 +1,159 @@
+package statevec
+
+import (
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/noise"
+	"edm/internal/rng"
+)
+
+// scrambled returns a 3-qubit state pushed through a few entangling
+// gates so every amplitude is nonzero and irrational.
+func scrambled() *State {
+	s := NewState(3)
+	s.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	s.Apply2Q(circuit.Matrix2Q(circuit.CX), 0, 1)
+	s.Apply1Q(circuit.Matrix1Q(circuit.RY, []float64{0.3}), 2)
+	s.Apply2Q(circuit.Matrix2Q(circuit.CZ), 1, 2)
+	s.Apply1Q(circuit.Matrix1Q(circuit.RZ, []float64{0.7}), 1)
+	return s
+}
+
+func statesEqual(a, b *State) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for i := uint64(0); i < 1<<uint(a.N()); i++ {
+		if a.Amplitude(i) != b.Amplitude(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCloneIsBitIdenticalAndIndependent(t *testing.T) {
+	src := scrambled()
+	c := src.Clone()
+	if !statesEqual(src, c) {
+		t.Fatal("Clone is not bit-identical to its source")
+	}
+	// Mutating the clone must not touch the source (no aliasing).
+	before := src.Amplitude(0)
+	c.Apply1Q(circuit.Matrix1Q(circuit.X, nil), 0)
+	if src.Amplitude(0) != before {
+		t.Fatal("Clone aliases its source buffer")
+	}
+	if statesEqual(src, c) {
+		t.Fatal("mutated clone still equals source")
+	}
+}
+
+func TestCopyFromRestoresBitIdentical(t *testing.T) {
+	src := scrambled()
+	snap := src.Clone()
+	// Wreck a scratch state, then restore the snapshot into it.
+	dst := NewState(3)
+	dst.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 1)
+	dst.CopyFrom(snap)
+	if !statesEqual(dst, src) {
+		t.Fatal("CopyFrom did not restore a bit-identical state")
+	}
+	// Restore must not alias: mutate dst, snapshot unchanged.
+	dst.Apply1Q(circuit.Matrix1Q(circuit.X, nil), 2)
+	if !statesEqual(snap, src) {
+		t.Fatal("CopyFrom aliased the snapshot buffer")
+	}
+	// Simulating forward from the restored state matches simulating
+	// forward from the original: the snapshot round-trip is invisible.
+	a, b := src.Clone(), snap.Clone()
+	a.Apply2Q(circuit.Matrix2Q(circuit.CX), 2, 0)
+	b.Apply2Q(circuit.Matrix2Q(circuit.CX), 2, 0)
+	if !statesEqual(a, b) {
+		t.Fatal("evolution diverges after snapshot round-trip")
+	}
+}
+
+func TestCopyFromSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom across sizes did not panic")
+		}
+	}()
+	NewState(2).CopyFrom(NewState(3))
+}
+
+func TestGetStatePutStateRecycles(t *testing.T) {
+	s := GetState(4)
+	if s.N() != 4 {
+		t.Fatalf("GetState(4).N() = %d", s.N())
+	}
+	if !statesEqual(s, NewState(4)) {
+		t.Fatal("GetState did not return |0...0>")
+	}
+	s.Apply1Q(circuit.Matrix1Q(circuit.H, nil), 0)
+	PutState(s)
+	// A recycled buffer must come back reset despite stale contents.
+	s2 := GetState(4)
+	if !statesEqual(s2, NewState(4)) {
+		t.Fatal("recycled GetState is not |0...0>")
+	}
+	PutState(s2)
+	PutState(nil)
+}
+
+// TestProjectMatchesMeasure pins Project to MeasureQubit's post-draw
+// state update: measuring with a forced draw and projecting onto the
+// same outcome must be bit-identical.
+func TestProjectMatchesMeasure(t *testing.T) {
+	for q := 0; q < 3; q++ {
+		a, b := scrambled(), scrambled()
+		r := rng.New(uint64(17 + q))
+		outcome := a.MeasureQubit(q, r)
+		b.Project(q, outcome)
+		if !statesEqual(a, b) {
+			t.Fatalf("Project(%d, %d) differs from MeasureQubit collapse", q, outcome)
+		}
+	}
+}
+
+// TestKrausBranchDecomposition pins the refactored ApplyKraus1Q: probs +
+// Choose + branch application must reproduce the one-shot call exactly,
+// for both the diag-like fast path (damping) and the general path.
+func TestKrausBranchDecomposition(t *testing.T) {
+	general := []circuit.Matrix2{
+		circuit.Matrix1Q(circuit.H, nil).Mul(circuit.Matrix2{{0.8, 0}, {0, 0.8}}),
+		{{0.6, 0}, {0, -0.6}},
+	}
+	cases := []struct {
+		name string
+		ks   []circuit.Matrix2
+	}{
+		{"amp-damping", noise.AmplitudeDampingKraus(0.3)},
+		{"phase-damping", noise.PhaseDampingKraus(0.4)},
+		{"general", general},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 32; trial++ {
+			q := trial % 3
+			a, b := scrambled(), scrambled()
+			ra, rb := rng.New(uint64(trial)), rng.New(uint64(trial))
+			choiceA := a.ApplyKraus1Q(tc.ks, q, ra)
+
+			probs := make([]float64, len(tc.ks))
+			b.KrausBranchProbs1Q(tc.ks, q, probs)
+			choiceB := rb.Choose(probs)
+			b.ApplyKrausBranch1Q(tc.ks, q, choiceB, probs[choiceB])
+
+			if choiceA != choiceB {
+				t.Fatalf("%s: branch choice differs (%d vs %d)", tc.name, choiceA, choiceB)
+			}
+			if ra.State() != rb.State() {
+				t.Fatalf("%s: draw consumption differs", tc.name)
+			}
+			if !statesEqual(a, b) {
+				t.Fatalf("%s: decomposed Kraus application is not bit-identical", tc.name)
+			}
+		}
+	}
+}

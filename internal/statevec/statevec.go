@@ -16,6 +16,7 @@ import (
 
 	"edm/internal/bitstr"
 	"edm/internal/circuit"
+	"edm/internal/pool"
 	"edm/internal/rng"
 )
 
@@ -36,6 +37,34 @@ func NewState(n int) *State {
 	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
 	s.amp[0] = 1
 	return s
+}
+
+// scratch recycles amplitude buffers across GetState/PutState pairs.
+// Stripe workers in the backend take a scratch state per stripe and
+// return it when the stripe ends, so wide campaigns reuse a few buffers
+// instead of allocating one statevector per (run x worker).
+var scratch pool.Buffers[complex128]
+
+// GetState returns a |0...0> state of n qubits whose amplitude buffer
+// comes from a process-wide free list. Pair with PutState when the
+// state is no longer referenced.
+func GetState(n int) *State {
+	if n < 0 || n > MaxQubits {
+		panic(fmt.Sprintf("statevec: %d qubits out of range", n))
+	}
+	s := &State{n: n, amp: scratch.Get(1 << uint(n))}
+	s.Reset()
+	return s
+}
+
+// PutState returns a GetState state's buffer to the free list. The
+// state must not be used afterwards. PutState(nil) is a no-op.
+func PutState(s *State) {
+	if s == nil {
+		return
+	}
+	scratch.Put(s.amp)
+	s.amp = nil
 }
 
 // NewBasisState returns the computational basis state |b>.
@@ -66,6 +95,19 @@ func (s *State) Clone() *State {
 	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
 	copy(c.amp, s.amp)
 	return c
+}
+
+// CopyFrom overwrites s with a bit-identical copy of src, reusing s's
+// amplitude buffer. It is the restore half of the snapshot API: the
+// backend's trajectory engine clones checkpoint states once per program
+// and restores diverging trials into a reused scratch state with no
+// allocation. The two states must have the same qubit count and must
+// not alias.
+func (s *State) CopyFrom(src *State) {
+	if s.n != src.n {
+		panic(fmt.Sprintf("statevec: CopyFrom size mismatch (%d vs %d qubits)", s.n, src.n))
+	}
+	copy(s.amp, src.amp)
 }
 
 // Norm returns the 2-norm of the statevector (1 for a valid state).
@@ -316,6 +358,20 @@ func (s *State) MeasureQubit(q int, r *rng.RNG) int {
 	return outcome
 }
 
+// Project collapses qubit q onto the given outcome without drawing a
+// sample — exactly the state update MeasureQubit performs after its
+// draw. Callers that decide the outcome externally (the trajectory
+// engine's dominant-path builder) get a state bit-identical to a
+// MeasureQubit call whose draw produced the same outcome. It panics if
+// the outcome has zero probability.
+func (s *State) Project(q, outcome int) {
+	s.checkQubit(q)
+	if outcome != 0 && outcome != 1 {
+		panic(fmt.Sprintf("statevec: Project with outcome %d", outcome))
+	}
+	s.projectQubit(q, outcome)
+}
+
 // projectQubit zeroes the amplitudes inconsistent with qubit q being in
 // the given state and renormalizes.
 func (s *State) projectQubit(q, outcome int) {
@@ -367,21 +423,66 @@ func (s *State) ApplyKraus1Q(ks []circuit.Matrix2, q int, r *rng.RNG) int {
 		s.scale(1 / n)
 		return 0
 	}
-	if choice, ok := s.applyKrausDiagLike(ks, q, r); ok {
-		return choice
-	}
-	bit := 1 << uint(q)
-	n := len(s.amp)
-	// Branch probability p_i = sum over basis pairs of |K_i acting on the
-	// (a0, a1) sub-vector|^2. The fixed-size buffer keeps the common case
-	// (2-4 Kraus operators, one channel per damping window per trial)
-	// allocation-free.
 	var pbuf [8]float64
 	var probs []float64
 	if len(ks) <= len(pbuf) {
 		probs = pbuf[:len(ks)]
 	} else {
 		probs = make([]float64, len(ks))
+	}
+	s.KrausBranchProbs1Q(ks, q, probs)
+	choice := r.Choose(probs)
+	s.ApplyKrausBranch1Q(ks, q, choice, probs[choice])
+	return choice
+}
+
+// KrausBranchProbs1Q fills probs (len(ks) entries) with the trajectory
+// branch probabilities ||K_i psi||^2 of the channel on qubit q, computed
+// exactly — operation for operation — as ApplyKraus1Q computes them
+// before its draw. The trajectory engine's dominant-path builder uses it
+// to record state-dependent branch thresholds that are bit-identical to
+// the ones a live trial would compare its uniform against.
+//
+// Sets whose operators are each diagonal or anti-diagonal — damping,
+// dephasing, and Pauli channels, i.e. every channel the noise model
+// samples per trial — take a fast path: for such a set the branch
+// probabilities depend only on the target qubit's populations p0, p1:
+//
+//	diagonal K:      ||K psi||^2 = |k00|^2 p0 + |k11|^2 p1
+//	anti-diagonal K: ||K psi||^2 = |k01|^2 p1 + |k10|^2 p0
+//
+// so one population pass replaces the per-operator matrix-action scan.
+func (s *State) KrausBranchProbs1Q(ks []circuit.Matrix2, q int, probs []float64) {
+	s.checkQubit(q)
+	if len(probs) != len(ks) {
+		panic("statevec: KrausBranchProbs1Q buffer size mismatch")
+	}
+	bit := 1 << uint(q)
+	n := len(s.amp)
+	if krausDiagLike(ks) {
+		var p0, p1 float64
+		for blk := 0; blk < n; blk += bit << 1 {
+			lo := s.amp[blk : blk+bit]
+			hi := s.amp[blk+bit : blk+(bit<<1)]
+			for i, a0 := range lo {
+				a1 := hi[i]
+				p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+				p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+			}
+		}
+		for i, k := range ks {
+			if k.IsDiagonal() {
+				probs[i] = abs2(k[0][0])*p0 + abs2(k[1][1])*p1
+			} else {
+				probs[i] = abs2(k[0][1])*p1 + abs2(k[1][0])*p0
+			}
+		}
+		return
+	}
+	// Branch probability p_i = sum over basis pairs of |K_i acting on the
+	// (a0, a1) sub-vector|^2.
+	for i := range probs {
+		probs[i] = 0
 	}
 	for blk := 0; blk < n; blk += bit << 1 {
 		loAmp := s.amp[blk : blk+bit]
@@ -396,77 +497,45 @@ func (s *State) ApplyKraus1Q(ks []circuit.Matrix2, q int, r *rng.RNG) int {
 			}
 		}
 	}
-	choice := r.Choose(probs)
-	p := math.Sqrt(probs[choice])
-	if p <= 0 {
+}
+
+// ApplyKrausBranch1Q applies branch `choice` of the channel, pre-scaled
+// by 1/sqrt(p) where p is that branch's probability (as returned by
+// KrausBranchProbs1Q), so the apply and the renormalization are one
+// pass. It is the post-draw half of ApplyKraus1Q and performs the same
+// kernel dispatch: diagonal and anti-diagonal operators (exact zero
+// tests) go through the specialized kernels.
+func (s *State) ApplyKrausBranch1Q(ks []circuit.Matrix2, q, choice int, p float64) {
+	s.checkQubit(q)
+	sq := math.Sqrt(p)
+	if sq <= 0 {
 		panic("statevec: chose zero-probability Kraus branch")
 	}
-	// Fold the 1/sqrt(p) renormalization into the operator so the apply
-	// and the rescale are one pass instead of two.
-	inv := complex(1/p, 0)
+	inv := complex(1/sq, 0)
 	k := ks[choice]
+	if k.IsDiagonal() {
+		s.Apply1QDiag(k[0][0]*inv, k[1][1]*inv, q)
+		return
+	}
+	if k.IsAntiDiagonal() {
+		s.Apply1QAntiDiag(k[0][1]*inv, k[1][0]*inv, q)
+		return
+	}
 	s.Apply1Q(circuit.Matrix2{
 		{k[0][0] * inv, k[0][1] * inv},
 		{k[1][0] * inv, k[1][1] * inv},
 	}, q)
-	return choice
 }
 
-// applyKrausDiagLike handles Kraus sets whose operators are each diagonal
-// or anti-diagonal. For such a set the branch probabilities depend only on
-// the target qubit's populations p0, p1:
-//
-//	diagonal K:      ||K psi||^2 = |k00|^2 p0 + |k11|^2 p1
-//	anti-diagonal K: ||K psi||^2 = |k01|^2 p1 + |k10|^2 p0
-//
-// so one population pass replaces the per-operator matrix-action scan, and
-// the chosen operator — pre-scaled by 1/sqrt(p) — is applied by the
-// matching diagonal/anti-diagonal kernel in a single further pass.
-func (s *State) applyKrausDiagLike(ks []circuit.Matrix2, q int, r *rng.RNG) (int, bool) {
+// krausDiagLike reports whether every operator in the set is diagonal or
+// anti-diagonal, enabling the population-based probability fast path.
+func krausDiagLike(ks []circuit.Matrix2) bool {
 	for _, k := range ks {
 		if !k.IsDiagonal() && !k.IsAntiDiagonal() {
-			return 0, false
+			return false
 		}
 	}
-	bit := 1 << uint(q)
-	n := len(s.amp)
-	var p0, p1 float64
-	for blk := 0; blk < n; blk += bit << 1 {
-		lo := s.amp[blk : blk+bit]
-		hi := s.amp[blk+bit : blk+(bit<<1)]
-		for i, a0 := range lo {
-			a1 := hi[i]
-			p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
-			p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
-		}
-	}
-	var pbuf [8]float64
-	var probs []float64
-	if len(ks) <= len(pbuf) {
-		probs = pbuf[:len(ks)]
-	} else {
-		probs = make([]float64, len(ks))
-	}
-	for i, k := range ks {
-		if k.IsDiagonal() {
-			probs[i] = abs2(k[0][0])*p0 + abs2(k[1][1])*p1
-		} else {
-			probs[i] = abs2(k[0][1])*p1 + abs2(k[1][0])*p0
-		}
-	}
-	choice := r.Choose(probs)
-	p := math.Sqrt(probs[choice])
-	if p <= 0 {
-		panic("statevec: chose zero-probability Kraus branch")
-	}
-	inv := complex(1/p, 0)
-	k := ks[choice]
-	if k.IsDiagonal() {
-		s.Apply1QDiag(k[0][0]*inv, k[1][1]*inv, q)
-	} else {
-		s.Apply1QAntiDiag(k[0][1]*inv, k[1][0]*inv, q)
-	}
-	return choice, true
+	return true
 }
 
 func abs2(c complex128) float64 {

@@ -9,6 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+UNFORMATTED="$(gofmt -l cmd internal)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -34,5 +42,12 @@ echo "== campaign cache determinism (DESIGN.md §9) =="
 go test -race -count=1 -run 'Campaign|TopKCache|RunCache|PrefixStability' \
 	./internal/experiment ./internal/mapper ./internal/backend
 go test -race -count=1 ./internal/memo
+
+echo "== trajectory engine determinism (DESIGN.md §10) =="
+# The prefix-sharing engine must match the frozen legacy loop byte for
+# byte at GOMAXPROCS=1 and at full stripe width; both passes run under
+# the race detector because the plan is shared read-only across workers.
+GOMAXPROCS=1 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
+go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
 
 echo "CI OK"
