@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"edm/internal/backend"
 	"edm/internal/experiment"
 	"edm/internal/mapper"
 )
@@ -166,6 +167,24 @@ func printCacheStats(out *os.File) {
 		"backend/prog", prog.Hits, prog.Misses, prog.Evictions, prog.Entries)
 	fmt.Fprintf(out, "  %-14s hits %-8d misses %-6d waits %-4d evictions %-4d entries %d\n",
 		"backend/run", run.Hits, run.Misses, run.Waits, run.Evictions, run.Entries)
+	printEngineStats(out)
+}
+
+// printEngineStats reports the tape-tree trajectory engine counters
+// (DESIGN.md §10). A nonzero fallback count means some compiled program
+// had a Kraus shape the threshold tape cannot model and ran on the
+// legacy loop — silent but slow, so -cachestats makes it visible.
+func printEngineStats(out *os.File) {
+	es := backend.EngineStatsSnapshot()
+	fmt.Fprintln(out, "trajectory engine stats:")
+	fmt.Fprintf(out, "  %-14s plans %-8d fallbacks %-4d leaves %d\n",
+		"tape-tree", es.PlansBuilt, es.PlanFallbacks, es.TreeLeaves)
+	fmt.Fprintf(out, "  %-14s dominant %-6d divergent %d\n",
+		"trials", es.FullDominantTrials, es.DivergentTrials)
+	if es.PlanFallbacks > 0 {
+		fmt.Fprintf(out, "  warning: %d program(s) fell back to the legacy trajectory loop\n",
+			es.PlanFallbacks)
+	}
 }
 
 type exp struct {

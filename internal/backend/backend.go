@@ -412,9 +412,11 @@ func (m *Machine) runStripe(prog *program, plan *prefixPlan, start, stride, tria
 		}
 		return counts
 	}
+	var tally engineTally
 	for t := start; t < trials; t += stride {
-		counts.Observe(m.runTrialShared(prog, plan, scratch, trueBits, r, t))
+		counts.Observe(m.runTrialShared(prog, plan, scratch, trueBits, r, t, &tally))
 	}
+	tally.flush()
 	return counts
 }
 

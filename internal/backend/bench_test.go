@@ -101,14 +101,20 @@ func BenchmarkTrajectoryEngine(b *testing.B) {
 				b.Fatal("no prefix plan")
 			}
 			r := rng.New(11)
+			var tally engineTally
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.runTrialShared(prog, plan, scratch, trueBits, r, i)
+				m.runTrialShared(prog, plan, scratch, trueBits, r, i, &tally)
 			}
 			b.StopTimer()
+			entries := 0
+			for _, n := range plan.nodes {
+				entries += len(n.tape)
+			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "trials/s")
-			b.ReportMetric(float64(len(plan.tape)), "tape-entries")
+			b.ReportMetric(float64(entries), "tape-entries")
+			b.ReportMetric(float64(len(plan.leaves)), "leaves")
 			b.ReportMetric(float64(plan.stateBytes)/1024, "ckpt-KiB")
 		})
 	}

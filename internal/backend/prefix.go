@@ -1,6 +1,6 @@
 package backend
 
-// Prefix-sharing trajectory engine.
+// Prefix-sharing trajectory engine with a tape tree.
 //
 // At the device's error rates most Monte-Carlo trials follow the same
 // branch at every stochastic step for a long prefix of the schedule —
@@ -14,13 +14,22 @@ package backend
 // floating-point comparison the live code would perform (the threshold
 // tape) plus copy-on-write statevector checkpoints every few steps.
 //
-// A trial then needs no linear algebra while it agrees with the
-// dominant path: it burns its private stream's uniforms against the
-// tape — pure float comparisons — until the first divergent draw,
-// restores the nearest checkpoint at or before the divergent step, and
-// simulates only the suffix through the unchanged legacy step loop.
-// Trials whose whole stochastic schedule stays dominant collapse to the
-// shared final outcome bits plus their per-trial readout draws.
+// One dominant path is not enough when the schedule contains genuinely
+// random branch points: a measurement of an equal superposition sends
+// half of all trials off the tape, and each of them pays a suffix
+// replay. The engine therefore grows a small *tree* of dominant paths:
+// when the dominant-path builder meets a stochastic comparison whose
+// minority branch still carries probability >= forkMinProb — only
+// measurements and two-operator Kraus selections qualify, the two
+// branch kinds that consume exactly one uniform either way — it forks
+// the tape and continues building both branches, until maxTreeLeaves
+// paths exist. Each tree node owns the tape segment between its
+// parent's fork and its own (or its leaf end), its own checkpoints, and
+// — on leaves — the classical bits of the full path. A trial burns its
+// uniforms against the tape, selects a child at each fork with the very
+// comparison the live code would perform, and resolves with zero state
+// work if it reaches a leaf; only trials diverging from *every* path in
+// the tree replay a suffix.
 //
 // Soundness (byte-identity with runTrajectory, DESIGN.md section 10):
 //
@@ -28,24 +37,32 @@ package backend
 //     and re-evaluated with the same operations ((u < p) for Bernoulli
 //     draws, (u*total - w0 < 0) for two-branch Kraus selection via
 //     rng.Choose, (u < p1) for measurements), so a tape scan and a live
-//     trial branch identically on every uniform.
+//     trial branch identically on every uniform. Fork entries reuse the
+//     same comparisons; they merely route to a child instead of ending
+//     the scan.
 //   - Every stochastic step consumes exactly one uniform when it takes
-//     a recorded branch (Bernoulli, two-operator Choose, and
-//     MeasureQubit each draw one Float64), so the tape index equals the
-//     trial stream's draw index; a checkpoint at tape index k is
-//     restored by deriving the trial stream afresh and Skip(k)-ing it.
+//     a recorded branch, and a fork consumes exactly one uniform on
+//     *either* branch (measurements and two-operator Choose draw one
+//     Float64 regardless of outcome), so the draw index along any
+//     root-to-leaf path equals the trial stream's draw index; a
+//     checkpoint at path draw index k is restored by deriving the trial
+//     stream afresh and Skip(k)-ing it. Pauli error branches draw extra
+//     uniforms (the error-kind draw), which is why tapeBern entries
+//     never fork — their minority branch would break the accounting
+//     (and is never near-50/50 at calibrated error rates anyway).
 //   - Replay from a checkpoint re-executes the remaining schedule with
 //     the live code path: the steps between the checkpoint and the
 //     divergent draw re-sample their recorded branches (same state,
-//     same uniforms, same comparisons), and the divergent step itself
-//     consumes whatever extra draws its branch needs (e.g. the Pauli
-//     kind draw), exactly as the legacy loop would.
+//     same uniforms, same comparisons — including any forks the trial
+//     followed), and the divergent step itself consumes whatever extra
+//     draws its branch needs, exactly as the legacy loop would.
 //
 // The engine therefore changes only how trials are scheduled, never
 // what they compute.
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"edm/internal/bitstr"
 	"edm/internal/circuit"
@@ -73,7 +90,7 @@ const (
 	tapeMeas1
 )
 
-// tapeEntry is one recorded stochastic draw of the dominant path.
+// tapeEntry is one recorded stochastic draw of a dominant path.
 type tapeEntry struct {
 	a, b float64
 	step int32 // schedule step this draw belongs to
@@ -107,11 +124,30 @@ func (e *tapeEntry) choosesZero(u float64) bool {
 	return x < 0
 }
 
-// checkpoint is a copy-on-write snapshot of the dominant path: the
+// branch returns the child index a trial whose fork uniform is u
+// follows: the measurement outcome, or the rng.Choose branch. Only
+// tapeMeas* and tapeChoose* entries fork.
+func (e *tapeEntry) branch(u float64) int {
+	switch e.op {
+	case tapeChoose0, tapeChoose1:
+		if e.choosesZero(u) {
+			return 0
+		}
+		return 1
+	default: // tapeMeas0, tapeMeas1
+		if u < e.a {
+			return 1
+		}
+		return 0
+	}
+}
+
+// checkpoint is a copy-on-write snapshot of a dominant path: the
 // state and classical bits *before* executing schedule step stepIdx,
-// with tapeIdx stochastic draws consumed so far. Checkpoints are built
-// once per program and only ever read afterwards — trials restore by
-// copying into their private scratch.
+// with tapeIdx stochastic draws (tape entries plus fork draws) consumed
+// along the path so far. Checkpoints are built once per program and
+// only ever read afterwards — trials restore by copying into their
+// private scratch.
 type checkpoint struct {
 	stepIdx int
 	tapeIdx int
@@ -119,27 +155,67 @@ type checkpoint struct {
 	bits    []int
 }
 
-// prefixPlan is the per-program artifact of the dominant-path run.
+// treeNode is one dominant-path segment of the tape tree. The root
+// segment starts at schedule step 0; every other segment starts right
+// after its parent's fork. Internal nodes end in a fork (children set),
+// leaves carry the classical bits of their full root-to-leaf path.
+type treeNode struct {
+	id       int
+	depth    int // forks above this segment
+	parent   *treeNode
+	tape     []tapeEntry
+	ckpts    []checkpoint // ascending stepIdx, path-global tapeIdx
+	fork     tapeEntry    // valid iff children[0] != nil
+	children [2]*treeNode // indexed by tapeEntry.branch outcome
+	domBits  []int        // leaf only: bits after the full path
+	// prob is the path probability of reaching this node along recorded
+	// branches, as estimated by the builder; reporting only.
+	prob float64
+}
+
+// isLeaf reports whether the node ends a dominant path.
+func (n *treeNode) isLeaf() bool { return n.children[0] == nil }
+
+// checkpointBefore returns the latest checkpoint on the root-to-n path
+// whose stepIdx is at or before the given schedule step. The root's
+// initial checkpoint (stepIdx 0) guarantees a hit.
+func (n *treeNode) checkpointBefore(step int) *checkpoint {
+	for node := n; node != nil; node = node.parent {
+		ck := node.ckpts
+		i := sort.Search(len(ck), func(j int) bool { return ck[j].stepIdx > step })
+		if i > 0 {
+			return &ck[i-1]
+		}
+	}
+	panic("backend: no checkpoint at or before step") // root ckpt 0 prevents this
+}
+
+// prefixPlan is the per-program artifact of the dominant-path build: a
+// tape tree whose nodes share the threshold-tape and checkpoint
+// machinery of the single-path engine.
 type prefixPlan struct {
-	tape    []tapeEntry
-	ckpts   []checkpoint // ascending stepIdx; ckpts[0] is the initial state
-	domBits []int        // classical bits after the full dominant path
+	root     *treeNode
+	nodes    []*treeNode // all nodes, depth-first creation order; nodes[0] == root
+	leaves   []*treeNode // leaf nodes, depth-first order
+	maxDepth int
 	// stateBytes is the checkpoint memory footprint (amplitude buffers
 	// only), reported by benchmarks as the engine's space overhead.
 	stateBytes int64
 }
 
-// Checkpoint spacing. More checkpoints shorten the replayed suffix of a
-// diverging trial (expected extra work ~ spacing/2 steps) but cost
-// 16*2^n bytes each, so the count is bounded and the spacing floored:
-// at the paper's error rates most trials replay nothing at all, making
-// checkpoint memory — not replay time — the binding constraint. An
-// extra checkpoint right before the first measurement bounds the replay
-// of the common "gates stayed dominant, a measurement draw diverged"
-// trial to the measurement block.
+// Tree and checkpoint budgets. Each fork doubles the trials that resolve
+// with zero state work at a genuinely random branch point, but each
+// leaf's suffix carries its own checkpoints, so both are bounded:
+// checkpoint memory is at most maxTreeLeaves * (maxCheckpoints+1) *
+// 16*2^n bytes (in practice far less, since paths share their prefix
+// checkpoints). forkMinProb is the minimum minority-branch probability
+// worth a fork: below it, fewer than a quarter of trials use the second
+// leaf and the suffix-replay path handles them at no memory cost.
 const (
 	maxCheckpoints       = 12
 	minCheckpointSpacing = 24
+	maxTreeLeaves        = 4
+	forkMinProb          = 0.25
 )
 
 func checkpointSpacing(nSteps int) int {
@@ -148,6 +224,72 @@ func checkpointSpacing(nSteps int) int {
 		sp = minCheckpointSpacing
 	}
 	return sp
+}
+
+// Engine counters, surfaced through EngineStatsSnapshot (cmd/edm
+// -cachestats). Plan-level counters cost nothing per trial; trial-level
+// counters are accumulated per stripe and flushed once (runStripe).
+var engineStats struct {
+	plansBuilt    atomic.Int64
+	planFallbacks atomic.Int64
+	treeLeaves    atomic.Int64
+	fullDominant  atomic.Int64
+	divergent     atomic.Int64
+}
+
+// EngineStats is a snapshot of the trajectory engine's counters.
+type EngineStats struct {
+	// PlansBuilt / PlanFallbacks count prefix plans built vs programs
+	// that fell back to the legacy loop (a Kraus set the tape cannot
+	// model). A nonzero fallback count flags that campaigns are silently
+	// running without prefix sharing.
+	PlansBuilt    int64
+	PlanFallbacks int64
+	// TreeLeaves is the total number of dominant paths across built
+	// plans (1 per plan when no fork criterion fired).
+	TreeLeaves int64
+	// FullDominantTrials resolved on a leaf with zero state work;
+	// DivergentTrials replayed a suffix from a checkpoint.
+	FullDominantTrials int64
+	DivergentTrials    int64
+}
+
+// EngineStatsSnapshot returns the process-wide trajectory engine
+// counters.
+func EngineStatsSnapshot() EngineStats {
+	return EngineStats{
+		PlansBuilt:         engineStats.plansBuilt.Load(),
+		PlanFallbacks:      engineStats.planFallbacks.Load(),
+		TreeLeaves:         engineStats.treeLeaves.Load(),
+		FullDominantTrials: engineStats.fullDominant.Load(),
+		DivergentTrials:    engineStats.divergent.Load(),
+	}
+}
+
+// ResetEngineStats zeroes the engine counters (tests and benchmarks).
+func ResetEngineStats() {
+	engineStats.plansBuilt.Store(0)
+	engineStats.planFallbacks.Store(0)
+	engineStats.treeLeaves.Store(0)
+	engineStats.fullDominant.Store(0)
+	engineStats.divergent.Store(0)
+}
+
+// engineTally accumulates per-trial counters inside one stripe so the
+// hot loop touches no atomics; runStripe flushes it once.
+type engineTally struct {
+	full int64
+	div  int64
+}
+
+func (t *engineTally) flush() {
+	if t.full != 0 {
+		engineStats.fullDominant.Add(t.full)
+	}
+	if t.div != 0 {
+		engineStats.divergent.Add(t.div)
+	}
+	t.full, t.div = 0, 0
 }
 
 // planFor returns the program's prefix plan, building it on first use.
@@ -160,46 +302,130 @@ func (m *Machine) planFor(prog *program) *prefixPlan {
 	return prog.prefix
 }
 
-// buildPrefixPlan executes the dominant path once: unitary steps evolve
-// the state through the shared kernels, stochastic steps record their
-// threshold and apply their preferred branch. It returns nil if the
-// schedule contains a stochastic step the tape cannot model (a Kraus
-// set that is not two operators — nothing the noise model emits), which
-// falls the machine back to the legacy loop.
+// treeBuilder carries the shared state of the depth-first dominant-path
+// build: the leaf budget, checkpoint spacing, and the schedule position
+// of the first measurement (which gets an extra snapshot so the common
+// "gates stayed dominant, a measurement diverged" replay is bounded by
+// the measurement block).
+type treeBuilder struct {
+	prog      *program
+	plan      *prefixPlan
+	spacing   int
+	firstMeas int
+	leaves    int
+}
+
+func (b *treeBuilder) newNode(parent *treeNode) *treeNode {
+	n := &treeNode{id: len(b.plan.nodes), parent: parent, prob: 1}
+	if parent != nil {
+		n.depth = parent.depth + 1
+	}
+	if n.depth > b.plan.maxDepth {
+		b.plan.maxDepth = n.depth
+	}
+	b.plan.nodes = append(b.plan.nodes, n)
+	return n
+}
+
+// lastCkptOnPath returns the most recent checkpoint on the root-to-node
+// path, or nil before the initial checkpoint exists.
+func lastCkptOnPath(node *treeNode) *checkpoint {
+	for n := node; n != nil; n = n.parent {
+		if len(n.ckpts) > 0 {
+			return &n.ckpts[len(n.ckpts)-1]
+		}
+	}
+	return nil
+}
+
+// snapshot records a checkpoint of the current path state before
+// schedule step stepIdx with tapeIdx path draws consumed, skipping
+// duplicates at the same step.
+func (b *treeBuilder) snapshot(node *treeNode, s *statevec.State, bits []int, stepIdx, tapeIdx int) {
+	if last := lastCkptOnPath(node); last != nil && last.stepIdx == stepIdx {
+		return
+	}
+	node.ckpts = append(node.ckpts, checkpoint{
+		stepIdx: stepIdx,
+		tapeIdx: tapeIdx,
+		state:   s.Clone(),
+		bits:    append([]int(nil), bits...),
+	})
+	b.plan.stateBytes += int64(16) << uint(b.prog.nLocal)
+}
+
+// buildPrefixPlan builds the tape tree: the dominant path is executed
+// once per segment — unitary steps evolve the state through the shared
+// kernels, stochastic steps record their threshold and apply their
+// preferred branch — and near-50/50 comparisons fork the build while
+// the leaf budget lasts. It returns nil if the schedule contains a
+// stochastic step the tape cannot model (a Kraus set that is not two
+// operators — nothing the noise model emits), which falls the machine
+// back to the legacy loop.
 func buildPrefixPlan(prog *program) *prefixPlan {
 	for i := range prog.steps {
 		st := &prog.steps[i]
 		if st.kind == stepDamp &&
 			((st.ampK != nil && len(st.ampK) != 2) || (st.phK != nil && len(st.phK) != 2)) {
+			engineStats.planFallbacks.Add(1)
 			return nil
 		}
 	}
-	plan := &prefixPlan{
-		ckpts: []checkpoint{{stepIdx: 0, tapeIdx: 0}},
+	plan := &prefixPlan{}
+	b := &treeBuilder{
+		prog:      prog,
+		plan:      plan,
+		spacing:   checkpointSpacing(len(prog.steps)),
+		firstMeas: -1,
+		leaves:    1,
 	}
+	for i := range prog.steps {
+		if prog.steps[i].kind == stepMeasure {
+			b.firstMeas = i
+			break
+		}
+	}
+	root := b.newNode(nil)
+	root.ckpts = append(root.ckpts, checkpoint{stepIdx: 0, tapeIdx: 0})
+	plan.root = root
 	s := statevec.GetState(prog.nLocal)
 	defer statevec.PutState(s)
 	bits := make([]int, prog.numClbits)
-	spacing := checkpointSpacing(len(prog.steps))
-	snapshot := func(next int) {
-		last := &plan.ckpts[len(plan.ckpts)-1]
-		if last.stepIdx == next {
-			return
+	b.build(root, s, bits, 0, 0, 0)
+	for _, n := range plan.nodes {
+		if n.isLeaf() {
+			plan.leaves = append(plan.leaves, n)
 		}
-		plan.ckpts = append(plan.ckpts, checkpoint{
-			stepIdx: next,
-			tapeIdx: len(plan.tape),
-			state:   s.Clone(),
-			bits:    append([]int(nil), bits...),
-		})
-		plan.stateBytes += int64(16) << uint(prog.nLocal)
 	}
-	measSeen := false
-	for i := range prog.steps {
+	engineStats.plansBuilt.Add(1)
+	engineStats.treeLeaves.Add(int64(len(plan.leaves)))
+	return plan
+}
+
+// Sub-step positions for resuming a schedule step after a fork: a damp
+// step samples its amplitude channel then its dephasing channel, and a
+// fork at either leaves the rest of the step to the children.
+const (
+	subStart  = 0 // execute the whole step
+	subAfterA = 1 // amplitude Kraus done (damp) / measurement done
+	subAfterP = 2 // both damp channels done
+)
+
+// build executes the dominant path of node's segment from schedule
+// position (startStep, startSub) with tapeIdx path draws consumed. s
+// and bits are the running path state; build either completes the
+// schedule (node becomes a leaf) or forks and recurses into both
+// children, cloning the state once for the minority branch.
+func (b *treeBuilder) build(node *treeNode, s *statevec.State, bits []int, startStep, startSub, tapeIdx int) {
+	prog := b.prog
+	for i := startStep; i < len(prog.steps); i++ {
 		st := &prog.steps[i]
-		if st.kind == stepMeasure && !measSeen {
-			measSeen = true
-			snapshot(i)
+		sub := subStart
+		if i == startStep {
+			sub = startSub
+		}
+		if i == b.firstMeas && sub == subStart {
+			b.snapshot(node, s, bits, i, tapeIdx)
 		}
 		switch st.kind {
 		case stepU1, stepU2:
@@ -208,43 +434,69 @@ func buildPrefixPlan(prog *program) *prefixPlan {
 			// Preferred branch: no error. This is the maximum-probability
 			// branch whenever p < 1/2, which holds for every calibrated
 			// error rate; it is also the only branch with a fixed draw
-			// count (one uniform), which is what keeps tape index == draw
-			// index.
+			// count (one uniform), which is what keeps path draw index ==
+			// trial draw index — and why Pauli entries never fork.
 			if st.p > 0 {
-				plan.tape = append(plan.tape, tapeEntry{op: tapeBern, a: st.p, step: int32(i)})
+				node.tape = append(node.tape, tapeEntry{op: tapeBern, a: st.p, step: int32(i)})
+				tapeIdx++
 			}
 		case stepDamp:
-			if st.ampK != nil {
-				emitKraus(plan, s, st.ampK, st.q0, i)
+			if st.ampK != nil && sub < subAfterA {
+				if b.emitKraus(node, s, bits, st.ampK, st.q0, i, subAfterA, &tapeIdx) {
+					return
+				}
 			}
-			if st.phK != nil {
-				emitKraus(plan, s, st.phK, st.q0, i)
+			if st.phK != nil && sub < subAfterP {
+				if b.emitKraus(node, s, bits, st.phK, st.q0, i, subAfterP, &tapeIdx) {
+					return
+				}
 			}
 		case stepMeasure:
-			p1 := s.ProbabilityOne(st.q0)
-			dom := 0
-			op := tapeMeas0
-			if p1 >= 0.5 {
-				dom = 1
-				op = tapeMeas1
+			if sub == subStart {
+				if b.emitMeasure(node, s, bits, st, i, &tapeIdx) {
+					return
+				}
 			}
-			plan.tape = append(plan.tape, tapeEntry{op: op, a: p1, step: int32(i)})
-			s.Project(st.q0, dom)
-			bits[st.cbit] = dom
 		}
-		if (i+1)%spacing == 0 && i+1 < len(prog.steps) {
-			snapshot(i + 1)
+		if (i+1)%b.spacing == 0 && i+1 < len(prog.steps) {
+			b.snapshot(node, s, bits, i+1, tapeIdx)
 		}
 	}
-	plan.domBits = bits
-	return plan
+	node.domBits = append([]int(nil), bits...)
+}
+
+// fork turns node into an internal node at the given entry and builds
+// both children from schedule position (stepIdx, nextSub): apply is
+// called with the branch index and the branch's state to take the
+// branch's state update. The dominant branch continues in place; the
+// minority branch gets a one-off clone.
+func (b *treeBuilder) fork(node *treeNode, s *statevec.State, bits []int, entry tapeEntry,
+	dom int, pDom float64, stepIdx, nextSub, tapeIdx int,
+	apply func(branch int, bs *statevec.State, bb []int)) {
+	node.fork = entry
+	b.leaves++
+	other := s.Clone()
+	otherBits := append([]int(nil), bits...)
+	cd := b.newNode(node)
+	cd.prob = node.prob * pDom
+	node.children[dom] = cd
+	apply(dom, s, bits)
+	b.build(cd, s, bits, stepIdx, nextSub, tapeIdx)
+	co := b.newNode(node)
+	co.prob = node.prob * (1 - pDom)
+	node.children[1-dom] = co
+	apply(1-dom, other, otherBits)
+	b.build(co, other, otherBits, stepIdx, nextSub, tapeIdx)
 }
 
 // emitKraus records one two-operator Kraus selection on the dominant
 // path: branch probabilities are computed exactly as a live
 // ApplyKraus1Q would on this state, the higher-probability branch is
-// recorded and applied (pre-scaled, through the same kernels).
-func emitKraus(plan *prefixPlan, s *statevec.State, ks []circuit.Matrix2, q, stepIdx int) {
+// recorded and applied (pre-scaled, through the same kernels). It
+// returns true if the selection forked (the children own the rest of
+// the schedule).
+func (b *treeBuilder) emitKraus(node *treeNode, s *statevec.State, bits []int,
+	ks []circuit.Matrix2, q, stepIdx, nextSub int, tapeIdx *int) bool {
 	var probs [2]float64
 	s.KrausBranchProbs1Q(ks, q, probs[:])
 	// total replicates rng.Choose's summation order.
@@ -255,55 +507,110 @@ func emitKraus(plan *prefixPlan, s *statevec.State, ks []circuit.Matrix2, q, ste
 		dom = 1
 		op = tapeChoose1
 	}
-	plan.tape = append(plan.tape, tapeEntry{op: op, a: probs[0], b: total, step: int32(stepIdx)})
+	entry := tapeEntry{op: op, a: probs[0], b: total, step: int32(stepIdx)}
+	if minor := probs[1-dom] / total; minor >= forkMinProb && b.leaves < maxTreeLeaves {
+		*tapeIdx++
+		b.fork(node, s, bits, entry, dom, probs[dom]/total, stepIdx, nextSub, *tapeIdx,
+			func(branch int, bs *statevec.State, _ []int) {
+				bs.ApplyKrausBranch1Q(ks, q, branch, probs[branch])
+			})
+		return true
+	}
+	node.tape = append(node.tape, entry)
+	*tapeIdx++
 	s.ApplyKrausBranch1Q(ks, q, dom, probs[dom])
+	return false
 }
 
-// checkpointBefore returns the latest checkpoint whose stepIdx is at or
-// before the given schedule step. The initial checkpoint (stepIdx 0)
-// guarantees a hit.
-func (p *prefixPlan) checkpointBefore(step int) *checkpoint {
-	i := sort.Search(len(p.ckpts), func(i int) bool { return p.ckpts[i].stepIdx > step })
-	return &p.ckpts[i-1]
+// emitMeasure records one measurement on the dominant path, forking
+// when the outcome is near-50/50 (the canonical genuinely random branch
+// point: measuring an equal superposition). It returns true if the
+// measurement forked.
+func (b *treeBuilder) emitMeasure(node *treeNode, s *statevec.State, bits []int,
+	st *step, stepIdx int, tapeIdx *int) bool {
+	p1 := s.ProbabilityOne(st.q0)
+	dom := 0
+	op := tapeMeas0
+	if p1 >= 0.5 {
+		dom = 1
+		op = tapeMeas1
+	}
+	entry := tapeEntry{op: op, a: p1, step: int32(stepIdx)}
+	minor := p1
+	if dom == 1 {
+		minor = 1 - p1
+	}
+	if minor >= forkMinProb && b.leaves < maxTreeLeaves {
+		pDom := p1
+		if dom == 0 {
+			pDom = 1 - p1
+		}
+		*tapeIdx++
+		b.fork(node, s, bits, entry, dom, pDom, stepIdx, subAfterA, *tapeIdx,
+			func(branch int, bs *statevec.State, bb []int) {
+				bs.Project(st.q0, branch)
+				bb[st.cbit] = branch
+			})
+		return true
+	}
+	node.tape = append(node.tape, entry)
+	*tapeIdx++
+	s.Project(st.q0, dom)
+	bits[st.cbit] = dom
+	return false
 }
 
-// testHookPrefix, when set by a test, observes each trial's divergence
-// point — the tape index of the first divergent draw, or -1 for a fully
-// dominant trial — and the trial stream after its last draw, which the
-// draw-order contract test compares against the legacy loop's stream.
-// Production runs leave it nil.
-var testHookPrefix func(trial, divergedAt int, final *rng.RNG)
+// testHookPrefix, when set by a test, observes each trial's tape-tree
+// walk: the node where the walk ended (a leaf for fully dominant
+// trials), the path draw index of the first divergent draw or -1 for a
+// fully dominant trial, and the trial stream after its last draw, which
+// the draw-order contract test compares against the legacy loop's
+// stream. Production runs leave it nil.
+var testHookPrefix func(trial, nodeID, divergedAt int, final *rng.RNG)
 
 // runTrialShared executes one trial through the prefix-sharing engine.
 // It must produce exactly the bits runTrajectory would produce for
 // r.DeriveN("trial", t) — the byte-identity tests enforce this across
 // every workload.
-func (m *Machine) runTrialShared(prog *program, plan *prefixPlan, scratch *statevec.State, trueBits []int, r *rng.RNG, t int) bitstr.BitString {
+func (m *Machine) runTrialShared(prog *program, plan *prefixPlan, scratch *statevec.State, trueBits []int, r *rng.RNG, t int, tally *engineTally) bitstr.BitString {
 	rt := r.DeriveN("trial", t)
-	tape := plan.tape
-	div := -1
-	for i := range tape {
-		if !tape[i].follows(rt.Float64()) {
-			div = i
-			break
+	node := plan.root
+	pos := 0      // path draw index
+	divStep := -1 // schedule step of the first divergent draw
+	divPos := -1
+walk:
+	for {
+		tape := node.tape
+		for i := range tape {
+			if !tape[i].follows(rt.Float64()) {
+				divStep = int(tape[i].step)
+				divPos = pos + i
+				break walk
+			}
 		}
-	}
-	if div < 0 {
-		// Fully dominant: the trial shares the dominant final state, so
-		// only its readout draws are private. rt has consumed exactly
-		// len(tape) uniforms — the same count a live trajectory consumes
-		// before readout on this path.
-		copy(trueBits, plan.domBits)
-		out := m.applyReadout(prog, trueBits, rt)
-		if testHookPrefix != nil {
-			testHookPrefix(t, div, rt)
+		pos += len(tape)
+		if node.isLeaf() {
+			// Fully dominant: the trial shares this leaf's final state, so
+			// only its readout draws are private. rt has consumed exactly
+			// pos uniforms — the same count a live trajectory consumes
+			// before readout on this path.
+			copy(trueBits, node.domBits)
+			out := m.applyReadout(prog, trueBits, rt)
+			tally.full++
+			if testHookPrefix != nil {
+				testHookPrefix(t, node.id, -1, rt)
+			}
+			return out
 		}
-		return out
+		// Fork: one uniform selects the child with the live comparison.
+		node = node.children[node.fork.branch(rt.Float64())]
+		pos++
 	}
-	// Divergent: restore the nearest checkpoint at or before the
-	// divergent step and replay the suffix through the legacy loop with
-	// a fresh stream skipped to the checkpoint's draw index.
-	ck := plan.checkpointBefore(int(tape[div].step))
+	// Divergent from every path through this node: restore the nearest
+	// checkpoint on the followed path at or before the divergent step and
+	// replay the suffix through the legacy loop with a fresh stream
+	// skipped to the checkpoint's draw index.
+	ck := node.checkpointBefore(divStep)
 	rr := r.DeriveN("trial", t)
 	rr.Skip(ck.tapeIdx)
 	if ck.state == nil {
@@ -316,8 +623,9 @@ func (m *Machine) runTrialShared(prog *program, plan *prefixPlan, scratch *state
 		copy(trueBits, ck.bits)
 	}
 	out := m.resumeTrajectory(prog, scratch, trueBits, rr, ck.stepIdx)
+	tally.div++
 	if testHookPrefix != nil {
-		testHookPrefix(t, div, rr)
+		testHookPrefix(t, node.id, divPos, rr)
 	}
 	return out
 }

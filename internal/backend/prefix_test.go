@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"edm/internal/circuit"
 	"edm/internal/device"
 	"edm/internal/dist"
 	"edm/internal/mapper"
@@ -116,32 +117,54 @@ func newCountingStream(root *rng.RNG, t int) *countingStream {
 
 func (c *countingStream) draws() uint64 { return rng.DrawCount(c.base, c.r.State()) }
 
+// pathDraws returns the number of stochastic draws a trial consumes
+// scanning from the root through node's tape segment: one per tape
+// entry on the path, plus one per fork crossed to reach node.
+func pathDraws(n *treeNode) uint64 {
+	var d uint64
+	for node := n; node != nil; node = node.parent {
+		d += uint64(len(node.tape))
+		if node.parent != nil {
+			d++ // the fork draw that selected this node
+		}
+	}
+	return d
+}
+
 // TestPrefixDrawOrderContract proves the new engine consumes each
 // trial's stream in exactly the same order and count as runTrajectory:
 // for every trial of every workload, the legacy loop and the prefix
 // engine must land the trial stream on the same final state (equal
 // total draw counts from the same derivation base) and produce the same
 // outcome bits. It also checks the engine's internal accounting — a
-// trial that diverged at tape index i consumed exactly i+1 scan draws —
-// and that the suite exercises fully dominant trials, divergent trials,
-// and checkpoint restores.
+// trial that diverged at path draw index i consumed exactly i+1 scan
+// draws — and that the suite exercises fully dominant trials on the
+// root leaf, dominant trials on forked leaves, and divergent trials.
 func TestPrefixDrawOrderContract(t *testing.T) {
 	exes := physicalWorkloads(t)
 	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
 	m := New(cal)
 
-	sawDominant, sawDivergent := false, false
-	var hookDiv int
+	sawDominant, sawForkedDominant, sawDivergent := false, false, false
+	var hookNode, hookDiv int
 	var hookFinal *rng.RNG
-	testHookPrefix = func(_, div int, final *rng.RNG) {
+	testHookPrefix = func(_, node, div int, final *rng.RNG) {
+		hookNode = node
 		hookDiv = div
 		hookFinal = final
 	}
 	defer func() { testHookPrefix = nil }()
 
-	const trials = 300
+	// The paper workloads plus a GHZ chain, whose first measurement is an
+	// exact 50/50 branch point — the canonical fork.
+	circuits := map[string]*circuit.Circuit{"ghz-chain": benchCircuit(6)}
 	for name, exe := range exes {
-		prog, err := m.getProgram(exe.Circuit)
+		circuits[name] = exe.Circuit
+	}
+
+	const trials = 300
+	for name, exe := range circuits {
+		prog, err := m.getProgram(exe)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,12 +177,13 @@ func TestPrefixDrawOrderContract(t *testing.T) {
 		bitsLegacy := make([]int, prog.numClbits)
 		bitsPrefix := make([]int, prog.numClbits)
 		root := rng.New(99)
+		var tally engineTally
 		for trial := 0; trial < trials; trial++ {
 			legacyStream := newCountingStream(root, trial)
 			want := m.runTrajectory(prog, sLegacy, bitsLegacy, legacyStream.r)
 
 			hookFinal = nil
-			got := m.runTrialShared(prog, plan, sPrefix, bitsPrefix, root, trial)
+			got := m.runTrialShared(prog, plan, sPrefix, bitsPrefix, root, trial, &tally)
 			if hookFinal == nil {
 				t.Fatalf("%s trial %d: hook not invoked", name, trial)
 			}
@@ -175,11 +199,22 @@ func TestPrefixDrawOrderContract(t *testing.T) {
 			if legacyStream.r.State() != prefixStream.r.State() {
 				t.Fatalf("%s trial %d: final stream state differs", name, trial)
 			}
+			if hookNode < 0 || hookNode >= len(plan.nodes) {
+				t.Fatalf("%s trial %d: hook node id %d out of range", name, trial, hookNode)
+			}
+			node := plan.nodes[hookNode]
 			if hookDiv < 0 {
+				if !node.isLeaf() {
+					t.Fatalf("%s trial %d: dominant trial ended on internal node %d", name, trial, hookNode)
+				}
 				sawDominant = true
-				// A fully dominant trial consumes one draw per tape entry
-				// plus one readout draw per measured bit — nothing else.
-				wantDraws := uint64(len(plan.tape))
+				if node.depth > 0 {
+					sawForkedDominant = true
+				}
+				// A fully dominant trial consumes one draw per tape entry on
+				// its path, one per fork crossed, plus one readout draw per
+				// measured bit — nothing else.
+				wantDraws := pathDraws(node)
 				for _, q := range prog.measPhys {
 					if q >= 0 {
 						wantDraws++
@@ -191,21 +226,38 @@ func TestPrefixDrawOrderContract(t *testing.T) {
 				}
 			} else {
 				sawDivergent = true
-				if hookDiv >= len(plan.tape) {
-					t.Fatalf("%s trial %d: divergence index %d out of tape", name, trial, hookDiv)
+				if uint64(hookDiv) >= pathDraws(node) {
+					t.Fatalf("%s trial %d: divergence index %d past node %d's path draws",
+						name, trial, hookDiv, hookNode)
 				}
 			}
 		}
 	}
-	if !sawDominant || !sawDivergent {
-		t.Fatalf("contract test lacks coverage: dominant=%v divergent=%v", sawDominant, sawDivergent)
+	if !sawDominant || !sawForkedDominant || !sawDivergent {
+		t.Fatalf("contract test lacks coverage: dominant=%v forked=%v divergent=%v",
+			sawDominant, sawForkedDominant, sawDivergent)
 	}
 }
 
-// TestPrefixPlanShape sanity-checks the built plan: checkpoints are
-// strictly ordered with consistent tape indices, the tape is ordered by
-// schedule step with one entry per stochastic draw, and checkpointBefore
-// returns the tightest checkpoint.
+// pathNodes returns the root-to-leaf node sequence of a leaf.
+func pathNodes(leaf *treeNode) []*treeNode {
+	var rev []*treeNode
+	for n := leaf; n != nil; n = n.parent {
+		rev = append(rev, n)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// TestPrefixPlanShape sanity-checks the built tape tree: node ids index
+// plan.nodes, internal nodes fork into two children while leaves carry
+// path bits, per-path checkpoints are strictly ordered with draw
+// indices that count exactly the path draws of earlier steps, tapes are
+// ordered by schedule step, and checkpointBefore returns the tightest
+// on-path checkpoint. The GHZ bench circuit measures an equal
+// superposition, so the plan must actually fork.
 func TestPrefixPlanShape(t *testing.T) {
 	m := noisyMachine(7)
 	prog, err := m.getProgram(benchCircuit(14))
@@ -216,57 +268,142 @@ func TestPrefixPlanShape(t *testing.T) {
 	if plan == nil {
 		t.Fatal("no plan")
 	}
-	if len(plan.tape) == 0 {
-		t.Fatal("empty threshold tape for a noisy program")
-	}
 	if got := m.planFor(prog); got != plan {
 		t.Fatal("planFor rebuilt the plan")
 	}
-	if plan.ckpts[0].stepIdx != 0 || plan.ckpts[0].tapeIdx != 0 || plan.ckpts[0].state != nil {
-		t.Fatalf("initial checkpoint malformed: %+v", plan.ckpts[0])
+	if len(plan.leaves) < 2 || plan.maxDepth < 1 {
+		t.Fatalf("GHZ plan did not fork: %d leaves, depth %d", len(plan.leaves), plan.maxDepth)
 	}
-	for i := 1; i < len(plan.ckpts); i++ {
-		prev, cur := &plan.ckpts[i-1], &plan.ckpts[i]
-		if cur.stepIdx <= prev.stepIdx || cur.tapeIdx < prev.tapeIdx {
-			t.Fatalf("checkpoints out of order at %d: %+v -> %+v", i, prev, cur)
+	if len(plan.leaves) > maxTreeLeaves {
+		t.Fatalf("%d leaves exceed the budget %d", len(plan.leaves), maxTreeLeaves)
+	}
+	if plan.root != plan.nodes[0] {
+		t.Fatal("nodes[0] is not the root")
+	}
+	if ck0 := &plan.root.ckpts[0]; len(plan.root.ckpts) == 0 ||
+		ck0.stepIdx != 0 || ck0.tapeIdx != 0 || ck0.state != nil {
+		t.Fatal("root lacks the initial zero checkpoint")
+	}
+
+	// Global structure: ids index plan.nodes, internal nodes have both
+	// children with eligible fork ops, leaves have domBits.
+	leaves := 0
+	var stateCkpts int64
+	for i, n := range plan.nodes {
+		if n.id != i {
+			t.Fatalf("node %d has id %d", i, n.id)
 		}
-		if cur.state == nil || cur.state.N() != prog.nLocal || len(cur.bits) != prog.numClbits {
-			t.Fatalf("checkpoint %d snapshot malformed", i)
-		}
-		// tapeIdx must count exactly the entries belonging to earlier steps.
-		n := 0
-		for _, e := range plan.tape {
-			if int(e.step) < cur.stepIdx {
-				n++
+		if n.isLeaf() {
+			leaves++
+			if len(n.domBits) != prog.numClbits {
+				t.Fatalf("leaf %d: domBits length %d, want %d", n.id, len(n.domBits), prog.numClbits)
+			}
+			if n.children[1] != nil {
+				t.Fatalf("leaf %d has a lone child", n.id)
+			}
+		} else {
+			if n.children[1] == nil || n.domBits != nil {
+				t.Fatalf("internal node %d malformed", n.id)
+			}
+			if op := n.fork.op; op == tapeBern {
+				t.Fatalf("node %d forks on a Bernoulli entry", n.id)
+			}
+			if n.children[0].parent != n || n.children[1].parent != n {
+				t.Fatalf("node %d children have wrong parent", n.id)
+			}
+			if n.children[0].depth != n.depth+1 {
+				t.Fatalf("node %d child depth %d, want %d", n.id, n.children[0].depth, n.depth+1)
 			}
 		}
-		if n != cur.tapeIdx {
-			t.Fatalf("checkpoint %d: tapeIdx %d, want %d", i, cur.tapeIdx, n)
-		}
-	}
-	for i := 1; i < len(plan.tape); i++ {
-		if plan.tape[i].step < plan.tape[i-1].step {
-			t.Fatal("tape not ordered by schedule step")
-		}
-	}
-	if plan.stateBytes != int64(len(plan.ckpts)-1)*(16<<uint(prog.nLocal)) {
-		t.Fatalf("stateBytes = %d, inconsistent with %d checkpoints", plan.stateBytes, len(plan.ckpts))
-	}
-	for _, e := range plan.tape {
-		ck := plan.checkpointBefore(int(e.step))
-		if ck.stepIdx > int(e.step) {
-			t.Fatalf("checkpointBefore(%d) returned later step %d", e.step, ck.stepIdx)
-		}
-		// No other checkpoint sits strictly between ck and the step.
-		for i := range plan.ckpts {
-			c := &plan.ckpts[i]
-			if c.stepIdx > ck.stepIdx && c.stepIdx <= int(e.step) {
-				t.Fatalf("checkpointBefore(%d) not tightest (%d vs %d)", e.step, ck.stepIdx, c.stepIdx)
+		for j := range n.ckpts {
+			if n.ckpts[j].state != nil {
+				stateCkpts++
 			}
 		}
 	}
-	if len(plan.domBits) != prog.numClbits {
-		t.Fatalf("domBits length %d, want %d", len(plan.domBits), prog.numClbits)
+	if leaves != len(plan.leaves) {
+		t.Fatalf("plan.leaves has %d entries, tree has %d leaves", len(plan.leaves), leaves)
+	}
+	if plan.stateBytes != stateCkpts*(16<<uint(prog.nLocal)) {
+		t.Fatalf("stateBytes = %d, inconsistent with %d state checkpoints", plan.stateBytes, stateCkpts)
+	}
+
+	// Per-path structure. A path's draw sequence is each node's tape
+	// followed by its fork draw; checkpoints must be step-ascending along
+	// the path with tapeIdx equal to the path draws of earlier steps.
+	for _, leaf := range plan.leaves {
+		path := pathNodes(leaf)
+		type draw struct{ step int }
+		var draws []draw
+		var ckpts []checkpoint
+		for _, n := range path {
+			for _, e := range n.tape {
+				draws = append(draws, draw{int(e.step)})
+			}
+			ckpts = append(ckpts, n.ckpts...)
+			if !n.isLeaf() {
+				draws = append(draws, draw{int(n.fork.step)})
+			}
+		}
+		for i := 1; i < len(draws); i++ {
+			if draws[i].step < draws[i-1].step {
+				t.Fatalf("leaf %d: path draws not ordered by schedule step", leaf.id)
+			}
+		}
+		for i := 1; i < len(ckpts); i++ {
+			prev, cur := &ckpts[i-1], &ckpts[i]
+			if cur.stepIdx <= prev.stepIdx || cur.tapeIdx < prev.tapeIdx {
+				t.Fatalf("leaf %d: checkpoints out of order: %d -> %d", leaf.id, prev.stepIdx, cur.stepIdx)
+			}
+			if cur.state == nil || cur.state.N() != prog.nLocal || len(cur.bits) != prog.numClbits {
+				t.Fatalf("leaf %d: checkpoint at step %d malformed", leaf.id, cur.stepIdx)
+			}
+			n := 0
+			for _, d := range draws {
+				if d.step < cur.stepIdx {
+					n++
+				}
+			}
+			if n != cur.tapeIdx {
+				t.Fatalf("leaf %d checkpoint at step %d: tapeIdx %d, want %d",
+					leaf.id, cur.stepIdx, cur.tapeIdx, n)
+			}
+		}
+		// checkpointBefore from any node on the path returns the tightest
+		// on-path checkpoint for every draw step of that node's segment.
+		for _, n := range path {
+			for _, e := range n.tape {
+				ck := n.checkpointBefore(int(e.step))
+				if ck.stepIdx > int(e.step) {
+					t.Fatalf("checkpointBefore(%d) returned later step %d", e.step, ck.stepIdx)
+				}
+				for i := range ckpts {
+					c := &ckpts[i]
+					if c.stepIdx > ck.stepIdx && c.stepIdx <= int(e.step) {
+						// Only on-path checkpoints up to n count.
+						onPath := false
+						for _, pn := range path {
+							if pn == n {
+								break
+							}
+							for j := range pn.ckpts {
+								if &pn.ckpts[j] == c {
+									onPath = true
+								}
+							}
+						}
+						for j := range n.ckpts {
+							if &n.ckpts[j] == c {
+								onPath = true
+							}
+						}
+						if onPath {
+							t.Fatalf("checkpointBefore(%d) not tightest (%d vs %d)", e.step, ck.stepIdx, c.stepIdx)
+						}
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -293,9 +430,10 @@ func TestTrialAllocsSteadyState(t *testing.T) {
 			m.runTrajectory(prog, scratch, trueBits, root.DeriveN("trial", trial))
 		}
 	}
+	var tally engineTally
 	prefixBody := func() {
 		for trial := 0; trial < trials; trial++ {
-			m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+			m.runTrialShared(prog, plan, scratch, trueBits, root, trial, &tally)
 		}
 	}
 	legacyBody() // warm up scratch pools and lazily built state

@@ -13,12 +13,13 @@ import (
 )
 
 // TestTrajectoryBenchReport regenerates BENCH_trajectory.json (via
-// scripts/bench_trajectory.sh): the prefix-sharing engine versus the
-// frozen legacy trajectory loop, per-trial, on the representative
-// executables of BENCH_kernels.json. Keeping the measurement in Go lets
-// the report assert Counts byte-equality between the engines in the
-// same process that times them. It skips unless EDM_BENCH_TRAJECTORY_OUT
-// names the output file.
+// scripts/bench_trajectory.sh): the tape-tree engine versus the frozen
+// legacy trajectory loop, per-trial, on the representative executables
+// of BENCH_kernels.json. Keeping the measurement in Go lets the report
+// assert Counts byte-equality between the engines in the same process
+// that times them, and lets it observe the tree walk through the test
+// hook for the per-leaf hit rates. It skips unless
+// EDM_BENCH_TRAJECTORY_OUT names the output file.
 func TestTrajectoryBenchReport(t *testing.T) {
 	out := os.Getenv("EDM_BENCH_TRAJECTORY_OUT")
 	if out == "" {
@@ -26,15 +27,19 @@ func TestTrajectoryBenchReport(t *testing.T) {
 	}
 
 	type row struct {
-		Case          string  `json:"case"`
-		Trials        int     `json:"trials"`
-		LegacyTrialsS float64 `json:"legacy_trials_per_s"`
-		PrefixTrialsS float64 `json:"prefix_trials_per_s"`
-		Speedup       float64 `json:"speedup"`
-		TapeEntries   int     `json:"tape_entries"`
-		Checkpoints   int     `json:"checkpoints"`
-		CkptBytes     int64   `json:"checkpoint_bytes"`
-		Identical     bool    `json:"counts_identical"`
+		Case          string    `json:"case"`
+		Trials        int       `json:"trials"`
+		LegacyTrialsS float64   `json:"legacy_trials_per_s"`
+		PrefixTrialsS float64   `json:"prefix_trials_per_s"`
+		Speedup       float64   `json:"speedup"`
+		TapeEntries   int       `json:"tape_entries"`
+		TreeLeaves    int       `json:"tree_leaves"`
+		TreeDepth     int       `json:"tree_depth"`
+		LeafHitRates  []float64 `json:"leaf_hit_rates"`
+		DivergentRate float64   `json:"divergent_rate"`
+		Checkpoints   int       `json:"checkpoints"`
+		CkptBytes     int64     `json:"checkpoint_bytes"`
+		Identical     bool      `json:"counts_identical"`
 	}
 	report := struct {
 		Date       string `json:"date"`
@@ -47,8 +52,10 @@ func TestTrajectoryBenchReport(t *testing.T) {
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Note: "per-trial trajectory execution, prefix-sharing engine (DESIGN.md section 10) vs " +
+		Note: "per-trial trajectory execution, tape-tree engine (DESIGN.md section 10) vs " +
 			"the frozen legacy full-replay loop (Machine.SetTrajectoryEngine(EngineLegacy)); " +
+			"leaf_hit_rates is the fraction of trials resolving on each dominant path with " +
+			"zero state work, divergent_rate the fraction replaying a suffix; " +
 			"checkpoint_bytes is the engine's resident memory overhead per compiled program",
 	}
 
@@ -72,16 +79,29 @@ func TestTrajectoryBenchReport(t *testing.T) {
 		scratch := statevec.NewState(prog.nLocal)
 		trueBits := make([]int, prog.numClbits)
 		root := rng.New(11)
+		var tally engineTally
 
-		// Warm both paths, and pin byte-identity while at it.
+		// Warm both paths, pin byte-identity, and tally the tree walk:
+		// which leaf each trial lands on, or divergence.
+		leafHits := make(map[int]int)
+		divergent := 0
+		testHookPrefix = func(_, node, div int, _ *rng.RNG) {
+			if div < 0 {
+				leafHits[node]++
+			} else {
+				divergent++
+			}
+		}
 		identical := true
-		for trial := 0; trial < 200; trial++ {
+		const accounting = 2000
+		for trial := 0; trial < accounting; trial++ {
 			a := m.runTrajectory(prog, scratch, trueBits, root.DeriveN("trial", trial))
-			b := m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+			b := m.runTrialShared(prog, plan, scratch, trueBits, root, trial, &tally)
 			if a != b {
 				identical = false
 			}
 		}
+		testHookPrefix = nil
 
 		start := time.Now()
 		for trial := 0; trial < tc.trials; trial++ {
@@ -91,12 +111,21 @@ func TestTrajectoryBenchReport(t *testing.T) {
 
 		start = time.Now()
 		for trial := 0; trial < tc.trials; trial++ {
-			m.runTrialShared(prog, plan, scratch, trueBits, root, trial)
+			m.runTrialShared(prog, plan, scratch, trueBits, root, trial, &tally)
 		}
 		prefixS := float64(tc.trials) / time.Since(start).Seconds()
 
 		if !identical {
 			t.Errorf("q%d: engines disagree on outcome bits", tc.nq)
+		}
+		entries, ckpts := 0, 0
+		for _, n := range plan.nodes {
+			entries += len(n.tape)
+			ckpts += len(n.ckpts)
+		}
+		rates := make([]float64, 0, len(plan.leaves))
+		for _, leaf := range plan.leaves {
+			rates = append(rates, float64(leafHits[leaf.id])/accounting)
 		}
 		report.Rows = append(report.Rows, row{
 			Case:          fmt.Sprintf("RunTrajectory/q%d", tc.nq),
@@ -104,8 +133,12 @@ func TestTrajectoryBenchReport(t *testing.T) {
 			LegacyTrialsS: legacyS,
 			PrefixTrialsS: prefixS,
 			Speedup:       prefixS / legacyS,
-			TapeEntries:   len(plan.tape),
-			Checkpoints:   len(plan.ckpts),
+			TapeEntries:   entries,
+			TreeLeaves:    len(plan.leaves),
+			TreeDepth:     plan.maxDepth,
+			LeafHitRates:  rates,
+			DivergentRate: float64(divergent) / accounting,
+			Checkpoints:   ckpts,
 			CkptBytes:     plan.stateBytes,
 			Identical:     identical,
 		})

@@ -285,3 +285,85 @@ func TestDrawCount(t *testing.T) {
 	draws += 100
 	check()
 }
+
+func TestSkipZeroIsIdentity(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Skip(0)
+	if a.State() != b.State() {
+		t.Fatal("Skip(0) changed the state")
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("streams differ after Skip(0)")
+	}
+}
+
+func TestSkipAccumulates(t *testing.T) {
+	a, b := New(9), New(9)
+	a.Skip(13)
+	a.Skip(29)
+	b.Skip(42)
+	if a.State() != b.State() {
+		t.Fatal("Skip(13)+Skip(29) != Skip(42)")
+	}
+}
+
+// TestSkipAcrossDeriveNBoundary pins the interaction the prefix-sharing
+// trajectory engine depends on: Skip commutes with stream derivation.
+// Skipping a parent is equivalent to drawing from it (DeriveN hashes the
+// state, so derived children agree), and a derived child skipped to draw
+// position k equals a twin child that actually made k draws — even when
+// the fresh derivation happens after the parent has moved on.
+func TestSkipAcrossDeriveNBoundary(t *testing.T) {
+	// Parent side: n draws vs Skip(n) yield identical children.
+	a, b := New(123), New(123)
+	for i := 0; i < 17; i++ {
+		a.Uint64()
+	}
+	b.Skip(17)
+	if a.DeriveN("trial", 4).State() != b.DeriveN("trial", 4).State() {
+		t.Fatal("children of drawn vs skipped parents differ")
+	}
+
+	// Child side: the engine's replay pattern. A trial stream consumes k
+	// draws scanning the tape; a divergent trial re-derives the same
+	// stream afresh and fast-forwards with Skip(k).
+	root := New(99)
+	live := root.DeriveN("trial", 8)
+	const k = 37
+	for i := 0; i < k; i++ {
+		live.Float64()
+	}
+	replay := root.DeriveN("trial", 8)
+	replay.Skip(k)
+	if live.State() != replay.State() {
+		t.Fatal("Skip past a DeriveN boundary missed the live stream's position")
+	}
+	if live.Float64() != replay.Float64() {
+		t.Fatal("streams diverge after boundary skip")
+	}
+}
+
+// TestGoldenInvRoundTrip pins the modular inverse DrawCount is built on:
+// golden * goldenInv == 1 (mod 2^64), so counting draws by state delta
+// round-trips with Skip for any count, including deltas that wrap the
+// 64-bit state space.
+func TestGoldenInvRoundTrip(t *testing.T) {
+	if golden*goldenInv != 1 {
+		t.Fatalf("goldenInv is not the modular inverse: golden*goldenInv = %#x", golden*goldenInv)
+	}
+	for _, n := range []uint64{0, 1, 2, 1000, 1 << 32, 1<<63 + 12345} {
+		r := New(0xDEADBEEF)
+		start := r.State()
+		r.state += golden * n // Skip takes an int; drive the state directly
+		if got := DrawCount(start, r.State()); got != n {
+			t.Fatalf("DrawCount after %d draws = %d", n, got)
+		}
+	}
+	// Wraparound: a start state near 2^64 still counts correctly.
+	hi := &RNG{state: ^uint64(0) - 3}
+	start := hi.State()
+	hi.Skip(5)
+	if got := DrawCount(start, hi.State()); got != 5 {
+		t.Fatalf("DrawCount across uint64 wrap = %d, want 5", got)
+	}
+}

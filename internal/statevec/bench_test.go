@@ -97,3 +97,117 @@ func BenchmarkApplyDiagonal(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkApply1QAntiDiag measures the anti-diagonal fast path — X/Y
+// Pauli errors and the amplitude-damping jump branch, the off-diagonal
+// operators a noisy trajectory applies most often.
+func BenchmarkApply1QAntiDiag(b *testing.B) {
+	x := circuit.Matrix1Q(circuit.X, nil)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(11))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply1QAntiDiag(x[0][1], x[1][0], q)
+			}
+		})
+	}
+}
+
+// BenchmarkApplyMixedDiagSequence interleaves diagonal and anti-diagonal
+// one-qubit kernels across the register the way a damping-heavy
+// schedule does (no-jump scale, dephasing, jump branch), so the
+// dispatch cost between the two fast paths is measured, not just each
+// kernel in isolation.
+func BenchmarkApplyMixedDiagSequence(b *testing.B) {
+	rz := circuit.Matrix1Q(circuit.RZ, []float64{0.37})
+	x := circuit.Matrix1Q(circuit.X, nil)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			s := randomState(n, rng.New(13))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := i % n
+				s.Apply1QDiag(rz[0][0], rz[1][1], q)
+				s.Apply1QAntiDiag(x[0][1], x[1][0], q)
+				s.Apply1QDiag(rz[1][1], rz[0][0], (q+1)%n)
+			}
+		})
+	}
+}
+
+// Frozen-kernel benchmarks: the same operations through the verbatim
+// pre-SoA complex128 loops (frozen_test.go), giving bench_kernels.sh an
+// in-process denominator for the SoA/AVX2 speedups — the frozen code
+// lives in the test binary forever, so the baseline never goes stale.
+
+func BenchmarkFrozenApply1Q(b *testing.B) {
+	h := circuit.Matrix1Q(circuit.H, nil)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			f := newFrozenState(randomState(n, rng.New(3)))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.apply1Q(h, q)
+			}
+		})
+	}
+}
+
+func BenchmarkFrozenApply2Q(b *testing.B) {
+	dense := denseMatrix4()
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			f := newFrozenState(randomState(n, rng.New(5)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.apply2Q(dense, 0, n-1)
+			}
+		})
+	}
+}
+
+func BenchmarkFrozenApply1QAntiDiag(b *testing.B) {
+	x := circuit.Matrix1Q(circuit.X, nil)
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("q%d", n), func(b *testing.B) {
+			f := newFrozenState(randomState(n, rng.New(11)))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.apply1QAntiDiag(x[0][1], x[1][0], q)
+			}
+		})
+	}
+}
+
+func BenchmarkFrozenApplyDiagonal(b *testing.B) {
+	rz := circuit.Matrix1Q(circuit.RZ, []float64{0.37})
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("1q/q%d", n), func(b *testing.B) {
+			f := newFrozenState(randomState(n, rng.New(7)))
+			q := n / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.apply1QDiag(rz[0][0], rz[1][1], q)
+			}
+		})
+		b.Run(fmt.Sprintf("2q/q%d", n), func(b *testing.B) {
+			f := newFrozenState(randomState(n, rng.New(9)))
+			d := [4]complex128{1, rz[1][1], rz[1][1], 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.apply2QDiag(d, 0, n-1)
+			}
+		})
+	}
+}

@@ -1,0 +1,470 @@
+package statevec
+
+// Frozen pre-SoA kernels: a verbatim copy of the complex128 loops the
+// SoA engine replaced, kept test-only as the bit-identity oracle.
+// TestKernelsBitIdenticalToFrozen drives both engines through the same
+// operation sequences and requires every amplitude to match in
+// math.Float64bits — on the scalar paths and, on amd64 hardware with
+// AVX2, on the assembly paths.
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/rng"
+)
+
+type frozenState struct {
+	n   int
+	amp []complex128
+}
+
+func newFrozenState(s *State) *frozenState {
+	f := &frozenState{n: s.n, amp: make([]complex128, len(s.re))}
+	for i := range f.amp {
+		f.amp[i] = complex(s.re[i], s.im[i])
+	}
+	return f
+}
+
+func (f *frozenState) apply1Q(m circuit.Matrix2, q int) {
+	if m.IsDiagonal() {
+		f.apply1QDiag(m[0][0], m[1][1], q)
+		return
+	}
+	if m.IsAntiDiagonal() {
+		f.apply1QAntiDiag(m[0][1], m[1][0], q)
+		return
+	}
+	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	bit := 1 << uint(q)
+	n := len(f.amp)
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := f.amp[blk : blk+bit]
+		hi := f.amp[blk+bit : blk+(bit<<1)]
+		for i, a0 := range lo {
+			a1 := hi[i]
+			lo[i] = m00*a0 + m01*a1
+			hi[i] = m10*a0 + m11*a1
+		}
+	}
+}
+
+func (f *frozenState) apply1QDiag(d0, d1 complex128, q int) {
+	bit := 1 << uint(q)
+	n := len(f.amp)
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := f.amp[blk : blk+bit]
+		hi := f.amp[blk+bit : blk+(bit<<1)]
+		for i := range lo {
+			lo[i] *= d0
+			hi[i] *= d1
+		}
+	}
+}
+
+func (f *frozenState) apply1QAntiDiag(a01, a10 complex128, q int) {
+	bit := 1 << uint(q)
+	n := len(f.amp)
+	for blk := 0; blk < n; blk += bit << 1 {
+		lo := f.amp[blk : blk+bit]
+		hi := f.amp[blk+bit : blk+(bit<<1)]
+		for i, a0 := range lo {
+			lo[i] = a01 * hi[i]
+			hi[i] = a10 * a0
+		}
+	}
+}
+
+func (f *frozenState) apply2Q(m circuit.Matrix4, q0, q1 int) {
+	if d, ok := m.DiagonalOf(); ok {
+		f.apply2QDiag(d, q0, q1)
+		return
+	}
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(f.amp)
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
+				var in [4]complex128
+				for k := 0; k < 4; k++ {
+					in[k] = f.amp[idx[k]]
+				}
+				for r := 0; r < 4; r++ {
+					f.amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
+				}
+			}
+		}
+	}
+}
+
+func (f *frozenState) apply2QDiag(d [4]complex128, q0, q1 int) {
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(f.amp)
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				f.amp[base] *= d[0]
+				f.amp[base|b0] *= d[1]
+				f.amp[base|b1] *= d[2]
+				f.amp[base|b0|b1] *= d[3]
+			}
+		}
+	}
+}
+
+func (f *frozenState) apply2QPerm(p Perm4, q0, q1 int) {
+	b0 := 1 << uint(q0)
+	b1 := 1 << uint(q1)
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := len(f.amp)
+	for i2 := 0; i2 < n; i2 += hi << 1 {
+		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
+			for base := i1; base < i1+lo; base++ {
+				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
+				var in [4]complex128
+				for k := 0; k < 4; k++ {
+					in[k] = f.amp[idx[k]]
+				}
+				for r := 0; r < 4; r++ {
+					f.amp[idx[r]] = p.Coef[r] * in[p.Src[r]]
+				}
+			}
+		}
+	}
+}
+
+func (f *frozenState) probabilityOne(q int) float64 {
+	bit := 1 << uint(q)
+	n := len(f.amp)
+	var p float64
+	for blk := bit; blk < n; blk += bit << 1 {
+		for _, a := range f.amp[blk : blk+bit] {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+func (f *frozenState) projectQubit(q, outcome int) {
+	bit := uint64(1) << uint(q)
+	var norm float64
+	for i := range f.amp {
+		set := uint64(i)&bit != 0
+		if set != (outcome == 1) {
+			f.amp[i] = 0
+		} else {
+			a := f.amp[i]
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range f.amp {
+		f.amp[i] *= scale
+	}
+}
+
+func (f *frozenState) krausBranchProbs1Q(ks []circuit.Matrix2, q int, probs []float64) {
+	bit := 1 << uint(q)
+	n := len(f.amp)
+	if krausDiagLike(ks) {
+		var p0, p1 float64
+		for blk := 0; blk < n; blk += bit << 1 {
+			lo := f.amp[blk : blk+bit]
+			hi := f.amp[blk+bit : blk+(bit<<1)]
+			for i, a0 := range lo {
+				a1 := hi[i]
+				p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+				p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+			}
+		}
+		for i, k := range ks {
+			if k.IsDiagonal() {
+				probs[i] = abs2(k[0][0])*p0 + abs2(k[1][1])*p1
+			} else {
+				probs[i] = abs2(k[0][1])*p1 + abs2(k[1][0])*p0
+			}
+		}
+		return
+	}
+	for i := range probs {
+		probs[i] = 0
+	}
+	for blk := 0; blk < n; blk += bit << 1 {
+		loAmp := f.amp[blk : blk+bit]
+		hiAmp := f.amp[blk+bit : blk+(bit<<1)]
+		for j, a0 := range loAmp {
+			a1 := hiAmp[j]
+			for i, k := range ks {
+				n0 := k[0][0]*a0 + k[0][1]*a1
+				n1 := k[1][0]*a0 + k[1][1]*a1
+				probs[i] += real(n0)*real(n0) + imag(n0)*imag(n0) +
+					real(n1)*real(n1) + imag(n1)*imag(n1)
+			}
+		}
+	}
+}
+
+func (f *frozenState) applyKrausBranch1Q(ks []circuit.Matrix2, q, choice int, p float64) {
+	inv := complex(1/math.Sqrt(p), 0)
+	k := ks[choice]
+	if k.IsDiagonal() {
+		f.apply1QDiag(k[0][0]*inv, k[1][1]*inv, q)
+		return
+	}
+	if k.IsAntiDiagonal() {
+		f.apply1QAntiDiag(k[0][1]*inv, k[1][0]*inv, q)
+		return
+	}
+	f.apply1Q(circuit.Matrix2{
+		{k[0][0] * inv, k[0][1] * inv},
+		{k[1][0] * inv, k[1][1] * inv},
+	}, q)
+}
+
+func (f *frozenState) fidelity(other *frozenState) float64 {
+	var dot complex128
+	for i, a := range f.amp {
+		dot += cmplx.Conj(a) * other.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// compareBits fails the test unless every SoA amplitude matches the
+// frozen amplitude in Float64bits, including zero signs.
+func compareBits(t *testing.T, tag string, s *State, f *frozenState) {
+	t.Helper()
+	for i := range s.re {
+		fr, fi := real(f.amp[i]), imag(f.amp[i])
+		if math.Float64bits(s.re[i]) != math.Float64bits(fr) ||
+			math.Float64bits(s.im[i]) != math.Float64bits(fi) {
+			t.Fatalf("%s: amplitude %d differs: soa=(%x,%x) frozen=(%x,%x)",
+				tag, i,
+				math.Float64bits(s.re[i]), math.Float64bits(s.im[i]),
+				math.Float64bits(fr), math.Float64bits(fi))
+		}
+	}
+}
+
+// randomDense2 returns a 2x2 matrix with no zero entries (no fast-path
+// classification applies).
+func randomDense2(r *rng.RNG) circuit.Matrix2 {
+	var m circuit.Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m[i][j] = complex(r.Float64()*2-1, r.Float64()*2-1)
+		}
+	}
+	return m
+}
+
+// randomDense4 returns a 4x4 matrix with no zero entries.
+func randomDense4(r *rng.RNG) circuit.Matrix4 {
+	var m circuit.Matrix4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] = complex(r.Float64()*2-1, r.Float64()*2-1)
+		}
+	}
+	return m
+}
+
+// kernelPaths names the dispatch configurations the bit-identity tests
+// sweep: the portable scalar bodies and (where hardware allows) the
+// AVX2 assembly.
+func kernelPaths(t *testing.T) []struct {
+	name string
+	avx  bool
+} {
+	paths := []struct {
+		name string
+		avx  bool
+	}{{"scalar", false}}
+	if _, ok := setKernelAVX2(true); ok {
+		paths = append(paths, struct {
+			name string
+			avx  bool
+		}{"avx2", true})
+	}
+	setKernelAVX2(true) // restore default preference; ignored off amd64
+	return paths
+}
+
+func TestKernelsBitIdenticalToFrozen(t *testing.T) {
+	defer setKernelAVX2(true)
+	for _, path := range kernelPaths(t) {
+		path := path
+		t.Run(path.name, func(t *testing.T) {
+			if _, ok := setKernelAVX2(path.avx); !ok {
+				t.Skipf("kernel path %q unavailable", path.name)
+			}
+			for _, n := range []int{1, 2, 3, 4, 5, 7, 9} {
+				r := rng.New(uint64(1000 + n))
+				s := randomState(n, r)
+				f := newFrozenState(s)
+				steps := 40
+				if n == 1 {
+					steps = 20
+				}
+				for step := 0; step < steps; step++ {
+					q := r.Intn(n)
+					q2 := -1
+					if n > 1 {
+						for q2 = r.Intn(n); q2 == q; q2 = r.Intn(n) {
+						}
+					}
+					kind := r.Intn(8)
+					tag := fmt.Sprintf("n=%d step=%d kind=%d q=%d q2=%d", n, step, kind, q, q2)
+					switch kind {
+					case 0: // general 1Q
+						m := randomDense2(r)
+						s.Apply1Q(m, q)
+						f.apply1Q(m, q)
+					case 1: // diagonal 1Q
+						d0 := complex(r.Float64(), r.Float64())
+						d1 := complex(r.Float64(), r.Float64())
+						s.Apply1QDiag(d0, d1, q)
+						f.apply1QDiag(d0, d1, q)
+					case 2: // anti-diagonal 1Q
+						a01 := complex(r.Float64(), r.Float64())
+						a10 := complex(r.Float64(), r.Float64())
+						s.Apply1QAntiDiag(a01, a10, q)
+						f.apply1QAntiDiag(a01, a10, q)
+					case 3: // general 2Q
+						if n < 2 {
+							continue
+						}
+						m := randomDense4(r)
+						s.Apply2Q(m, q, q2)
+						f.apply2Q(m, q, q2)
+					case 4: // diagonal 2Q
+						if n < 2 {
+							continue
+						}
+						var d [4]complex128
+						for i := range d {
+							d[i] = complex(r.Float64(), r.Float64())
+						}
+						s.Apply2QDiag(d, q, q2)
+						f.apply2QDiag(d, q, q2)
+					case 5: // permutation 2Q (CX with phases)
+						if n < 2 {
+							continue
+						}
+						var p Perm4
+						perm := r.Perm(4)
+						for i := range perm {
+							p.Src[i] = uint8(perm[i])
+							p.Coef[i] = complex(r.Float64(), r.Float64())
+						}
+						s.Apply2QPerm(p, q, q2)
+						f.apply2QPerm(p, q, q2)
+					case 6: // measurement probability + projection
+						p1 := s.ProbabilityOne(q)
+						fp1 := f.probabilityOne(q)
+						if math.Float64bits(p1) != math.Float64bits(fp1) {
+							t.Fatalf("%s: ProbabilityOne differs: soa=%x frozen=%x",
+								tag, math.Float64bits(p1), math.Float64bits(fp1))
+						}
+						outcome := 0 // project onto the likelier branch
+						if p1 > 0.5 {
+							outcome = 1
+						}
+						s.Project(q, outcome)
+						f.projectQubit(q, outcome)
+					case 7: // Kraus channel: probs + pre-scaled branch apply
+						ks := []circuit.Matrix2{randomDense2(r), randomDense2(r)}
+						sp := make([]float64, 2)
+						fp := make([]float64, 2)
+						s.KrausBranchProbs1Q(ks, q, sp)
+						f.krausBranchProbs1Q(ks, q, fp)
+						for i := range sp {
+							if math.Float64bits(sp[i]) != math.Float64bits(fp[i]) {
+								t.Fatalf("%s: branch prob %d differs: soa=%x frozen=%x",
+									tag, i, math.Float64bits(sp[i]), math.Float64bits(fp[i]))
+							}
+						}
+						choice := 0
+						if sp[1] > sp[0] {
+							choice = 1
+						}
+						s.ApplyKrausBranch1Q(ks, q, choice, sp[choice])
+						f.applyKrausBranch1Q(ks, q, choice, fp[choice])
+					}
+					compareBits(t, tag, s, f)
+				}
+				// Reductions over the final state.
+				fnorm := func() float64 {
+					var sum float64
+					for _, a := range f.amp {
+						sum += real(a)*real(a) + imag(a)*imag(a)
+					}
+					return math.Sqrt(sum)
+				}()
+				if math.Float64bits(s.Norm()) != math.Float64bits(fnorm) {
+					t.Fatalf("n=%d: Norm differs", n)
+				}
+				if math.Float64bits(s.Fidelity(s)) != math.Float64bits(f.fidelity(f)) {
+					t.Fatalf("n=%d: Fidelity differs", n)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsBitIdenticalDiagLikeKraus pins the population fast path for
+// diagonal/anti-diagonal Kraus sets (the shape the noise model samples
+// every trial) on both dispatch paths.
+func TestKernelsBitIdenticalDiagLikeKraus(t *testing.T) {
+	defer setKernelAVX2(true)
+	for _, path := range kernelPaths(t) {
+		path := path
+		t.Run(path.name, func(t *testing.T) {
+			if _, ok := setKernelAVX2(path.avx); !ok {
+				t.Skipf("kernel path %q unavailable", path.name)
+			}
+			gamma := 0.23
+			ks := []circuit.Matrix2{
+				{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}},
+				{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}},
+			}
+			for _, n := range []int{1, 3, 6} {
+				r := rng.New(uint64(77 + n))
+				s := randomState(n, r)
+				f := newFrozenState(s)
+				for q := 0; q < n; q++ {
+					sp := make([]float64, 2)
+					fp := make([]float64, 2)
+					s.KrausBranchProbs1Q(ks, q, sp)
+					f.krausBranchProbs1Q(ks, q, fp)
+					for i := range sp {
+						if math.Float64bits(sp[i]) != math.Float64bits(fp[i]) {
+							t.Fatalf("n=%d q=%d: branch prob %d differs", n, q, i)
+						}
+					}
+					choice := q % 2
+					s.ApplyKrausBranch1Q(ks, q, choice, sp[choice])
+					f.applyKrausBranch1Q(ks, q, choice, fp[choice])
+					compareBits(t, fmt.Sprintf("kraus n=%d q=%d", n, q), s, f)
+				}
+			}
+		})
+	}
+}

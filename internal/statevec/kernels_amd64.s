@@ -1,0 +1,473 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 fast paths for the SoA statevector kernels. Contract: every
+// function performs exactly the float64 operations of its scalar body in
+// kernels.go, lane by lane — VMULPD/VADDPD/VSUBPD are elementwise IEEE
+// operations, so a 4-lane vector step is bit-identical to 4 scalar
+// steps. No FMA is used anywhere: fusing a*b+c would change rounding and
+// break the bit-identity contract with the frozen complex128 loops.
+//
+// Register conventions shared by the 4x4 kernels below:
+//   BX  — pointer to the 32-float matrix (row-major, re/im interleaved;
+//         row r column c real part at byte offset r*64 + c*16)
+//   R8  — current float index into the streams
+//   Y8, Y9   — accumulator (real, imag) for the row being computed
+//   Y10-Y13  — temporaries (matrix broadcasts, products)
+
+// TERM0 starts a row accumulation with matrix-column term
+// m[row][0] * in: acc = (mr*inR - mi*inI, mr*inI + mi*inR).
+// MR/MI are byte offsets of the coefficient in the matrix, INR/INI the
+// Y registers holding the input stream.
+#define TERM0(MR, MI, INR, INI) \
+	VBROADCASTSD MR(BX), Y10 \
+	VBROADCASTSD MI(BX), Y11 \
+	VMULPD INR, Y10, Y8 \
+	VMULPD INI, Y11, Y12 \
+	VSUBPD Y12, Y8, Y8 \
+	VMULPD INI, Y10, Y9 \
+	VMULPD INR, Y11, Y12 \
+	VADDPD Y12, Y9, Y9
+
+// TERMN adds matrix-column term m[row][c] * in to the accumulator,
+// keeping the frozen loop's left-associated summation order.
+#define TERMN(MR, MI, INR, INI) \
+	VBROADCASTSD MR(BX), Y10 \
+	VBROADCASTSD MI(BX), Y11 \
+	VMULPD INR, Y10, Y12 \
+	VMULPD INI, Y11, Y13 \
+	VSUBPD Y13, Y12, Y12 \
+	VADDPD Y12, Y8, Y8 \
+	VMULPD INI, Y10, Y12 \
+	VMULPD INR, Y11, Y13 \
+	VADDPD Y13, Y12, Y12 \
+	VADDPD Y12, Y9, Y9
+
+// DEINT loads 8 interleaved floats [e0 o0 e1 o1 e2 o2 e3 o3] from
+// PTR+R8*8 and splits them into even lanes EV and odd lanes OD.
+#define DEINT(PTR, EV, OD) \
+	VMOVUPD (PTR)(R8*8), Y10 \
+	VMOVUPD 32(PTR)(R8*8), Y11 \
+	VPERM2F128 $0x20, Y11, Y10, Y12 \
+	VPERM2F128 $0x31, Y11, Y10, Y13 \
+	VUNPCKLPD Y13, Y12, EV \
+	VUNPCKHPD Y13, Y12, OD
+
+// REPACK interleaves even lanes EV and odd lanes OD back into
+// [e0 o0 e1 o1 e2 o2 e3 o3] and stores them at PTR+R8*8.
+#define REPACK(EV, OD, PTR) \
+	VUNPCKLPD OD, EV, Y10 \
+	VUNPCKHPD OD, EV, Y11 \
+	VPERM2F128 $0x20, Y11, Y10, Y12 \
+	VPERM2F128 $0x31, Y11, Y10, Y13 \
+	VMOVUPD Y12, (PTR)(R8*8) \
+	VMOVUPD Y13, 32(PTR)(R8*8)
+
+// func cpuHasAVX2() bool
+// CPUID feature bits plus XGETBV confirmation that the OS saves YMM
+// state (XCR0 bits 1 and 2).
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27), BX // OSXSAVE
+	JZ   novx
+	MOVL CX, BX
+	ANDL $(1<<28), BX // AVX
+	JZ   novx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX // XMM and YMM state saved by the OS
+	CMPL AX, $6
+	JNE  novx
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX // AVX2
+	JZ   novx
+	MOVB $1, ret+0(FP)
+	RET
+novx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func mul1QAVX(loR, loI, hiR, hiI *float64, n int, m *[8]float64)
+// General 2x2 kernel over contiguous paired runs; n is a multiple of 4.
+TEXT ·mul1QAVX(SB), NOSPLIT, $0-48
+	MOVQ loR+0(FP), DI
+	MOVQ loI+8(FP), SI
+	MOVQ hiR+16(FP), DX
+	MOVQ hiI+24(FP), CX
+	MOVQ n+32(FP), AX
+	MOVQ m+40(FP), BX
+	VBROADCASTSD 0(BX), Y8   // m00r
+	VBROADCASTSD 8(BX), Y9   // m00i
+	VBROADCASTSD 16(BX), Y10 // m01r
+	VBROADCASTSD 24(BX), Y11 // m01i
+	VBROADCASTSD 32(BX), Y12 // m10r
+	VBROADCASTSD 40(BX), Y13 // m10i
+	VBROADCASTSD 48(BX), Y14 // m11r
+	VBROADCASTSD 56(BX), Y15 // m11i
+	XORQ R8, R8
+m1loop:
+	CMPQ R8, AX
+	JGE  m1done
+	VMOVUPD (DI)(R8*8), Y0 // a0r
+	VMOVUPD (SI)(R8*8), Y1 // a0i
+	VMOVUPD (DX)(R8*8), Y2 // a1r
+	VMOVUPD (CX)(R8*8), Y3 // a1i
+
+	// loR' = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+	VMULPD Y0, Y8, Y4
+	VMULPD Y1, Y9, Y5
+	VSUBPD Y5, Y4, Y4
+	VMULPD Y2, Y10, Y5
+	VMULPD Y3, Y11, Y6
+	VSUBPD Y6, Y5, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(R8*8)
+
+	// loI' = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+	VMULPD Y1, Y8, Y4
+	VMULPD Y0, Y9, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y3, Y10, Y5
+	VMULPD Y2, Y11, Y6
+	VADDPD Y6, Y5, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (SI)(R8*8)
+
+	// hiR' = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+	VMULPD Y0, Y12, Y4
+	VMULPD Y1, Y13, Y5
+	VSUBPD Y5, Y4, Y4
+	VMULPD Y2, Y14, Y5
+	VMULPD Y3, Y15, Y6
+	VSUBPD Y6, Y5, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (DX)(R8*8)
+
+	// hiI' = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
+	VMULPD Y1, Y12, Y4
+	VMULPD Y0, Y13, Y5
+	VADDPD Y5, Y4, Y4
+	VMULPD Y3, Y14, Y5
+	VMULPD Y2, Y15, Y6
+	VADDPD Y6, Y5, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (CX)(R8*8)
+
+	ADDQ $4, R8
+	JMP  m1loop
+m1done:
+	VZEROUPPER
+	RET
+
+// func cscaleAVX(re, im *float64, n int, cr, ci float64)
+// Complex scalar multiply of a contiguous run; n is a multiple of 4.
+TEXT ·cscaleAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	VBROADCASTSD cr+24(FP), Y8
+	VBROADCASTSD ci+32(FP), Y9
+	XORQ R8, R8
+csloop:
+	CMPQ R8, AX
+	JGE  csdone
+	VMOVUPD (DI)(R8*8), Y0
+	VMOVUPD (SI)(R8*8), Y1
+
+	// re' = ar*cr - ai*ci
+	VMULPD Y0, Y8, Y2
+	VMULPD Y1, Y9, Y3
+	VSUBPD Y3, Y2, Y2
+	VMOVUPD Y2, (DI)(R8*8)
+
+	// im' = ar*ci + ai*cr
+	VMULPD Y0, Y9, Y2
+	VMULPD Y1, Y8, Y3
+	VADDPD Y3, Y2, Y2
+	VMOVUPD Y2, (SI)(R8*8)
+
+	ADDQ $4, R8
+	JMP  csloop
+csdone:
+	VZEROUPPER
+	RET
+
+// func cscalePatAVX(re, im *float64, n int, cr, ci *[4]float64)
+// Complex multiply by a 4-lane coefficient pattern (period 2 or 4);
+// n is a multiple of 4 so lane k always sees pattern index k.
+TEXT ·cscalePatAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ cr+24(FP), BX
+	MOVQ ci+32(FP), CX
+	VMOVUPD (BX), Y8
+	VMOVUPD (CX), Y9
+	XORQ R8, R8
+cploop:
+	CMPQ R8, AX
+	JGE  cpdone
+	VMOVUPD (DI)(R8*8), Y0
+	VMOVUPD (SI)(R8*8), Y1
+
+	// re' = ar*dr - ai*di
+	VMULPD Y0, Y8, Y2
+	VMULPD Y1, Y9, Y3
+	VSUBPD Y3, Y2, Y2
+	VMOVUPD Y2, (DI)(R8*8)
+
+	// im' = ar*di + ai*dr
+	VMULPD Y0, Y9, Y2
+	VMULPD Y1, Y8, Y3
+	VADDPD Y3, Y2, Y2
+	VMOVUPD Y2, (SI)(R8*8)
+
+	ADDQ $4, R8
+	JMP  cploop
+cpdone:
+	VZEROUPPER
+	RET
+
+// func antiAVX(loR, loI, hiR, hiI *float64, n int, c *[4]float64)
+// Anti-diagonal kernel (scaled swap) over contiguous paired runs;
+// n is a multiple of 4. c holds a01r, a01i, a10r, a10i.
+TEXT ·antiAVX(SB), NOSPLIT, $0-48
+	MOVQ loR+0(FP), DI
+	MOVQ loI+8(FP), SI
+	MOVQ hiR+16(FP), DX
+	MOVQ hiI+24(FP), CX
+	MOVQ n+32(FP), AX
+	MOVQ c+40(FP), BX
+	VBROADCASTSD 0(BX), Y8   // a01r
+	VBROADCASTSD 8(BX), Y9   // a01i
+	VBROADCASTSD 16(BX), Y10 // a10r
+	VBROADCASTSD 24(BX), Y11 // a10i
+	XORQ R8, R8
+adloop:
+	CMPQ R8, AX
+	JGE  addone
+	VMOVUPD (DI)(R8*8), Y0 // a0r
+	VMOVUPD (SI)(R8*8), Y1 // a0i
+	VMOVUPD (DX)(R8*8), Y2 // a1r
+	VMOVUPD (CX)(R8*8), Y3 // a1i
+
+	// loR' = a01r*a1r - a01i*a1i
+	VMULPD Y2, Y8, Y4
+	VMULPD Y3, Y9, Y5
+	VSUBPD Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(R8*8)
+
+	// loI' = a01r*a1i + a01i*a1r
+	VMULPD Y3, Y8, Y4
+	VMULPD Y2, Y9, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (SI)(R8*8)
+
+	// hiR' = a10r*a0r - a10i*a0i
+	VMULPD Y0, Y10, Y4
+	VMULPD Y1, Y11, Y5
+	VSUBPD Y5, Y4, Y4
+	VMOVUPD Y4, (DX)(R8*8)
+
+	// hiI' = a10r*a0i + a10i*a0r
+	VMULPD Y1, Y10, Y4
+	VMULPD Y0, Y11, Y5
+	VADDPD Y5, Y4, Y4
+	VMOVUPD Y4, (CX)(R8*8)
+
+	ADDQ $4, R8
+	JMP  adloop
+addone:
+	VZEROUPPER
+	RET
+
+// func mul2QAVX(r0, i0, r1, i1, r2, i2, r3, i3 *float64, n int, mm *[32]float64)
+// General 4x4 kernel over four contiguous role streams (run length
+// lo >= 4); n is a multiple of 4. Rows accumulate in matrix-column
+// order via TERM0/TERMN, matching the frozen loop's summation order.
+TEXT ·mul2QAVX(SB), NOSPLIT, $0-80
+	MOVQ r0+0(FP), DI
+	MOVQ i0+8(FP), SI
+	MOVQ r1+16(FP), DX
+	MOVQ i1+24(FP), CX
+	MOVQ r2+32(FP), R9
+	MOVQ i2+40(FP), R10
+	MOVQ r3+48(FP), R11
+	MOVQ i3+56(FP), R12
+	MOVQ n+64(FP), AX
+	MOVQ mm+72(FP), BX
+	XORQ R8, R8
+m2loop:
+	CMPQ R8, AX
+	JGE  m2done
+	VMOVUPD (DI)(R8*8), Y0
+	VMOVUPD (SI)(R8*8), Y1
+	VMOVUPD (DX)(R8*8), Y2
+	VMOVUPD (CX)(R8*8), Y3
+	VMOVUPD (R9)(R8*8), Y4
+	VMOVUPD (R10)(R8*8), Y5
+	VMOVUPD (R11)(R8*8), Y6
+	VMOVUPD (R12)(R8*8), Y7
+
+	// row 0
+	TERM0(0, 8, Y0, Y1)
+	TERMN(16, 24, Y2, Y3)
+	TERMN(32, 40, Y4, Y5)
+	TERMN(48, 56, Y6, Y7)
+	VMOVUPD Y8, (DI)(R8*8)
+	VMOVUPD Y9, (SI)(R8*8)
+
+	// row 1
+	TERM0(64, 72, Y0, Y1)
+	TERMN(80, 88, Y2, Y3)
+	TERMN(96, 104, Y4, Y5)
+	TERMN(112, 120, Y6, Y7)
+	VMOVUPD Y8, (DX)(R8*8)
+	VMOVUPD Y9, (CX)(R8*8)
+
+	// row 2
+	TERM0(128, 136, Y0, Y1)
+	TERMN(144, 152, Y2, Y3)
+	TERMN(160, 168, Y4, Y5)
+	TERMN(176, 184, Y6, Y7)
+	VMOVUPD Y8, (R9)(R8*8)
+	VMOVUPD Y9, (R10)(R8*8)
+
+	// row 3
+	TERM0(192, 200, Y0, Y1)
+	TERMN(208, 216, Y2, Y3)
+	TERMN(224, 232, Y4, Y5)
+	TERMN(240, 248, Y6, Y7)
+	VMOVUPD Y8, (R11)(R8*8)
+	VMOVUPD Y9, (R12)(R8*8)
+
+	ADDQ $4, R8
+	JMP  m2loop
+m2done:
+	VZEROUPPER
+	RET
+
+// func mul2QPairsB0AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64)
+// General 4x4 kernel for the lo == 1 layout with q0 (matrix low bit) at
+// qubit 0: each half interleaves two role streams at stride 2. Streams
+// after DEINT: Y0/Y1 lowEven, Y2/Y3 lowOdd, Y4/Y5 highEven, Y6/Y7
+// highOdd; matrix-basis roles are (lowEven, lowOdd, highEven, highOdd).
+// n (floats per half) is a multiple of 8.
+TEXT ·mul2QPairsB0AVX(SB), NOSPLIT, $0-48
+	MOVQ loR+0(FP), DI
+	MOVQ loI+8(FP), SI
+	MOVQ hiR+16(FP), DX
+	MOVQ hiI+24(FP), CX
+	MOVQ n+32(FP), AX
+	MOVQ mm+40(FP), BX
+	XORQ R8, R8
+p0loop:
+	CMPQ R8, AX
+	JGE  p0done
+	DEINT(DI, Y0, Y2)
+	DEINT(SI, Y1, Y3)
+	DEINT(DX, Y4, Y6)
+	DEINT(CX, Y5, Y7)
+
+	// row 0 -> lowEven', parked in Y14/Y15
+	TERM0(0, 8, Y0, Y1)
+	TERMN(16, 24, Y2, Y3)
+	TERMN(32, 40, Y4, Y5)
+	TERMN(48, 56, Y6, Y7)
+	VMOVAPD Y8, Y14
+	VMOVAPD Y9, Y15
+
+	// row 1 -> lowOdd'
+	TERM0(64, 72, Y0, Y1)
+	TERMN(80, 88, Y2, Y3)
+	TERMN(96, 104, Y4, Y5)
+	TERMN(112, 120, Y6, Y7)
+	REPACK(Y14, Y8, DI)
+	REPACK(Y15, Y9, SI)
+
+	// row 2 -> highEven', parked in Y14/Y15
+	TERM0(128, 136, Y0, Y1)
+	TERMN(144, 152, Y2, Y3)
+	TERMN(160, 168, Y4, Y5)
+	TERMN(176, 184, Y6, Y7)
+	VMOVAPD Y8, Y14
+	VMOVAPD Y9, Y15
+
+	// row 3 -> highOdd'
+	TERM0(192, 200, Y0, Y1)
+	TERMN(208, 216, Y2, Y3)
+	TERMN(224, 232, Y4, Y5)
+	TERMN(240, 248, Y6, Y7)
+	REPACK(Y14, Y8, DX)
+	REPACK(Y15, Y9, CX)
+
+	ADDQ $8, R8
+	JMP  p0loop
+p0done:
+	VZEROUPPER
+	RET
+
+// func mul2QPairsB1AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64)
+// As mul2QPairsB0AVX but with q1 (matrix high bit) at qubit 0: roles are
+// (lowEven, highEven, lowOdd, highOdd), so matrix columns 1 and 2 swap
+// streams relative to B0, keeping the frozen summation order, and rows
+// pair up as (0,2) -> low half, (1,3) -> high half.
+TEXT ·mul2QPairsB1AVX(SB), NOSPLIT, $0-48
+	MOVQ loR+0(FP), DI
+	MOVQ loI+8(FP), SI
+	MOVQ hiR+16(FP), DX
+	MOVQ hiI+24(FP), CX
+	MOVQ n+32(FP), AX
+	MOVQ mm+40(FP), BX
+	XORQ R8, R8
+p1loop:
+	CMPQ R8, AX
+	JGE  p1done
+	DEINT(DI, Y0, Y2)
+	DEINT(SI, Y1, Y3)
+	DEINT(DX, Y4, Y6)
+	DEINT(CX, Y5, Y7)
+
+	// row 0 -> lowEven', parked in Y14/Y15
+	TERM0(0, 8, Y0, Y1)
+	TERMN(16, 24, Y4, Y5)
+	TERMN(32, 40, Y2, Y3)
+	TERMN(48, 56, Y6, Y7)
+	VMOVAPD Y8, Y14
+	VMOVAPD Y9, Y15
+
+	// row 2 -> lowOdd'
+	TERM0(128, 136, Y0, Y1)
+	TERMN(144, 152, Y4, Y5)
+	TERMN(160, 168, Y2, Y3)
+	TERMN(176, 184, Y6, Y7)
+	REPACK(Y14, Y8, DI)
+	REPACK(Y15, Y9, SI)
+
+	// row 1 -> highEven', parked in Y14/Y15
+	TERM0(64, 72, Y0, Y1)
+	TERMN(80, 88, Y4, Y5)
+	TERMN(96, 104, Y2, Y3)
+	TERMN(112, 120, Y6, Y7)
+	VMOVAPD Y8, Y14
+	VMOVAPD Y9, Y15
+
+	// row 3 -> highOdd'
+	TERM0(192, 200, Y0, Y1)
+	TERMN(208, 216, Y4, Y5)
+	TERMN(224, 232, Y2, Y3)
+	TERMN(240, 248, Y6, Y7)
+	REPACK(Y14, Y8, DX)
+	REPACK(Y15, Y9, CX)
+
+	ADDQ $8, R8
+	JMP  p1loop
+p1done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,44 @@
+//go:build !amd64
+
+package statevec
+
+// kernelAVX2 is constant false off amd64: the dispatch branches in
+// kernels.go compile away and only the scalar bodies remain.
+const kernelAVX2 = false
+
+// setKernelAVX2 is a no-op off amd64; ok reports whether the requested
+// value is in effect.
+func setKernelAVX2(on bool) (old bool, ok bool) {
+	return false, !on
+}
+
+// The assembly entry points are unreachable with kernelAVX2 == false;
+// these stubs exist only to satisfy the compiler.
+
+func mul1QAVX(loR, loI, hiR, hiI *float64, n int, m *[8]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func cscaleAVX(re, im *float64, n int, cr, ci float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func cscalePatAVX(re, im *float64, n int, cr, ci *[4]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func antiAVX(loR, loI, hiR, hiI *float64, n int, c *[4]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func mul2QAVX(r0, i0, r1, i1, r2, i2, r3, i3 *float64, n int, mm *[32]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func mul2QPairsB0AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}
+
+func mul2QPairsB1AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64) {
+	panic("statevec: AVX2 kernel on non-amd64")
+}

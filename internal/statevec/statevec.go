@@ -7,12 +7,22 @@
 //
 // Amplitude indexing: basis state index b has qubit q in state (b>>q)&1,
 // i.e. qubit 0 is the least-significant bit.
+//
+// Layout: amplitudes are stored structure-of-arrays — one []float64 of
+// real parts and one of imaginary parts, carved out of a single backing
+// buffer — rather than as []complex128. The hot kernels (kernels.go)
+// stream contiguous float64 runs, which keeps operands in registers,
+// drops the complex128 shuffle traffic, and gives the amd64 AVX2 fast
+// paths (kernels_amd64.s) unit-stride vector loads. Every kernel
+// replicates the float operations of the frozen complex128 loops
+// operation for operation, so amplitudes are bit-identical to the
+// pre-SoA engine (TestKernelsBitIdenticalToFrozen pins this against the
+// frozen loops kept in frozen_test.go).
 package statevec
 
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"edm/internal/bitstr"
 	"edm/internal/circuit"
@@ -23,10 +33,24 @@ import (
 // MaxQubits bounds the register size (memory is 16 bytes * 2^n).
 const MaxQubits = 24
 
-// State is the statevector of an n-qubit register.
+// State is the statevector of an n-qubit register. re[b] and im[b] are
+// the real and imaginary parts of the amplitude of basis state b; both
+// slices alias one backing buffer (buf) so snapshot copies and pooling
+// work on a single allocation.
 type State struct {
 	n   int
-	amp []complex128
+	re  []float64
+	im  []float64
+	buf []float64 // len 2*2^n; re = buf[:2^n], im = buf[2^n:]
+}
+
+// split carves the re/im views out of a backing buffer of 2*2^n floats.
+func (s *State) split(n int, buf []float64) {
+	size := 1 << uint(n)
+	s.n = n
+	s.buf = buf
+	s.re = buf[:size:size]
+	s.im = buf[size:]
 }
 
 // NewState returns the all-zeros computational basis state |0...0>.
@@ -34,8 +58,9 @@ func NewState(n int) *State {
 	if n < 0 || n > MaxQubits {
 		panic(fmt.Sprintf("statevec: %d qubits out of range", n))
 	}
-	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
-	s.amp[0] = 1
+	s := &State{}
+	s.split(n, make([]float64, 2<<uint(n)))
+	s.re[0] = 1
 	return s
 }
 
@@ -43,7 +68,7 @@ func NewState(n int) *State {
 // Stripe workers in the backend take a scratch state per stripe and
 // return it when the stripe ends, so wide campaigns reuse a few buffers
 // instead of allocating one statevector per (run x worker).
-var scratch pool.Buffers[complex128]
+var scratch pool.Buffers[float64]
 
 // GetState returns a |0...0> state of n qubits whose amplitude buffer
 // comes from a process-wide free list. Pair with PutState when the
@@ -52,7 +77,8 @@ func GetState(n int) *State {
 	if n < 0 || n > MaxQubits {
 		panic(fmt.Sprintf("statevec: %d qubits out of range", n))
 	}
-	s := &State{n: n, amp: scratch.Get(1 << uint(n))}
+	s := &State{}
+	s.split(n, scratch.Get(2<<uint(n)))
 	s.Reset()
 	return s
 }
@@ -63,15 +89,15 @@ func PutState(s *State) {
 	if s == nil {
 		return
 	}
-	scratch.Put(s.amp)
-	s.amp = nil
+	scratch.Put(s.buf)
+	s.buf, s.re, s.im = nil, nil, nil
 }
 
 // NewBasisState returns the computational basis state |b>.
 func NewBasisState(b bitstr.BitString) *State {
 	s := NewState(b.Len())
-	s.amp[0] = 0
-	s.amp[b.Uint64()] = 1
+	s.re[0] = 0
+	s.re[b.Uint64()] = 1
 	return s
 }
 
@@ -81,19 +107,22 @@ func (s *State) N() int { return s.n }
 // Reset returns the state to |0...0> in place, so one allocation can be
 // reused across many Monte-Carlo trajectories.
 func (s *State) Reset() {
-	for i := range s.amp {
-		s.amp[i] = 0
+	for i := range s.buf {
+		s.buf[i] = 0
 	}
-	s.amp[0] = 1
+	s.re[0] = 1
 }
 
 // Amplitude returns the amplitude of basis state index b.
-func (s *State) Amplitude(b uint64) complex128 { return s.amp[b] }
+func (s *State) Amplitude(b uint64) complex128 {
+	return complex(s.re[b], s.im[b])
+}
 
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
-	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
-	copy(c.amp, s.amp)
+	c := &State{}
+	c.split(s.n, make([]float64, len(s.buf)))
+	copy(c.buf, s.buf)
 	return c
 }
 
@@ -107,14 +136,15 @@ func (s *State) CopyFrom(src *State) {
 	if s.n != src.n {
 		panic(fmt.Sprintf("statevec: CopyFrom size mismatch (%d vs %d qubits)", s.n, src.n))
 	}
-	copy(s.amp, src.amp)
+	copy(s.buf, src.buf)
 }
 
 // Norm returns the 2-norm of the statevector (1 for a valid state).
 func (s *State) Norm() float64 {
 	var sum float64
-	for _, a := range s.amp {
-		sum += real(a)*real(a) + imag(a)*imag(a)
+	for i, ar := range s.re {
+		ai := s.im[i]
+		sum += ar*ar + ai*ai
 	}
 	return math.Sqrt(sum)
 }
@@ -139,19 +169,19 @@ func (s *State) Apply1Q(m circuit.Matrix2, q int) {
 		s.Apply1QAntiDiag(m[0][1], m[1][0], q)
 		return
 	}
-	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	mm := [8]float64{
+		real(m[0][0]), imag(m[0][0]), real(m[0][1]), imag(m[0][1]),
+		real(m[1][0]), imag(m[1][0]), real(m[1][1]), imag(m[1][1]),
+	}
 	bit := 1 << uint(q)
-	n := len(s.amp)
+	n := len(s.re)
 	// Stride loop: enumerate only the 2^(n-1) base indices with qubit q
 	// clear, as contiguous runs of length 2^q.
 	for blk := 0; blk < n; blk += bit << 1 {
-		lo := s.amp[blk : blk+bit]
-		hi := s.amp[blk+bit : blk+(bit<<1)]
-		for i, a0 := range lo {
-			a1 := hi[i]
-			lo[i] = m00*a0 + m01*a1
-			hi[i] = m10*a0 + m11*a1
-		}
+		mul1QRuns(
+			s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit],
+			s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)],
+			&mm)
 	}
 }
 
@@ -160,14 +190,25 @@ func (s *State) Apply1Q(m circuit.Matrix2, q int) {
 func (s *State) Apply1QDiag(d0, d1 complex128, q int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	n := len(s.amp)
-	for blk := 0; blk < n; blk += bit << 1 {
-		lo := s.amp[blk : blk+bit]
-		hi := s.amp[blk+bit : blk+(bit<<1)]
-		for i := range lo {
-			lo[i] *= d0
-			hi[i] *= d1
+	n := len(s.re)
+	if bit < 4 {
+		// Runs too short for the vector kernel individually, but the
+		// coefficient pattern repeats every 2*bit amplitudes, so one
+		// pattern-vector pass covers the whole array.
+		var cr, ci [4]float64
+		for i := 0; i < 4; i++ {
+			if i&bit == 0 {
+				cr[i], ci[i] = real(d0), imag(d0)
+			} else {
+				cr[i], ci[i] = real(d1), imag(d1)
+			}
 		}
+		cscalePattern(s.re, s.im, &cr, &ci)
+		return
+	}
+	for blk := 0; blk < n; blk += bit << 1 {
+		cscaleRun(s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit], real(d0), imag(d0))
+		cscaleRun(s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)], real(d1), imag(d1))
 	}
 }
 
@@ -176,15 +217,27 @@ func (s *State) Apply1QDiag(d0, d1 complex128, q int) {
 func (s *State) Apply1QAntiDiag(a01, a10 complex128, q int) {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	n := len(s.amp)
+	n := len(s.re)
+	c := [4]float64{real(a01), imag(a01), real(a10), imag(a10)}
 	for blk := 0; blk < n; blk += bit << 1 {
-		lo := s.amp[blk : blk+bit]
-		hi := s.amp[blk+bit : blk+(bit<<1)]
-		for i, a0 := range lo {
-			lo[i] = a01 * hi[i]
-			hi[i] = a10 * a0
+		antiRuns(
+			s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit],
+			s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)],
+			&c)
+	}
+}
+
+// mat4SoA flattens a 4x4 complex matrix row-major into interleaved
+// (real, imag) float pairs: entry (r, c) lives at mm[(r*4+c)*2, +1].
+func mat4SoA(m circuit.Matrix4) [32]float64 {
+	var mm [32]float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			mm[(r*4+c)*2] = real(m[r][c])
+			mm[(r*4+c)*2+1] = imag(m[r][c])
 		}
 	}
+	return mm
 }
 
 // Apply2Q applies a two-qubit unitary to the ordered qubit pair (q0, q1),
@@ -206,21 +259,26 @@ func (s *State) Apply2Q(m circuit.Matrix4, q0, q1 int) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	n := len(s.amp)
+	mm := mat4SoA(m)
+	n := len(s.re)
+	if lo == 1 && hi >= 8 && kernelAVX2 {
+		// One of the qubits is bit 0: every base index is even and its
+		// b-low partner is the adjacent odd index, so the low and high
+		// halves of each block are two interleaved role streams. The
+		// pairs kernel deinterleaves them in registers.
+		for i2 := 0; i2 < n; i2 += hi << 1 {
+			mul2QPairs(
+				s.re[i2:i2+hi:i2+hi], s.im[i2:i2+hi:i2+hi],
+				s.re[i2+hi:i2+(hi<<1):i2+(hi<<1)], s.im[i2+hi:i2+(hi<<1):i2+(hi<<1)],
+				b0 == 1, &mm)
+		}
+		return
+	}
 	// Stride loop: enumerate only the 2^(n-2) base indices with both
 	// qubits clear via three nested strides.
 	for i2 := 0; i2 < n; i2 += hi << 1 {
 		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			for base := i1; base < i1+lo; base++ {
-				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
-				var in [4]complex128
-				for k := 0; k < 4; k++ {
-					in[k] = s.amp[idx[k]]
-				}
-				for r := 0; r < 4; r++ {
-					s.amp[idx[r]] = m[r][0]*in[0] + m[r][1]*in[1] + m[r][2]*in[2] + m[r][3]*in[3]
-				}
-			}
+			mul2QRuns(s.re, s.im, i1, lo, b0, b1, &mm)
 		}
 	}
 }
@@ -241,15 +299,56 @@ func (s *State) Apply2QDiag(d [4]complex128, q0, q1 int) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	n := len(s.amp)
+	n := len(s.re)
+	if hi < 4 {
+		// Two-qubit state: a single pattern pass covers all 4 amplitudes.
+		var cr, ci [4]float64
+		for i := 0; i < 4; i++ {
+			k := 0
+			if i&b0 != 0 {
+				k |= 1
+			}
+			if i&b1 != 0 {
+				k |= 2
+			}
+			cr[i], ci[i] = real(d[k]), imag(d[k])
+		}
+		cscalePattern(s.re, s.im, &cr, &ci)
+		return
+	}
+	if lo < 4 {
+		// The diagonal acts elementwise, so short inner runs reduce to a
+		// coefficient pattern of period 2*lo applied to each half-block:
+		// the low half holds matrix entries {0, lo-bit}, the high half
+		// {hi-bit, both}.
+		kHi := 2 // d-index contribution of the hi bit: +1 if q0, +2 if q1
+		if hi == b0 {
+			kHi = 1
+		}
+		var loCr, loCi, hiCr, hiCi [4]float64
+		for i := 0; i < 4; i++ {
+			k := 0
+			if i&lo != 0 {
+				k = 3 - kHi // the lo-bit entry index
+			}
+			loCr[i], loCi[i] = real(d[k]), imag(d[k])
+			hiCr[i], hiCi[i] = real(d[k|kHi]), imag(d[k|kHi])
+		}
+		for i2 := 0; i2 < n; i2 += hi << 1 {
+			cscalePattern(s.re[i2:i2+hi:i2+hi], s.im[i2:i2+hi:i2+hi], &loCr, &loCi)
+			cscalePattern(s.re[i2+hi:i2+(hi<<1):i2+(hi<<1)], s.im[i2+hi:i2+(hi<<1):i2+(hi<<1)], &hiCr, &hiCi)
+		}
+		return
+	}
 	for i2 := 0; i2 < n; i2 += hi << 1 {
 		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			for base := i1; base < i1+lo; base++ {
-				s.amp[base] *= d[0]
-				s.amp[base|b0] *= d[1]
-				s.amp[base|b1] *= d[2]
-				s.amp[base|b0|b1] *= d[3]
-			}
+			cscaleRun(s.re[i1:i1+lo:i1+lo], s.im[i1:i1+lo:i1+lo], real(d[0]), imag(d[0]))
+			j := i1 + b0
+			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[1]), imag(d[1]))
+			j = i1 + b1
+			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[2]), imag(d[2]))
+			j = i1 + b0 + b1
+			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[3]), imag(d[3]))
 		}
 	}
 }
@@ -302,19 +401,14 @@ func (s *State) Apply2QPerm(p Perm4, q0, q1 int) {
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	n := len(s.amp)
+	c := [8]float64{
+		real(p.Coef[0]), imag(p.Coef[0]), real(p.Coef[1]), imag(p.Coef[1]),
+		real(p.Coef[2]), imag(p.Coef[2]), real(p.Coef[3]), imag(p.Coef[3]),
+	}
+	n := len(s.re)
 	for i2 := 0; i2 < n; i2 += hi << 1 {
 		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			for base := i1; base < i1+lo; base++ {
-				idx := [4]int{base, base | b0, base | b1, base | b0 | b1}
-				var in [4]complex128
-				for k := 0; k < 4; k++ {
-					in[k] = s.amp[idx[k]]
-				}
-				for r := 0; r < 4; r++ {
-					s.amp[idx[r]] = p.Coef[r] * in[p.Src[r]]
-				}
-			}
+			perm2QRuns(s.re, s.im, i1, lo, b0, b1, &p.Src, &c)
 		}
 	}
 }
@@ -333,14 +427,20 @@ func (s *State) ApplyOp(op circuit.Op) {
 }
 
 // ProbabilityOne returns the probability that measuring qubit q yields 1.
+// The summation order matches the frozen complex128 loop exactly (block
+// by block, index-ascending), so thresholds recorded by the trajectory
+// engine's dominant-path builder are bit-stable across engines.
 func (s *State) ProbabilityOne(q int) float64 {
 	s.checkQubit(q)
 	bit := 1 << uint(q)
-	n := len(s.amp)
+	n := len(s.re)
 	var p float64
 	for blk := bit; blk < n; blk += bit << 1 {
-		for _, a := range s.amp[blk : blk+bit] {
-			p += real(a)*real(a) + imag(a)*imag(a)
+		re := s.re[blk : blk+bit : blk+bit]
+		im := s.im[blk : blk+bit : blk+bit]
+		for i, ar := range re {
+			ai := im[i]
+			p += ar*ar + ai*ai
 		}
 	}
 	return p
@@ -373,26 +473,44 @@ func (s *State) Project(q, outcome int) {
 }
 
 // projectQubit zeroes the amplitudes inconsistent with qubit q being in
-// the given state and renormalizes.
+// the given state and renormalizes. The scale pass spells out the full
+// complex multiply by (scale + 0i) — including the multiply-by-zero
+// terms — so zero signs stay bit-identical to the frozen loop.
 func (s *State) projectQubit(q, outcome int) {
-	bit := uint64(1) << uint(q)
+	bit := 1 << uint(q)
+	n := len(s.re)
 	var norm float64
-	for i := range s.amp {
-		set := uint64(i)&bit != 0
-		if set != (outcome == 1) {
-			s.amp[i] = 0
-		} else {
-			a := s.amp[i]
-			norm += real(a)*real(a) + imag(a)*imag(a)
+	// Zero the discarded half-blocks (range-clear loops compile to
+	// memclr) and accumulate the kept amplitudes' norm. The kept indices
+	// are visited in the same ascending order as a single whole-array
+	// pass, so the reduction value is bit-identical to the frozen loop.
+	for blk := 0; blk < n; blk += bit << 1 {
+		keep, drop := blk+bit, blk
+		if outcome == 0 {
+			keep, drop = blk, blk+bit
+		}
+		dropR := s.re[drop : drop+bit]
+		for i := range dropR {
+			dropR[i] = 0
+		}
+		dropI := s.im[drop : drop+bit]
+		for i := range dropI {
+			dropI[i] = 0
+		}
+		keepR := s.re[keep : keep+bit : keep+bit]
+		keepI := s.im[keep : keep+bit : keep+bit]
+		for i, ar := range keepR {
+			ai := keepI[i]
+			norm += ar*ar + ai*ai
 		}
 	}
 	if norm <= 0 {
 		panic("statevec: projection onto zero-probability outcome")
 	}
-	scale := complex(1/math.Sqrt(norm), 0)
-	for i := range s.amp {
-		s.amp[i] *= scale
-	}
+	// Renormalization is a complex scale by (1/sqrt(norm) + 0i): cscaleRun
+	// computes re' = ar*scale - ai*0, im' = ar*0 + ai*scale — the frozen
+	// loop's expressions, zero signs included — through the shared kernel.
+	cscaleRun(s.re, s.im, 1/math.Sqrt(norm), 0)
 }
 
 // ApplyKraus1Q applies a one-qubit quantum channel given by Kraus
@@ -458,16 +576,20 @@ func (s *State) KrausBranchProbs1Q(ks []circuit.Matrix2, q int, probs []float64)
 		panic("statevec: KrausBranchProbs1Q buffer size mismatch")
 	}
 	bit := 1 << uint(q)
-	n := len(s.amp)
+	n := len(s.re)
 	if krausDiagLike(ks) {
 		var p0, p1 float64
 		for blk := 0; blk < n; blk += bit << 1 {
-			lo := s.amp[blk : blk+bit]
-			hi := s.amp[blk+bit : blk+(bit<<1)]
-			for i, a0 := range lo {
-				a1 := hi[i]
-				p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
-				p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+			loR := s.re[blk : blk+bit : blk+bit]
+			loI := s.im[blk : blk+bit : blk+bit]
+			hiR := s.re[blk+bit : blk+(bit<<1) : blk+(bit<<1)]
+			hiI := s.im[blk+bit : blk+(bit<<1) : blk+(bit<<1)]
+			for i, a0r := range loR {
+				a0i := loI[i]
+				a1r := hiR[i]
+				a1i := hiI[i]
+				p0 += a0r*a0r + a0i*a0i
+				p1 += a1r*a1r + a1i*a1i
 			}
 		}
 		for i, k := range ks {
@@ -485,15 +607,25 @@ func (s *State) KrausBranchProbs1Q(ks []circuit.Matrix2, q int, probs []float64)
 		probs[i] = 0
 	}
 	for blk := 0; blk < n; blk += bit << 1 {
-		loAmp := s.amp[blk : blk+bit]
-		hiAmp := s.amp[blk+bit : blk+(bit<<1)]
-		for j, a0 := range loAmp {
-			a1 := hiAmp[j]
+		loR := s.re[blk : blk+bit : blk+bit]
+		loI := s.im[blk : blk+bit : blk+bit]
+		hiR := s.re[blk+bit : blk+(bit<<1) : blk+(bit<<1)]
+		hiI := s.im[blk+bit : blk+(bit<<1) : blk+(bit<<1)]
+		for j, a0r := range loR {
+			a0i := loI[j]
+			a1r := hiR[j]
+			a1i := hiI[j]
 			for i, k := range ks {
-				n0 := k[0][0]*a0 + k[0][1]*a1
-				n1 := k[1][0]*a0 + k[1][1]*a1
-				probs[i] += real(n0)*real(n0) + imag(n0)*imag(n0) +
-					real(n1)*real(n1) + imag(n1)*imag(n1)
+				k00r, k00i := real(k[0][0]), imag(k[0][0])
+				k01r, k01i := real(k[0][1]), imag(k[0][1])
+				k10r, k10i := real(k[1][0]), imag(k[1][0])
+				k11r, k11i := real(k[1][1]), imag(k[1][1])
+				n0r := (k00r*a0r - k00i*a0i) + (k01r*a1r - k01i*a1i)
+				n0i := (k00r*a0i + k00i*a0r) + (k01r*a1i + k01i*a1r)
+				n1r := (k10r*a0r - k10i*a0i) + (k11r*a1r - k11i*a1i)
+				n1i := (k10r*a0i + k10i*a0r) + (k11r*a1i + k11i*a1r)
+				probs[i] += n0r*n0r + n0i*n0i +
+					n1r*n1r + n1i*n1i
 			}
 		}
 	}
@@ -542,18 +674,23 @@ func abs2(c complex128) float64 {
 	return real(c)*real(c) + imag(c)*imag(c)
 }
 
+// scale multiplies every amplitude by the real factor f, spelled as the
+// full complex multiply by (f + 0i) the frozen loop performed so zero
+// signs stay bit-identical.
 func (s *State) scale(f float64) {
-	c := complex(f, 0)
-	for i := range s.amp {
-		s.amp[i] *= c
+	for i, ar := range s.re {
+		ai := s.im[i]
+		s.re[i] = ar*f - ai*0
+		s.im[i] = ar*0 + ai*f
 	}
 }
 
 // Probabilities returns the probability of every basis state.
 func (s *State) Probabilities() []float64 {
-	out := make([]float64, len(s.amp))
-	for i, a := range s.amp {
-		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	out := make([]float64, len(s.re))
+	for i, ar := range s.re {
+		ai := s.im[i]
+		out[i] = ar*ar + ai*ai
 	}
 	return out
 }
@@ -563,13 +700,14 @@ func (s *State) Probabilities() []float64 {
 func (s *State) SampleOutcome(r *rng.RNG) bitstr.BitString {
 	x := r.Float64()
 	var acc float64
-	for i, a := range s.amp {
-		acc += real(a)*real(a) + imag(a)*imag(a)
+	for i, ar := range s.re {
+		ai := s.im[i]
+		acc += ar*ar + ai*ai
 		if x < acc {
 			return bitstr.New(uint64(i), s.n)
 		}
 	}
-	return bitstr.New(uint64(len(s.amp)-1), s.n)
+	return bitstr.New(uint64(len(s.re)-1), s.n)
 }
 
 // Fidelity returns |<s|other>|^2.
@@ -577,9 +715,13 @@ func (s *State) Fidelity(other *State) float64 {
 	if s.n != other.n {
 		panic("statevec: Fidelity size mismatch")
 	}
-	var dot complex128
-	for i, a := range s.amp {
-		dot += cmplx.Conj(a) * other.amp[i]
+	var dr, di float64
+	for i, ar := range s.re {
+		ai := -s.im[i] // conj
+		br := other.re[i]
+		bi := other.im[i]
+		dr += ar*br - ai*bi
+		di += ar*bi + ai*br
 	}
-	return real(dot)*real(dot) + imag(dot)*imag(dot)
+	return dr*dr + di*di
 }

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_kernels.json: runs the backend trajectory benchmarks
-# and records the results next to the frozen pre-optimization baseline.
+# Regenerates BENCH_kernels.json: trajectory throughput against the
+# frozen pre-overhaul baseline, plus the statevector kernel
+# micro-benchmarks against the frozen complex128 scalar loops.
 #
 # Usage: scripts/bench_kernels.sh [output.json]
 #   BENCHTIME=5s scripts/bench_kernels.sh   # longer runs, steadier numbers
 #
-# The baseline block below was measured at the commit immediately before
-# the fusion/stride-kernel/cache overhaul, with the same benchmark bodies
-# (single-trial trajectory execution of the representative 6/10/14-qubit
-# executables, and the striped parallel Run path). Do not edit it when
-# re-running; it is the denominator of the recorded speedups.
+# Two baselines, two lifetimes. The trajectory baseline block below was
+# measured at the commit immediately before the fusion/stride-kernel/
+# cache overhaul with the same benchmark bodies; that code is gone, so
+# the numbers are frozen here — do not edit them when re-running. The
+# kernel baseline needs no frozen block: the pre-SoA complex128 loops
+# live verbatim in internal/statevec/frozen_test.go (they are the
+# bit-identity oracle), so the Frozen* benchmarks re-measure the
+# denominator in the same process on every run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,17 +28,25 @@ RunTrajectory/q14 39.13
 RunParallel 700.4
 '
 
-raw=$(go test -run=NONE -bench='RunTrajectory|RunParallel' \
+traj=$(go test -run=NONE -bench='RunTrajectory|RunParallel' \
 	-benchtime="$BENCHTIME" ./internal/backend)
-echo "$raw"
+echo "$traj"
 
-echo "$raw" | awk -v baseline="$BASELINE" -v date="$(date -u +%Y-%m-%d)" '
+kern=$(go test -run=NONE \
+	-bench='Apply1Q$|Apply2Q$|ApplyDiagonal|Apply1QAntiDiag|ApplyMixedDiagSequence|Frozen' \
+	-benchtime="$BENCHTIME" ./internal/statevec)
+echo "$kern"
+
+{ echo "$traj"; echo "==KERNELS=="; echo "$kern"; } |
+	awk -v baseline="$BASELINE" -v date="$(date -u +%Y-%m-%d)" '
 BEGIN {
 	n = split(baseline, lines, "\n")
 	for (i = 1; i <= n; i++) {
 		if (split(lines[i], kv, " ") == 2) base[kv[1]] = kv[2]
 	}
+	section = "traj"
 }
+/^==KERNELS==$/ { section = "kern"; next }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1
@@ -44,20 +56,37 @@ BEGIN {
 		if ($i == "trials/s") tps[name] = $(i - 1)
 		if ($i == "ns/op") nsop[name] = $(i - 1)
 	}
-	if (!(name in seen)) { order[++count] = name; seen[name] = 1 }
+	if (section == "traj") {
+		if (!(name in seenT)) { orderT[++countT] = name; seenT[name] = 1 }
+	} else if (name !~ /^Frozen/) {
+		if (!(name in seenK)) { orderK[++countK] = name; seenK[name] = 1 }
+	}
 }
 END {
 	printf "{\n"
-	printf "  \"description\": \"backend trajectory throughput, baseline (pre fusion/stride/cache overhaul) vs current\",\n"
-	printf "  \"benchmark\": \"go test -bench RunTrajectory|RunParallel ./internal/backend\",\n"
+	printf "  \"description\": \"backend trajectory throughput vs the frozen pre-overhaul baseline, and SoA/AVX2 statevector kernels vs the frozen complex128 scalar loops (frozen_test.go)\",\n"
+	printf "  \"benchmark\": \"go test -bench RunTrajectory|RunParallel ./internal/backend; go test -bench Apply|Frozen ./internal/statevec\",\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"headline\": \"RunTrajectory/q14\",\n"
 	printf "  \"entries\": [\n"
-	for (i = 1; i <= count; i++) {
-		name = order[i]
+	for (i = 1; i <= countT; i++) {
+		name = orderT[i]
 		printf "    {\"name\": \"%s\", \"baseline_trials_per_sec\": %s, \"after_trials_per_sec\": %s, \"after_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
-			name, base[name], tps[name], nsop[name], tps[name] / base[name], (i < count ? "," : "")
+			name, base[name], tps[name], nsop[name], tps[name] / base[name], (i < countT ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"kernels\": [\n"
+	for (i = 1; i <= countK; i++) {
+		name = orderK[i]
+		fname = "Frozen" name
+		if (fname in nsop) {
+			printf "    {\"name\": \"%s\", \"frozen_ns_per_op\": %s, \"after_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
+				name, nsop[fname], nsop[name], nsop[fname] / nsop[name], (i < countK ? "," : "")
+		} else {
+			printf "    {\"name\": \"%s\", \"after_ns_per_op\": %s}%s\n", \
+				name, nsop[name], (i < countK ? "," : "")
+		}
 	}
 	printf "  ]\n}\n"
 }' >"$OUT"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_trajectory.json: the DESIGN.md §10 prefix-sharing
+# Regenerates BENCH_trajectory.json: the DESIGN.md §10 tape-tree
 # trajectory engine versus the frozen legacy full-replay loop
-# (Machine.SetTrajectoryEngine(EngineLegacy)), the way bench_kernels.sh /
-# bench_campaign.sh froze earlier PRs' baselines.
+# (Machine.SetTrajectoryEngine(EngineLegacy)), with per-leaf hit rates,
+# tree depth, and resident checkpoint bytes per case.
 #
 # Usage: scripts/bench_trajectory.sh [output.json]
 #

@@ -44,10 +44,16 @@ go test -race -count=1 -run 'Campaign|TopKCache|RunCache|PrefixStability' \
 go test -race -count=1 ./internal/memo
 
 echo "== trajectory engine determinism (DESIGN.md §10) =="
-# The prefix-sharing engine must match the frozen legacy loop byte for
-# byte at GOMAXPROCS=1 and at full stripe width; both passes run under
-# the race detector because the plan is shared read-only across workers.
+# The tape-tree engine must match the frozen legacy loop byte for byte
+# at GOMAXPROCS=1 and at full stripe width; both passes run under the
+# race detector because the tape tree and its checkpoints are shared
+# read-only across workers (and the stats tally is flushed per stripe).
 GOMAXPROCS=1 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
+
+echo "== statevec kernel bit-identity (SoA + AVX2 vs frozen scalar) =="
+# The SoA kernels must pin every amplitude bit against the frozen
+# complex128 loops on both the scalar and (where available) AVX2 paths.
+go test -count=1 -run 'KernelsBitIdentical' ./internal/statevec
 
 echo "CI OK"
