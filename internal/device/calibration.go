@@ -356,6 +356,66 @@ func (c *Calibration) Drift(f float64, r *rng.RNG) *Calibration {
 	return out
 }
 
+// DriftLocal returns a perturbed copy modelling the *localized* drift a
+// real device shows between calibration cycles ("A Case for
+// Variability-Aware Policies...", PAPERS.md): a handful of elements move
+// a lot while the rest barely move. hitQ qubits and hitE links (chosen
+// pseudo-randomly from the RNG) drift strongly with relative scale
+// `scale` using the same update shapes and clamps as Drift; every other
+// element receives only a device-wide wobble of relative scale `jitter`.
+// jitter = 0 leaves unhit elements bit-identical, which is what gives
+// incremental recompilation (DESIGN.md §11) a sparse CalDiff to exploit;
+// a small positive jitter exercises the tolerance ladder instead.
+func (c *Calibration) DriftLocal(hitQ, hitE int, scale, jitter float64, r *rng.RNG) *Calibration {
+	out := c.Clone()
+	n := len(out.SQErr)
+	hitQubit := make([]bool, n)
+	perm := r.Derive("hit-qubits").Perm(n)
+	for i := 0; i < hitQ && i < n; i++ {
+		hitQubit[perm[i]] = true
+	}
+	edges := c.Topo.Edges()
+	hitEdge := make([]bool, len(edges))
+	eperm := r.Derive("hit-edges").Perm(len(edges))
+	for i := 0; i < hitE && i < len(edges); i++ {
+		hitEdge[eperm[i]] = true
+	}
+	qr := r.Derive("qubit-drift")
+	for q := 0; q < n; q++ {
+		f := jitter
+		if hitQubit[q] {
+			f = scale
+		}
+		if f == 0 {
+			continue
+		}
+		out.SQErr[q] = clamp(out.SQErr[q]*math.Exp(f*qr.Norm()), 0, 0.25)
+		out.Meas01[q] = clamp(out.Meas01[q]*math.Exp(f*qr.Norm()), 0, 0.45)
+		out.Meas10[q] = clamp(out.Meas10[q]*math.Exp(f*qr.Norm()), 0, 0.45)
+		out.T1us[q] *= math.Exp(f * qr.Norm() / 2)
+		out.T2us[q] *= math.Exp(f * qr.Norm() / 2)
+		if out.T2us[q] > 2*out.T1us[q] {
+			out.T2us[q] = 2 * out.T1us[q]
+		}
+		out.CohY[q] += f * 0.05 * qr.Norm()
+		out.CohZ[q] += f * 0.04 * qr.Norm()
+	}
+	er := r.Derive("edge-drift")
+	for i, e := range edges {
+		f := jitter
+		if hitEdge[i] {
+			f = scale
+		}
+		if f == 0 {
+			continue
+		}
+		out.CXErr[e] = clamp(out.CXErr[e]*math.Exp(f*er.Norm()), 0, 0.4)
+		out.CXCohZZ[e] += f * 0.08 * er.Norm()
+		out.CrossZZ[e] += f * 0.02 * er.Norm()
+	}
+	return out
+}
+
 // sortedEdges returns the map's keys in (A, B) order. Drift consumes RNG
 // draws while walking these maps, and Go randomizes map iteration order
 // per process, so an unsorted walk would assign different drift to

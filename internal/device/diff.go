@@ -1,0 +1,191 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// diff.go implements calibration diffing for drift-aware incremental
+// recompilation (DESIGN.md §11). The whole-calibration Fingerprint tells
+// the mapper *that* a calibration changed; the per-qubit and per-edge
+// sub-fingerprints and CalDiff tell it *where*, so the Top-K candidate
+// pool can be invalidated per footprint instead of wholesale. The
+// variability-aware characterization line (PAPERS.md: "A Case for
+// Variability-Aware Policies...") reports exactly this structure on real
+// hardware: error rates move per qubit and per link between calibration
+// cycles, not globally.
+
+// QubitFingerprint hashes every per-qubit calibration field of qubit q
+// (stochastic rates, coherence times and coherent angles). Any bit
+// change in any of those fields — and nothing else — changes the result.
+func (c *Calibration) QubitFingerprint(q int) uint64 {
+	h := fpMix(fpOffset, uint64(int64(q)))
+	for _, f := range [...]float64{
+		c.SQErr[q], c.Meas01[q], c.Meas10[q],
+		c.T1us[q], c.T2us[q], c.CohY[q], c.CohZ[q],
+	} {
+		h = fpMix(h, math.Float64bits(f))
+	}
+	return h
+}
+
+// EdgeFingerprint hashes every per-link calibration field of edge e.
+// Any bit change in any of those fields — and nothing else — changes
+// the result.
+func (c *Calibration) EdgeFingerprint(e Edge) uint64 {
+	h := fpMix(fpOffset, uint64(e.A)<<32|uint64(uint32(e.B)))
+	h = fpMix(h, math.Float64bits(c.CXErr[e]))
+	h = fpMix(h, math.Float64bits(c.CXCohZZ[e]))
+	h = fpMix(h, math.Float64bits(c.CrossZZ[e]))
+	return h
+}
+
+// DiffStats summarizes a calibration diff for logging: element counts,
+// how many moved at all (any bit), how many moved beyond the tolerance,
+// and the largest relative delta seen on each axis.
+type DiffStats struct {
+	Qubits, Edges               int // device totals
+	TouchedQubits, TouchedEdges int // any-bit changes
+	ChangedQubits, ChangedEdges int // changes beyond the tolerance
+	MaxRelQubit, MaxRelEdge     float64
+	Global                      bool // topology or global-field change
+}
+
+// String renders the one-line log form.
+func (s DiffStats) String() string {
+	if s.Global {
+		return "diff: global change (topology or device-wide field)"
+	}
+	return fmt.Sprintf("diff: qubits %d/%d touched (%d beyond tol, max rel %.2e), edges %d/%d touched (%d beyond tol, max rel %.2e)",
+		s.TouchedQubits, s.Qubits, s.ChangedQubits, s.MaxRelQubit,
+		s.TouchedEdges, s.Edges, s.ChangedEdges, s.MaxRelEdge)
+}
+
+// CalDiff is the element-wise difference between two calibrations of the
+// same device, the input to the mapper's incremental recompilation path.
+// Qubit masks pack qubit q at word q>>6, bit q&63; edge masks pack edge
+// index i (the position of the edge in Topo.Edges() order) the same way.
+//
+// Two granularities coexist: the Any masks flag every element whose
+// sub-fingerprint moved at all (any bit — the exactness test: untouched
+// elements contribute bit-identical ESP factors), while Qubits/Edges
+// flag only moves whose relative delta exceeds Tol (the structural
+// test: routing and placement decisions are re-verified only where the
+// device moved materially). Tol = 0 makes the two identical, so every
+// bit change counts — degenerating to today's full invalidation.
+type CalDiff struct {
+	Tol    float64
+	Global bool // topology, gate-time or ReadoutCorr change: no reuse possible
+
+	Qubits    []uint64 // beyond-tol changed qubits
+	Edges     []uint64 // beyond-tol changed edges, Topo.Edges() order
+	QubitsAny []uint64 // any-bit changed qubits
+	EdgesAny  []uint64 // any-bit changed edges
+
+	Stats DiffStats
+}
+
+// Full reports whether the diff admits no incremental reuse at all:
+// a global change, or any change under zero tolerance.
+func (d CalDiff) Full() bool {
+	return d.Global || (d.Tol <= 0 && d.Stats.TouchedQubits+d.Stats.TouchedEdges > 0)
+}
+
+func maskSet(m []uint64, i int)           { m[i>>6] |= 1 << uint(i&63) }
+func maskHas(m []uint64, i int) bool      { return m[i>>6]>>(uint(i)&63)&1 == 1 }
+func diffMask(n int) []uint64             { return make([]uint64, (n+63)>>6) }
+func (d CalDiff) QubitChanged(q int) bool { return maskHas(d.Qubits, q) }
+func (d CalDiff) QubitTouched(q int) bool { return maskHas(d.QubitsAny, q) }
+func (d CalDiff) EdgeChanged(i int) bool  { return maskHas(d.Edges, i) }
+func (d CalDiff) EdgeTouched(i int) bool  { return maskHas(d.EdgesAny, i) }
+
+// relDelta is the symmetric relative difference |a-b| / max(|a|,|b|);
+// zero when the values are equal (including both zero).
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// Diff compares two calibrations of the same device under a relative
+// tolerance. A change of topology, gate times or readout correlation —
+// anything without a per-element footprint — marks the diff Global.
+// With tol = 0 every bit change counts as beyond-tolerance.
+func Diff(old, new *Calibration, tol float64) CalDiff {
+	d := CalDiff{Tol: tol}
+	if old.Topo.Fingerprint() != new.Topo.Fingerprint() ||
+		math.Float64bits(old.ReadoutCorr) != math.Float64bits(new.ReadoutCorr) ||
+		math.Float64bits(old.Gate1QTimeNs) != math.Float64bits(new.Gate1QTimeNs) ||
+		math.Float64bits(old.Gate2QTimeNs) != math.Float64bits(new.Gate2QTimeNs) ||
+		math.Float64bits(old.MeasTimeNs) != math.Float64bits(new.MeasTimeNs) {
+		d.Global = true
+		d.Stats.Global = true
+		return d
+	}
+	n := new.Topo.Qubits
+	edges := new.Topo.Edges()
+	d.Qubits, d.QubitsAny = diffMask(n), diffMask(n)
+	d.Edges, d.EdgesAny = diffMask(len(edges)), diffMask(len(edges))
+	d.Stats.Qubits, d.Stats.Edges = n, len(edges)
+
+	for q := 0; q < n; q++ {
+		touched := false
+		maxRel := 0.0
+		for _, p := range [...][2]float64{
+			{old.SQErr[q], new.SQErr[q]}, {old.Meas01[q], new.Meas01[q]},
+			{old.Meas10[q], new.Meas10[q]}, {old.T1us[q], new.T1us[q]},
+			{old.T2us[q], new.T2us[q]}, {old.CohY[q], new.CohY[q]},
+			{old.CohZ[q], new.CohZ[q]},
+		} {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				touched = true
+				maxRel = math.Max(maxRel, relDelta(p[0], p[1]))
+			}
+		}
+		if !touched {
+			continue
+		}
+		maskSet(d.QubitsAny, q)
+		d.Stats.TouchedQubits++
+		d.Stats.MaxRelQubit = math.Max(d.Stats.MaxRelQubit, maxRel)
+		if tol <= 0 || maxRel > tol {
+			maskSet(d.Qubits, q)
+			d.Stats.ChangedQubits++
+		}
+	}
+	for i, e := range edges {
+		touched := false
+		maxRel := 0.0
+		for _, p := range [...][2]float64{
+			{old.CXErr[e], new.CXErr[e]},
+			{old.CXCohZZ[e], new.CXCohZZ[e]},
+			{old.CrossZZ[e], new.CrossZZ[e]},
+		} {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				touched = true
+				maxRel = math.Max(maxRel, relDelta(p[0], p[1]))
+			}
+		}
+		if !touched {
+			continue
+		}
+		maskSet(d.EdgesAny, i)
+		d.Stats.TouchedEdges++
+		d.Stats.MaxRelEdge = math.Max(d.Stats.MaxRelEdge, maxRel)
+		if tol <= 0 || maxRel > tol {
+			maskSet(d.Edges, i)
+			d.Stats.ChangedEdges++
+		}
+	}
+	return d
+}
+
+// DiffStats is the logging summary of Diff(c, next, tol).
+func (c *Calibration) DiffStats(next *Calibration, tol float64) DiffStats {
+	return Diff(c, next, tol).Stats
+}

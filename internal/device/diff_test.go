@@ -1,0 +1,227 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/rng"
+)
+
+func testCal(t *testing.T) *Calibration {
+	t.Helper()
+	return Generate(Melbourne(), MelbourneProfile(), rng.New(7))
+}
+
+// Each per-qubit field must flip exactly its own qubit's sub-fingerprint:
+// no other qubit fingerprint, no edge fingerprint, and the whole-cal
+// fingerprint must change too.
+func TestQubitFingerprintFieldSensitivity(t *testing.T) {
+	cal := testCal(t)
+	n := cal.Topo.Qubits
+	edges := cal.Topo.Edges()
+	fields := map[string]func(c *Calibration, q int){
+		"SQErr":  func(c *Calibration, q int) { c.SQErr[q] *= 1.0000001 },
+		"Meas01": func(c *Calibration, q int) { c.Meas01[q] *= 1.0000001 },
+		"Meas10": func(c *Calibration, q int) { c.Meas10[q] *= 1.0000001 },
+		"T1us":   func(c *Calibration, q int) { c.T1us[q] *= 1.0000001 },
+		"T2us":   func(c *Calibration, q int) { c.T2us[q] *= 1.0000001 },
+		"CohY":   func(c *Calibration, q int) { c.CohY[q] += 1e-9 },
+		"CohZ":   func(c *Calibration, q int) { c.CohZ[q] += 1e-9 },
+	}
+	for name, mutate := range fields {
+		for _, q := range []int{0, n / 2, n - 1} {
+			mod := cal.Clone()
+			mutate(mod, q)
+			if mod.QubitFingerprint(q) == cal.QubitFingerprint(q) {
+				t.Errorf("%s[%d]: qubit sub-fingerprint did not change", name, q)
+			}
+			for p := 0; p < n; p++ {
+				if p != q && mod.QubitFingerprint(p) != cal.QubitFingerprint(p) {
+					t.Errorf("%s[%d]: qubit %d sub-fingerprint changed", name, q, p)
+				}
+			}
+			for _, e := range edges {
+				if mod.EdgeFingerprint(e) != cal.EdgeFingerprint(e) {
+					t.Errorf("%s[%d]: edge %v sub-fingerprint changed", name, q, e)
+				}
+			}
+			if mod.Fingerprint() == cal.Fingerprint() {
+				t.Errorf("%s[%d]: whole-calibration fingerprint did not change", name, q)
+			}
+		}
+	}
+}
+
+func TestEdgeFingerprintFieldSensitivity(t *testing.T) {
+	cal := testCal(t)
+	n := cal.Topo.Qubits
+	edges := cal.Topo.Edges()
+	fields := map[string]func(c *Calibration, e Edge){
+		"CXErr":   func(c *Calibration, e Edge) { c.CXErr[e] *= 1.0000001 },
+		"CXCohZZ": func(c *Calibration, e Edge) { c.CXCohZZ[e] += 1e-9 },
+		"CrossZZ": func(c *Calibration, e Edge) { c.CrossZZ[e] += 1e-9 },
+	}
+	for name, mutate := range fields {
+		for _, ei := range []int{0, len(edges) / 2, len(edges) - 1} {
+			e := edges[ei]
+			mod := cal.Clone()
+			mutate(mod, e)
+			if mod.EdgeFingerprint(e) == cal.EdgeFingerprint(e) {
+				t.Errorf("%s[%v]: edge sub-fingerprint did not change", name, e)
+			}
+			for _, o := range edges {
+				if o != e && mod.EdgeFingerprint(o) != cal.EdgeFingerprint(o) {
+					t.Errorf("%s[%v]: edge %v sub-fingerprint changed", name, e, o)
+				}
+			}
+			for q := 0; q < n; q++ {
+				if mod.QubitFingerprint(q) != cal.QubitFingerprint(q) {
+					t.Errorf("%s[%v]: qubit %d sub-fingerprint changed", name, e, q)
+				}
+			}
+			if mod.Fingerprint() == cal.Fingerprint() {
+				t.Errorf("%s[%v]: whole-calibration fingerprint did not change", name, e)
+			}
+		}
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	cal := testCal(t)
+	d := Diff(cal, cal.Clone(), 0)
+	if d.Global || d.Full() {
+		t.Fatalf("diff of identical calibrations is global/full: %+v", d.Stats)
+	}
+	s := d.Stats
+	if s.TouchedQubits != 0 || s.TouchedEdges != 0 || s.ChangedQubits != 0 || s.ChangedEdges != 0 {
+		t.Fatalf("diff of identical calibrations non-empty: %+v", s)
+	}
+	if s.Qubits != cal.Topo.Qubits || s.Edges != len(cal.Topo.Edges()) {
+		t.Fatalf("diff totals wrong: %+v", s)
+	}
+}
+
+func TestDiffToleranceLadder(t *testing.T) {
+	cal := testCal(t)
+	mod := cal.Clone()
+	// A sub-tolerance wobble on qubit 3, a large move on qubit 5.
+	mod.SQErr[3] *= 1 + 1e-6
+	mod.Meas01[5] *= 1.5
+
+	d := Diff(cal, mod, 1e-3)
+	if d.Full() {
+		t.Fatalf("tol=1e-3 diff reported full")
+	}
+	if d.Stats.TouchedQubits != 2 || !d.QubitTouched(3) || !d.QubitTouched(5) {
+		t.Fatalf("touched mask wrong: %+v", d.Stats)
+	}
+	if d.Stats.ChangedQubits != 1 || d.QubitChanged(3) || !d.QubitChanged(5) {
+		t.Fatalf("beyond-tol mask wrong: %+v", d.Stats)
+	}
+	if d.Stats.MaxRelQubit < 0.3 {
+		t.Fatalf("MaxRelQubit = %v, want ~0.33", d.Stats.MaxRelQubit)
+	}
+
+	// tol = 0: every bit change is beyond tolerance and the diff is full.
+	d0 := Diff(cal, mod, 0)
+	if d0.Stats.ChangedQubits != 2 || !d0.QubitChanged(3) || !d0.QubitChanged(5) {
+		t.Fatalf("tol=0 beyond-tol mask wrong: %+v", d0.Stats)
+	}
+	if !d0.Full() {
+		t.Fatalf("tol=0 diff with changes must be full")
+	}
+}
+
+func TestDiffEdgeTolerance(t *testing.T) {
+	cal := testCal(t)
+	edges := cal.Topo.Edges()
+	mod := cal.Clone()
+	mod.CXErr[edges[2]] *= 1 + 1e-7
+	mod.CXCohZZ[edges[4]] += 0.3
+
+	d := Diff(cal, mod, 1e-3)
+	if d.Stats.TouchedEdges != 2 || !d.EdgeTouched(2) || !d.EdgeTouched(4) {
+		t.Fatalf("touched edge mask wrong: %+v", d.Stats)
+	}
+	if d.Stats.ChangedEdges != 1 || d.EdgeChanged(2) || !d.EdgeChanged(4) {
+		t.Fatalf("beyond-tol edge mask wrong: %+v", d.Stats)
+	}
+	if d.Stats.TouchedQubits != 0 {
+		t.Fatalf("edge-only change touched qubits: %+v", d.Stats)
+	}
+}
+
+func TestDiffGlobalChanges(t *testing.T) {
+	cal := testCal(t)
+	mod := cal.Clone()
+	mod.Gate2QTimeNs += 1
+	if d := Diff(cal, mod, 1e-3); !d.Global || !d.Full() {
+		t.Fatalf("gate-time change not global")
+	}
+	mod = cal.Clone()
+	mod.ReadoutCorr += 0.01
+	if d := Diff(cal, mod, 1e-3); !d.Global {
+		t.Fatalf("ReadoutCorr change not global")
+	}
+	other := Generate(Tokyo(), MelbourneProfile(), rng.New(7))
+	if d := Diff(cal, other, 1e-3); !d.Global {
+		t.Fatalf("topology change not global")
+	}
+}
+
+func TestDiffStatsSummary(t *testing.T) {
+	cal := testCal(t)
+	mod := cal.Clone()
+	mod.T1us[1] *= 2
+	s := cal.DiffStats(mod, 1e-3)
+	if s.TouchedQubits != 1 || s.ChangedQubits != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.MaxRelQubit-0.5) > 1e-12 {
+		t.Fatalf("MaxRelQubit = %v, want 0.5", s.MaxRelQubit)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty summary string")
+	}
+}
+
+func TestDriftLocalSparseAndDeterministic(t *testing.T) {
+	cal := testCal(t)
+	a := cal.DriftLocal(2, 3, 0.4, 0, rng.New(11))
+	b := cal.DriftLocal(2, 3, 0.4, 0, rng.New(11))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("DriftLocal not deterministic in the seed")
+	}
+	if c := cal.DriftLocal(2, 3, 0.4, 0, rng.New(12)); c.Fingerprint() == a.Fingerprint() {
+		t.Fatalf("DriftLocal ignores the seed")
+	}
+	// With jitter 0 exactly the hit elements move, bit-identically nothing
+	// else: the diff's any-bit masks count precisely hitQ and hitE.
+	d := Diff(cal, a, 0)
+	if d.Stats.TouchedQubits != 2 {
+		t.Fatalf("TouchedQubits = %d, want 2", d.Stats.TouchedQubits)
+	}
+	if d.Stats.TouchedEdges != 3 {
+		t.Fatalf("TouchedEdges = %d, want 3", d.Stats.TouchedEdges)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("drifted calibration invalid: %v", err)
+	}
+}
+
+func TestDriftLocalJitterStaysUnderTolerance(t *testing.T) {
+	cal := testCal(t)
+	// Strong hits plus a tiny device-wide jitter: at a loose tolerance only
+	// the hits are beyond-tol, while everything is touched at any-bit level.
+	a := cal.DriftLocal(2, 2, 0.5, 1e-5, rng.New(3))
+	d := Diff(cal, a, 1e-2)
+	if d.Stats.TouchedQubits != cal.Topo.Qubits {
+		t.Fatalf("jitter should touch every qubit: %+v", d.Stats)
+	}
+	if d.Stats.ChangedQubits > 4 || d.Stats.ChangedQubits == 0 {
+		t.Fatalf("beyond-tol qubits = %d, want the ~2 hit qubits", d.Stats.ChangedQubits)
+	}
+	if d.Stats.ChangedEdges > 4 || d.Stats.ChangedEdges == 0 {
+		t.Fatalf("beyond-tol edges = %d, want the ~2 hit edges", d.Stats.ChangedEdges)
+	}
+}

@@ -1,0 +1,190 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"edm/internal/mapper"
+)
+
+// stripTimings zeroes the wall-clock fields so results can be compared
+// structurally across runs and modes.
+func stripTimings(r DriftResult) DriftResult {
+	r.CompileMsTotal, r.CompileMsSteady = 0, 0
+	for i := range r.Rounds {
+		r.Rounds[i].CompileMs = 0
+	}
+	return r
+}
+
+// cellsOf projects just the per-round cells (the physics: PSTs, ISTs and
+// output-distribution fingerprints).
+func cellsOf(r DriftResult) [][]DriftCell {
+	out := make([][]DriftCell, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		out[i] = rd.Cells
+	}
+	return out
+}
+
+// TestDriftCampaignIncrementalMatchesFull is the end-to-end exactness
+// pin: the checked incremental campaign and the full-recompilation
+// campaign produce bit-identical cells — same PSTs, same ISTs, same
+// output-distribution fingerprints — and every cross-checked round
+// reports the incremental pool identical to a full rebuild.
+func TestDriftCampaignIncrementalMatchesFull(t *testing.T) {
+	s := QuickDriftSetup()
+	s.CrossCheckEvery = 2
+
+	ResetCampaignCaches()
+	inc := RunDrifting(s)
+
+	full := s
+	full.Mode = DriftFull
+	ResetCampaignCaches()
+	fullRes := RunDrifting(full)
+
+	if !reflect.DeepEqual(cellsOf(inc), cellsOf(fullRes)) {
+		t.Fatal("incremental campaign cells differ from full recompilation")
+	}
+	checked := 0
+	for _, rd := range inc.Rounds {
+		if !rd.CrossChecked {
+			continue
+		}
+		checked++
+		if !rd.PoolsIdentical {
+			t.Fatalf("cycle %d: cross-check found incremental pool != full rebuild (max ESP delta %g)",
+				rd.Cycle, rd.MaxESPDelta)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no round ran the cross-check; CrossCheckEvery wiring broken")
+	}
+	if inc.Stats.Pools == 0 {
+		t.Fatalf("incremental campaign never upgraded a pool: %+v", inc.Stats)
+	}
+	if fullRes.Stats != (mapper.RecompileStats{}) {
+		t.Fatalf("full mode recorded recompile stats: %+v", fullRes.Stats)
+	}
+}
+
+// TestDriftCampaignRepeatable checks determinism: the same setup run
+// twice produces identical results modulo wall-clock timings.
+func TestDriftCampaignRepeatable(t *testing.T) {
+	s := QuickDriftSetup()
+	s.Cycles = 3
+	ResetCampaignCaches()
+	a := stripTimings(RunDrifting(s))
+	ResetCampaignCaches()
+	b := stripTimings(RunDrifting(s))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("drifting campaign is not deterministic across runs")
+	}
+}
+
+// TestDriftCampaignTolZero checks the degenerate tolerance: every
+// upgraded pool rebuilds fully (today's invalidate-on-any-change
+// behavior) and the cells still match the full campaign.
+func TestDriftCampaignTolZero(t *testing.T) {
+	s := QuickDriftSetup()
+	s.Cycles = 3
+	s.Tol = 0
+	s.CrossCheckEvery = 2
+	ResetCampaignCaches()
+	inc := RunDrifting(s)
+	for _, rd := range inc.Rounds {
+		if rd.Cycle == 0 {
+			continue
+		}
+		if rd.Recompile.Pools != rd.Recompile.FullRebuilds {
+			t.Fatalf("cycle %d: tol=0 upgraded a pool incrementally: %+v", rd.Cycle, rd.Recompile)
+		}
+		if rd.CrossChecked && !rd.PoolsIdentical {
+			t.Fatalf("cycle %d: tol=0 pool differs from full rebuild", rd.Cycle)
+		}
+	}
+
+	full := s
+	full.Mode = DriftFull
+	ResetCampaignCaches()
+	fullRes := RunDrifting(full)
+	if !reflect.DeepEqual(cellsOf(inc), cellsOf(fullRes)) {
+		t.Fatal("tol=0 incremental cells differ from full recompilation")
+	}
+}
+
+// TestDriftCampaignFastMode sanity-checks the approximate mode: the
+// campaign completes, PSTs are probabilities, and cross-checked rounds
+// report a finite routed-ESP delta rather than asserting identity.
+func TestDriftCampaignFastMode(t *testing.T) {
+	s := QuickDriftSetup()
+	s.Cycles = 4
+	s.Mode = DriftIncrementalFast
+	s.CrossCheckEvery = 3
+	ResetCampaignCaches()
+	res := RunDrifting(s)
+	if res.Mode != DriftIncrementalFast {
+		t.Fatalf("mode not recorded: %v", res.Mode)
+	}
+	checked := false
+	for _, rd := range res.Rounds {
+		for _, c := range rd.Cells {
+			for _, p := range []float64{c.BaselinePST, c.EDMPST} {
+				if p < 0 || p > 1 {
+					t.Fatalf("cycle %d %s: PST %g out of range", rd.Cycle, c.Workload, p)
+				}
+			}
+		}
+		if rd.CrossChecked {
+			checked = true
+			if rd.MaxESPDelta < 0 || rd.MaxESPDelta > 2 {
+				t.Fatalf("cycle %d: routed-ESP delta %g out of range", rd.Cycle, rd.MaxESPDelta)
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no cross-checked round")
+	}
+}
+
+// TestDriftCampaignSurvival checks the reporting plumbing: diffs are
+// recorded from cycle 1 on, survival is a valid fraction, and the
+// counter deltas across rounds sum to the campaign aggregate.
+func TestDriftCampaignSurvival(t *testing.T) {
+	s := QuickDriftSetup()
+	ResetCampaignCaches()
+	res := RunDrifting(s)
+	if len(res.Rounds) != s.Cycles {
+		t.Fatalf("got %d rounds, want %d", len(res.Rounds), s.Cycles)
+	}
+	var sum mapper.RecompileStats
+	for _, rd := range res.Rounds {
+		if rd.Cycle == 0 {
+			if rd.Diff.Qubits != 0 {
+				t.Fatal("cycle 0 recorded a diff")
+			}
+			continue
+		}
+		if rd.Diff.TouchedQubits == 0 && rd.Diff.TouchedEdges == 0 {
+			t.Fatalf("cycle %d: drifted calibration produced an empty diff", rd.Cycle)
+		}
+		if rd.Survival < 0 || rd.Survival > 1 {
+			t.Fatalf("cycle %d: survival %g out of range", rd.Cycle, rd.Survival)
+		}
+		d := rd.Recompile
+		sum.Pools += d.Pools
+		sum.FullRebuilds += d.FullRebuilds
+		sum.Reused += d.Reused
+		sum.Rescored += d.Rescored
+		sum.Rerouted += d.Rerouted
+		sum.CheckFailed += d.CheckFailed
+		sum.Dropped += d.Dropped
+	}
+	if sum != res.Stats {
+		t.Fatalf("per-round recompile deltas sum to %+v, campaign aggregate %+v", sum, res.Stats)
+	}
+	if res.CompileMsSteady <= 0 || res.CompileMsTotal < res.CompileMsSteady {
+		t.Fatalf("timing accounting off: total %g steady %g", res.CompileMsTotal, res.CompileMsSteady)
+	}
+}

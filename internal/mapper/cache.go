@@ -53,13 +53,37 @@ func newEnsembleCache() *ensembleCache {
 }
 
 // poolEntry is one circuit's ranked candidate pool plus a memo of the
-// executables materialized from it. rp and cpool are immutable after the
-// build; exes grows under mu as different k values select overlapping
-// candidates.
+// executables materialized from it. Everything but exes is immutable
+// after the build; exes grows under mu as different k values select
+// overlapping candidates.
+//
+// raw, prog, seed, baseLayout and baseRes retain the build's
+// intermediates for incremental recompilation (recompile.go). raw is the
+// mono candidate list in *enumeration order*, before any sort or dedupe:
+// re-ranking under a new calibration must replay the exact
+// sort/split/dedupe pipeline on the full multiset, because dedupeByLayout
+// keeps whichever same-layout candidate ranks first — a choice that can
+// flip when ESPs move — and sortCandidates' stable ties are broken by
+// pre-sort order. raw shares candidate pointers with cpool, so the extra
+// memory is only the dropped duplicates.
 type poolEntry struct {
 	rp    *replacer
 	cpool []*candidate
 	err   error
+
+	gen        uint64 // calibration generation (Tracking pools only)
+	raw        []*candidate
+	prog       *routeProg
+	seed       []int // place() output the base routing started from
+	baseLayout []int // routeDry's winning initial layout
+	baseRes    passResult
+	// groups indexes the immutable skey/lkey structure of raw and order
+	// is this generation's sorted permutation of it; both are computed by
+	// the first incremental upgrade and carried down the lineage so later
+	// upgrades replace the assembly's hash maps with dense passes and
+	// start the sort from a nearly-sorted permutation (recompile.go).
+	groups *poolGroups
+	order  []int32
 
 	mu   sync.Mutex
 	exes map[*candidate]*Executable

@@ -86,7 +86,7 @@ func TestRouteUnroutableOpKind(t *testing.T) {
 func TestAlternativePlacementsSkippedSeeds(t *testing.T) {
 	comp := NewCompiler(uniformCal(twoComponentTopology(), 0.01))
 	prog := pathQAOAish(3) // path interaction graph: fits {0,1,2} only
-	alts, skipped, err := comp.alternativePlacements(prog)
+	alts, skipped, err := comp.alternativePlacements(progOf(prog))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestAlternativePlacementsSkippedSeeds(t *testing.T) {
 // rather than quietly return an empty pool.
 func TestAlternativePlacementsAllFail(t *testing.T) {
 	comp := NewCompiler(uniformCal(twoComponentTopology(), 0.01))
-	_, skipped, err := comp.alternativePlacements(pathQAOAish(4))
+	_, skipped, err := comp.alternativePlacements(progOf(pathQAOAish(4)))
 	if err == nil {
 		t.Fatal("alternativePlacements succeeded with no component large enough")
 	}
@@ -214,7 +214,7 @@ func TestRouteESPMatchesDevice(t *testing.T) {
 		if got := device.MustESP(exe.Circuit, cal); got != exe.ESP {
 			t.Errorf("%s: inline ESP %v != device.ESP %v", w.Name, exe.ESP, got)
 		}
-		alts, _, err := comp.alternativePlacements(w.Circuit)
+		alts, _, err := comp.alternativePlacements(progOf(w.Circuit))
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -235,7 +235,7 @@ func TestRouteESPMatchesDevice(t *testing.T) {
 func TestRouterUsedMaskMatchesCircuit(t *testing.T) {
 	comp := NewCompiler(calFor(device.Melbourne(), 2019))
 	for _, w := range workloads.All() {
-		alts, _, err := comp.alternativePlacements(w.Circuit)
+		alts, _, err := comp.alternativePlacements(progOf(w.Circuit))
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}

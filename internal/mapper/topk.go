@@ -42,6 +42,8 @@ func newMask(n int) qmask { return make(qmask, (n+63)>>6) }
 
 func (m qmask) add(q int) { m[q>>6] |= 1 << uint(q&63) }
 
+func (m qmask) has(q int) bool { return m[q>>6]>>(uint(q)&63)&1 == 1 }
+
 func (m qmask) count() int {
 	n := 0
 	for _, w := range m {
@@ -495,21 +497,36 @@ func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) 
 // buildPool runs the full candidate pipeline for one circuit: compile,
 // VF2 enumeration, greedy alternative placements, dedupe and ranking.
 // The result is everything TopK needs for any k >= 2. Errors are carried
-// in the entry so a cached failure replays deterministically.
+// in the entry so a cached failure replays deterministically. The
+// compile stage is inlined (validate, place, dry-route, replay) so the
+// entry can retain the intermediates incremental recompilation needs.
 func (c *Compiler) buildPool(logical *circuit.Circuit) *poolEntry {
-	base, err := c.Compile(logical)
+	if err := logical.Validate(); err != nil {
+		return &poolEntry{err: err}
+	}
+	if logical.NumQubits > c.devN {
+		return &poolEntry{err: fmt.Errorf("mapper: program needs %d qubits, device has %d", logical.NumQubits, c.devN)}
+	}
+	seed, err := c.place(logical)
 	if err != nil {
 		return &poolEntry{err: err}
 	}
+	prog := progOf(logical)
+	baseLayout, baseRes, err := c.routeDry(prog, seed)
+	if err != nil {
+		return &poolEntry{err: err}
+	}
+	base := c.replay(prog, baseLayout, baseRes)
 	rp := c.newReplacer(base)
 	cands := rp.enumerate(nil)
 	if len(cands) == 0 {
 		return &poolEntry{err: fmt.Errorf("mapper: no isomorphic placement found (internal error: the base placement itself should match)")}
 	}
+	raw := append([]*candidate(nil), cands...)
 	sortCandidates(cands)
 	distinct, dupes := splitBySet(cands)
 	cpool := append(distinct, dupes...)
-	alts, _, err := c.alternativePlacements(logical)
+	alts, _, err := c.alternativePlacements(prog)
 	if err != nil {
 		return &poolEntry{err: err}
 	}
@@ -518,7 +535,11 @@ func (c *Compiler) buildPool(logical *circuit.Circuit) *poolEntry {
 	}
 	cpool = dedupeByLayout(cpool)
 	sortCandidates(cpool)
-	return &poolEntry{rp: rp, cpool: cpool, exes: make(map[*candidate]*Executable)}
+	return &poolEntry{
+		rp: rp, cpool: cpool, raw: raw, prog: prog,
+		seed: seed, baseLayout: baseLayout, baseRes: baseRes,
+		exes: make(map[*candidate]*Executable),
+	}
 }
 
 // buildSingleBest is TopK for k = 1, the per-round baseline policy and
@@ -537,7 +558,7 @@ func (c *Compiler) buildSingleBest(logical *circuit.Circuit) ([]*Executable, err
 	if err != nil {
 		return nil, err
 	}
-	alts, _, err := c.alternativePlacements(logical)
+	alts, _, err := c.alternativePlacements(progOf(logical))
 	if err != nil {
 		return nil, err
 	}
@@ -606,7 +627,8 @@ func (c *Compiler) Placements(logical *circuit.Circuit, max int) ([]*Executable,
 // seed fails — a disconnected coupling graph none of whose components fit
 // the program — an error is returned instead of quietly degrading the
 // TopK pool to embedding-only candidates.
-func (c *Compiler) alternativePlacements(logical *circuit.Circuit) ([]*altPlacement, int, error) {
+func (c *Compiler) alternativePlacements(prog *routeProg) ([]*altPlacement, int, error) {
+	logical := prog.src
 	edges := logical.InteractionGraph()
 	iw := interactionWeights(logical.NumQubits, edges)
 	deg := make([]int, logical.NumQubits)
@@ -645,7 +667,6 @@ func (c *Compiler) alternativePlacements(logical *circuit.Circuit) ([]*altPlacem
 		}
 		uniqIdx[seed] = j
 	}
-	prog := progOf(logical)
 	routed := make([]*altPlacement, len(uniq))
 	pool.Each(len(uniq), func(i int) {
 		if bl, res, err := c.routeDry(prog, uniq[i]); err == nil {

@@ -66,10 +66,12 @@ func (c *Counters) Stats() Stats {
 
 // entry is one cache slot. done is closed when val is ready; a build that
 // panicked records the panic value instead and re-raises it in every
-// waiter.
+// waiter. gen is the generation the entry was built at (always 0 for
+// plain Get; see GetGen).
 type entry[V any] struct {
 	done     chan struct{}
 	val      V
+	gen      uint64
 	panicked any
 }
 
@@ -134,6 +136,13 @@ func (c *Cache[V]) Get(key uint64, build func() V) V {
 	c.n++
 	c.mu.Unlock()
 
+	return c.runBuild(key, e, build)
+}
+
+// runBuild executes build for a freshly inserted in-flight entry,
+// publishing the value (or the panic) to every waiter. A panicking build
+// removes the entry so a later Get retries.
+func (c *Cache[V]) runBuild(key uint64, e *entry[V], build func() V) V {
 	defer func() {
 		if r := recover(); r != nil {
 			e.panicked = r
@@ -150,6 +159,87 @@ func (c *Cache[V]) Get(key uint64, build func() V) V {
 	e.val = build()
 	close(e.done)
 	return e.val
+}
+
+// GetGen is Get with generation-tagged entries, the invalidation
+// mechanism behind drift-aware incremental recompilation (DESIGN.md
+// §11). An entry is valid only for the generation it was built at:
+//
+//   - matching generation: a hit (or a singleflight wait, exactly as in
+//     Get);
+//   - absent key: a miss built with build;
+//   - stale completed entry: replaced in place — counted as one eviction
+//     plus one miss/insert pair, keeping its FIFO ring slot — by an
+//     in-flight entry whose value upgrade(stale) builds, so callers can
+//     rebuild incrementally from the previous generation's value. The
+//     stale value becomes unreachable the moment the replacement is
+//     published; no waiter ever observes a value from another
+//     generation.
+//   - stale in-flight entry: callers wait for that build to finish
+//     (counted as a wait) and retry, so at most one build runs per
+//     (key, generation).
+//
+// A nil upgrade, or a stale entry left by a panicked build, falls back
+// to build. Generations are expected to be monotone per key; racing
+// different generations on one key is last-writer-wins. Panics propagate
+// exactly as in Get. Mixing Get and GetGen on the same key is not
+// supported (Get ignores generations).
+func (c *Cache[V]) GetGen(key, gen uint64, build func() V, upgrade func(stale V) V) V {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok && e.gen == gen {
+			select {
+			case <-e.done:
+				c.ctr.hits.Add(1)
+			default:
+				c.ctr.waits.Add(1)
+			}
+			c.mu.Unlock()
+			<-e.done
+			if e.panicked != nil {
+				panic(e.panicked)
+			}
+			return e.val
+		}
+		if ok {
+			select {
+			case <-e.done:
+			default:
+				// A stale generation is still building. Its waiters need
+				// that value; we need this generation's. Wait it out and
+				// retry so the two builds never run concurrently.
+				c.ctr.waits.Add(1)
+				c.mu.Unlock()
+				<-e.done
+				continue
+			}
+		}
+		ne := &entry[V]{done: make(chan struct{}), gen: gen}
+		c.ctr.misses.Add(1)
+		c.ctr.inserts.Add(1)
+		var stale *entry[V]
+		if ok {
+			// Replace the stale entry in place: it keeps its ring slot, so
+			// the live-entry/ring-slot invariant of evictOldestLocked holds
+			// and the key keeps its original FIFO age.
+			stale = e
+			c.ctr.evictions.Add(1)
+		} else {
+			c.evictOldestLocked()
+			c.ring[(c.head+c.n)%c.cap] = key
+			c.n++
+		}
+		c.entries[key] = ne
+		c.mu.Unlock()
+
+		return c.runBuild(key, ne, func() V {
+			if stale != nil && stale.panicked == nil && upgrade != nil {
+				return upgrade(stale.val)
+			}
+			return build()
+		})
+	}
 }
 
 // evictOldestLocked makes room for one insertion. Every live entry owns

@@ -1,0 +1,182 @@
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetGenHitMissUpgrade(t *testing.T) {
+	c := New[int](4)
+	builds, upgrades := 0, 0
+	v := c.GetGen(1, 0, func() int { builds++; return 10 }, nil)
+	if v != 10 || builds != 1 {
+		t.Fatalf("gen 0 build: v=%d builds=%d", v, builds)
+	}
+	if v = c.GetGen(1, 0, func() int { builds++; return -1 }, nil); v != 10 || builds != 1 {
+		t.Fatalf("gen 0 hit: v=%d builds=%d", v, builds)
+	}
+	up := func(stale int) int { upgrades++; return stale + 1 }
+	if v = c.GetGen(1, 1, func() int { builds++; return -1 }, up); v != 11 {
+		t.Fatalf("gen 1 upgrade: v=%d", v)
+	}
+	if builds != 1 || upgrades != 1 {
+		t.Fatalf("upgrade must not call build: builds=%d upgrades=%d", builds, upgrades)
+	}
+	// The stale gen-0 value is unreachable: same gen hits return the
+	// upgraded value only.
+	if v = c.GetGen(1, 1, func() int { return -1 }, up); v != 11 {
+		t.Fatalf("gen 1 hit after upgrade: v=%d", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Evictions != 1 || s.Entries != 1 {
+		t.Fatalf("counters inconsistent: %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetGenNilUpgradeRebuilds(t *testing.T) {
+	c := New[int](4)
+	c.GetGen(1, 0, func() int { return 10 }, nil)
+	if v := c.GetGen(1, 1, func() int { return 20 }, nil); v != 20 {
+		t.Fatalf("nil upgrade must rebuild: v=%d", v)
+	}
+}
+
+func TestGetGenStaleValueUnreachable(t *testing.T) {
+	c := New[*int](4)
+	old := c.GetGen(1, 0, func() *int { v := 1; return &v }, nil)
+	newV := c.GetGen(1, 1, func() *int { v := 2; return &v }, func(stale *int) *int {
+		if stale != old {
+			t.Errorf("upgrade did not receive the stale value")
+		}
+		v := *stale + 1
+		return &v
+	})
+	for i := 0; i < 3; i++ {
+		if got := c.GetGen(1, 1, func() *int { return nil }, nil); got != newV {
+			t.Fatalf("gen 1 returned a value other than the upgraded one")
+		}
+	}
+}
+
+func TestGetGenUpgradePanicPropagatesAndRetries(t *testing.T) {
+	c := New[int](4)
+	c.GetGen(1, 0, func() int { return 10 }, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("upgrade panic did not propagate")
+			}
+		}()
+		c.GetGen(1, 1, func() int { return -1 }, func(int) int { panic("boom") })
+	}()
+	// The stale entry was evicted by the replacement and the panicked
+	// replacement removed itself, so the next access rebuilds from scratch.
+	if v := c.GetGen(1, 1, func() int { return 30 }, func(int) int { return -1 }); v != 30 {
+		t.Fatalf("retry after panic: v=%d", v)
+	}
+	s := c.Stats()
+	if s.Entries != c.Len() {
+		t.Fatalf("entry accounting off after panic: %+v vs Len %d", s, c.Len())
+	}
+}
+
+func TestGetGenEvictionInterplay(t *testing.T) {
+	c := New[int](2)
+	c.GetGen(1, 0, func() int { return 1 }, nil)
+	c.GetGen(2, 0, func() int { return 2 }, nil)
+	// Upgrading key 1 keeps its ring slot (and FIFO age): inserting key 3
+	// must evict key 1 — the oldest — not key 2.
+	c.GetGen(1, 1, func() int { return -1 }, func(stale int) int { return stale + 10 })
+	c.GetGen(3, 0, func() int { return 3 }, nil)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	rebuilt := false
+	c.GetGen(2, 0, func() int { rebuilt = true; return 2 }, nil)
+	if rebuilt {
+		t.Fatalf("key 2 was evicted; want key 1 (oldest) evicted")
+	}
+	c.GetGen(1, 1, func() int { rebuilt = true; return 11 }, nil)
+	if !rebuilt {
+		t.Fatalf("key 1 still cached; want it evicted as oldest")
+	}
+	s := c.Stats()
+	if s.Entries != c.Len() {
+		t.Fatalf("entry accounting off: %+v vs Len %d", s, c.Len())
+	}
+}
+
+// Hammer one key across advancing generations from many goroutines: at
+// most one build per (key, generation), every observed value belongs to
+// the requested generation, and the counters stay consistent. Run with
+// -race this is the singleflight-during-invalidation race test.
+func TestGetGenConcurrentGenerations(t *testing.T) {
+	c := New[uint64](8)
+	const (
+		workers = 8
+		gens    = 20
+	)
+	var builds atomic.Uint64
+	for gen := uint64(0); gen < gens; gen++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(gen uint64) {
+				defer wg.Done()
+				v := c.GetGen(42, gen, func() uint64 {
+					builds.Add(1)
+					return gen * 100
+				}, func(stale uint64) uint64 {
+					builds.Add(1)
+					if stale != (gen-1)*100 {
+						t.Errorf("gen %d upgrade saw stale value %d", gen, stale)
+					}
+					return gen * 100
+				})
+				if v != gen*100 {
+					t.Errorf("gen %d observed value %d", gen, v)
+				}
+			}(gen)
+		}
+		wg.Wait()
+	}
+	if got := builds.Load(); got != gens {
+		t.Fatalf("builds = %d, want exactly one per generation (%d)", got, gens)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Misses != gens || s.Evictions != gens-1 {
+		t.Fatalf("counters inconsistent: %+v", s)
+	}
+	if s.Hits+s.Waits != workers*gens-gens {
+		t.Fatalf("hits+waits = %d, want %d", s.Hits+s.Waits, workers*gens-gens)
+	}
+}
+
+// Concurrent callers racing *different* generations on one key must stay
+// race-clean and deliver each caller a value of the generation it asked
+// for (last writer wins in the cache itself).
+func TestGetGenCrossGenerationRace(t *testing.T) {
+	c := New[uint64](4)
+	var wg sync.WaitGroup
+	for it := 0; it < 50; it++ {
+		for _, gen := range []uint64{1, 2} {
+			wg.Add(1)
+			go func(gen uint64) {
+				defer wg.Done()
+				v := c.GetGen(7, gen, func() uint64 { return gen }, func(stale uint64) uint64 { return gen })
+				if v != gen {
+					t.Errorf("asked gen %d, got value %d", gen, v)
+				}
+			}(gen)
+		}
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries != c.Len() {
+		t.Fatalf("entry accounting off: %+v vs Len %d", s, c.Len())
+	}
+}

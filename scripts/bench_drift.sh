@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_drift.json: the drifting campaign (DESIGN.md §11)
+# compiled incrementally — calibration diffs, footprint-scoped pool
+# reuse, dry-run re-route checks — versus full per-cycle recompilation,
+# at tolerances 0, 1e-3 and 1e-2, plus the unchecked fast mode's
+# routed-ESP delta.
+#
+# Usage: scripts/bench_drift.sh [output.json]
+#
+# The measurement itself lives in TestDriftBenchReport
+# (internal/experiment/drift_report_test.go), which skips unless
+# EDM_BENCH_DRIFT_OUT is set; keeping it in Go lets the report assert
+# cell bit-equality between the two modes in-process, and enforce the
+# >= 2x steady-state speedup bar at tol = 1e-3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_drift.json}"
+case "$OUT" in
+/*) ABS="$OUT" ;;
+*) ABS="$(pwd)/$OUT" ;;
+esac
+
+EDM_BENCH_DRIFT_OUT="$ABS" go test -run 'TestDriftBenchReport$' -v -count=1 -timeout 60m ./internal/experiment |
+	grep -v '^=== RUN\|^--- PASS' || true
+
+if [ ! -s "$ABS" ]; then
+	echo "bench_drift: report was not written" >&2
+	exit 1
+fi
+echo "wrote $OUT"

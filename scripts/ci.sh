@@ -43,6 +43,16 @@ go test -race -count=1 -run 'Campaign|TopKCache|RunCache|PrefixStability' \
 	./internal/experiment ./internal/mapper ./internal/backend
 go test -race -count=1 ./internal/memo
 
+echo "== incremental recompilation identity (DESIGN.md §11) =="
+# The drift-tracked pools must be bit-identical to full recompilation at
+# any GOMAXPROCS: serial pins the GOMAXPROCS=1 end, the full-width pass
+# runs under the race detector because pool upgrades re-score candidates
+# in parallel and transfer materialized executables across generations.
+GOMAXPROCS=1 go test -race -count=1 -run 'Tracking|DriftCampaign|GetGen|Diff|DriftLocal' \
+	./internal/mapper ./internal/experiment ./internal/memo ./internal/device
+go test -race -count=1 -run 'Tracking|DriftCampaign|GetGen|Diff|DriftLocal' \
+	./internal/mapper ./internal/experiment ./internal/memo ./internal/device
+
 echo "== trajectory engine determinism (DESIGN.md §10) =="
 # The tape-tree engine must match the frozen legacy loop byte for byte
 # at GOMAXPROCS=1 and at full stripe width; both passes run under the
