@@ -4,9 +4,14 @@
 // Usage:
 //
 //	edm [flags] <experiment>
+//	edm run [flags]        execute one job, print the canonical text result
+//	edm serve [flags]      start the edmd compile+run server
 //
 // Experiments: table1 table2 fig1 fig3 fig4 fig6 fig7 fig8 fig9 fig11
 // fig13 all
+//
+// The run and serve subcommands come from the table shared with cmd/edmd
+// (internal/serve), so the two binaries execute jobs identically.
 //
 // Flags scale the campaign; the defaults match the paper's protocol
 // (16384 trials, 10 rounds, 4-member ensembles, median reported).
@@ -24,9 +29,18 @@ import (
 	"edm/internal/backend"
 	"edm/internal/experiment"
 	"edm/internal/mapper"
+	"edm/internal/serve"
 )
 
 func main() {
+	// Shared serving subcommands dispatch before campaign flag parsing:
+	// they own their flags, and keeping one table with edmd means the
+	// binaries cannot drift.
+	if len(os.Args) > 1 {
+		if cmd, ok := serve.Lookup(os.Args[1]); ok {
+			os.Exit(cmd.Run(os.Args[2:], os.Stdout, os.Stderr))
+		}
+	}
 	var (
 		seed   = flag.Uint64("seed", 2019, "campaign seed (full reproducibility)")
 		rounds = flag.Int("rounds", 10, "calibration rounds (paper: 10)")
@@ -43,13 +57,34 @@ func main() {
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run every experiment in order")
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nsubcommands:\n", "all", "run every experiment in order")
+		for _, c := range serve.Commands() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", c.Name, c.Desc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
+		if flag.NArg() > 1 {
+			fmt.Fprintf(os.Stderr, "edm: unexpected argument %q\n", flag.Arg(1))
+		}
 		flag.Usage()
 		os.Exit(2)
+	}
+	// -quick fixes the campaign scale; combining it with explicit scale
+	// flags would silently ignore them, so reject the combination.
+	if *quick {
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "rounds" || f.Name == "trials" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "edm: -quick fixes the campaign scale and conflicts with -%s\n", conflict)
+			os.Exit(2)
+		}
 	}
 
 	s := experiment.Default()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"edm/internal/experiment"
+	"edm/internal/serve"
 )
 
 // microSetup is the smallest campaign that exercises every printer.
@@ -143,4 +144,22 @@ func TestStartProfilesWritesBothOutputs(t *testing.T) {
 func TestStartProfilesDisabledIsNoOp(t *testing.T) {
 	stop := startProfiles("", "")
 	stop() // must not panic or create files
+}
+
+// TestSharedSubcommandsDontShadowExperiments: the serving subcommands
+// dispatch before the experiment registry, so a name collision would
+// silently make an experiment unreachable. Forbid it.
+func TestSharedSubcommandsDontShadowExperiments(t *testing.T) {
+	names := map[string]bool{"all": true}
+	for _, e := range experiments {
+		names[e.name] = true
+	}
+	for _, c := range serve.Commands() {
+		if names[c.Name] {
+			t.Errorf("shared subcommand %q shadows an experiment", c.Name)
+		}
+		if c.Name == "" || c.Desc == "" || c.Run == nil {
+			t.Errorf("incomplete shared subcommand %+v", c.Name)
+		}
+	}
 }

@@ -1,0 +1,50 @@
+// Command edmd is the long-running compile+run server: it accepts
+// circuit jobs over HTTP/JSON, deduplicates them through the repository's
+// fingerprint-keyed caches, and returns merged EDM/WEDM distributions
+// bit-identical to what `edm run` prints for the same job.
+//
+// Usage:
+//
+//	edmd [serve] [flags]    start the server (the default subcommand)
+//	edmd run [flags]        execute one job locally, print text result
+//
+// The subcommand table is shared with cmd/edm, so `edm run` / `edm serve`
+// and `edmd run` / `edmd serve` are the same code.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"edm/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// Bare flags default to the serve subcommand; a first non-flag
+	// argument selects one explicitly.
+	name := "serve"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		args = args[1:]
+	}
+	cmd, ok := serve.Lookup(name)
+	if !ok {
+		fmt.Fprintf(stderr, "edmd: unknown subcommand %q\n", name)
+		usage(stderr)
+		return 2
+	}
+	return cmd.Run(args, stdout, stderr)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, "usage: edmd [subcommand] [flags]\n\nsubcommands:\n")
+	for _, c := range serve.Commands() {
+		fmt.Fprintf(w, "  %-8s %s\n", c.Name, c.Desc)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownSubcommandExitsNonzero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown subcommand") || !strings.Contains(errw.String(), "serve") {
+		t.Fatalf("usage not printed:\n%s", errw.String())
+	}
+}
+
+func TestBadFlagExitsNonzero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"run", "-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	var out2, errw2 strings.Builder
+	if code := run([]string{"run", "stray-arg"}, &out2, &errw2); code != 2 {
+		t.Fatalf("stray argument exit code %d, want 2", code)
+	}
+}
+
+func TestBadJobExitsNonzero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"run", "-workload", "no-such-workload", "-trials", "64"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code %d, want 2; stderr:\n%s", code, errw.String())
+	}
+}
+
+func TestRunSubcommandPrintsResult(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"run", "-workload", "bv-6", "-k", "2", "-trials", "256", "-seed", "5"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr:\n%s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "# bv-6 window=0 policy=edm k=2 trials=256 seed=5\n") {
+		t.Fatalf("unexpected header:\n%s", got)
+	}
+	if strings.Count(got, "\n") < 2 {
+		t.Fatalf("no outcomes printed:\n%s", got)
+	}
+}

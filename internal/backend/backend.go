@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"edm/internal/bitstr"
 	"edm/internal/circuit"
@@ -359,17 +360,20 @@ func (m *Machine) runFresh(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.
 	if err != nil {
 		return nil, err
 	}
-	return m.runProgram(prog, trials, r), nil
+	return m.runProgram(prog, trials, r, nil), nil
 }
 
 // runProgram executes a compiled program for the given number of trials.
-func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts {
+// A non-nil cancel flag makes the trial loops stop early once it flips
+// true (the RunCtx path); the partial histogram is then discarded by the
+// caller, so the flag never affects a result that is actually returned.
+func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG, cancel *atomic.Bool) *dist.Counts {
 	plan := m.planFor(prog) // nil when the legacy engine is selected
 	workers := runtime.GOMAXPROCS(0)
 	if trials < parallelThreshold || workers < 2 {
 		pool.Acquire()
 		defer pool.Release()
-		return m.runStripe(prog, plan, 0, 1, trials, r)
+		return m.runStripe(prog, plan, 0, 1, trials, r, cancel)
 	}
 	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
 	// Each worker fills a private histogram; merging integer counts is
@@ -384,7 +388,7 @@ func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts
 			defer wg.Done()
 			pool.Acquire()
 			defer pool.Release()
-			partial[w] = m.runStripe(prog, plan, w, workers, trials, r)
+			partial[w] = m.runStripe(prog, plan, w, workers, trials, r, cancel)
 		}(w)
 	}
 	wg.Wait()
@@ -400,20 +404,28 @@ func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG) *dist.Counts
 // scratch statevector comes from the process-wide buffer pool, so
 // stripes across runs and workers recycle a handful of buffers. With a
 // non-nil plan, trials go through the prefix-sharing engine; the plan's
-// checkpoints are shared read-only across all stripes.
-func (m *Machine) runStripe(prog *program, plan *prefixPlan, start, stride, trials int, r *rng.RNG) *dist.Counts {
+// checkpoints are shared read-only across all stripes. A non-nil cancel
+// flag is polled once per trial — a few nanoseconds against a trial's
+// microseconds — and abandons the stripe when set.
+func (m *Machine) runStripe(prog *program, plan *prefixPlan, start, stride, trials int, r *rng.RNG, cancel *atomic.Bool) *dist.Counts {
 	counts := dist.NewCounts(prog.numClbits)
 	scratch := statevec.GetState(prog.nLocal)
 	defer statevec.PutState(scratch)
 	trueBits := make([]int, prog.numClbits)
 	if plan == nil {
 		for t := start; t < trials; t += stride {
+			if cancel != nil && cancel.Load() {
+				break
+			}
 			counts.Observe(m.runTrajectory(prog, scratch, trueBits, r.DeriveN("trial", t)))
 		}
 		return counts
 	}
 	var tally engineTally
 	for t := start; t < trials; t += stride {
+		if cancel != nil && cancel.Load() {
+			break
+		}
 		counts.Observe(m.runTrialShared(prog, plan, scratch, trueBits, r, t, &tally))
 	}
 	tally.flush()

@@ -1,0 +1,71 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"edm/internal/circuit"
+	"edm/internal/dist"
+	"edm/internal/rng"
+)
+
+// RunCtx is Run with request cancellation, the serving-path entry point.
+// The result is bit-identical to Run whenever ctx does not expire — the
+// cancel flag only ever truncates work whose partial histogram is then
+// discarded — so the per-(circuit, seed) determinism contract survives
+// the HTTP layer unchanged.
+//
+// Cancellation semantics depend on the run cache:
+//
+//   - Without the cache, the trial loops poll a flag armed by ctx and
+//     the call returns ctx.Err() promptly, having wasted only the
+//     trials already simulated.
+//   - With the cache (the serving configuration), the simulation runs
+//     detached through the cache's singleflight — identical jobs from
+//     other clients are waiting on the same entry, and the finished
+//     histogram stays warm for the next request — while this caller
+//     detaches with ctx.Err() as soon as its context expires.
+//
+// A nil or never-cancellable ctx makes RunCtx exactly Run.
+func (m *Machine) RunCtx(ctx context.Context, exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run(exe, trials, r)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if trials < 0 {
+		return nil, fmt.Errorf("backend: negative trial count")
+	}
+	if m.runs != nil {
+		e, err := m.runs.GetCtx(ctx, runKey(exe, trials, r), func() *runEntry {
+			counts, err := m.runFresh(exe, trials, r)
+			return &runEntry{counts: counts, err: err}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return e.counts, e.err
+	}
+	return m.runFreshCtx(ctx, exe, trials, r)
+}
+
+// runFreshCtx is runFresh with a cancellation flag threaded into the
+// trial stripes. The flag is armed by ctx and polled per trial, so a
+// cancelled run abandons its remaining trials within one trial's
+// latency per worker.
+func (m *Machine) runFreshCtx(ctx context.Context, exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.Counts, error) {
+	prog, err := m.getProgram(exe)
+	if err != nil {
+		return nil, err
+	}
+	var cancel atomic.Bool
+	stop := context.AfterFunc(ctx, func() { cancel.Store(true) })
+	defer stop()
+	counts := m.runProgram(prog, trials, r, &cancel)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return counts, nil
+}

@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edm/internal/rng"
+)
+
+// TestRunCtxBitIdenticalToRun pins the determinism contract over the
+// context-threaded path: with a live (cancellable but never cancelled)
+// context, RunCtx must return byte-identical histograms to Run, both
+// with and without the run cache.
+func TestRunCtxBitIdenticalToRun(t *testing.T) {
+	c := bell(t)
+	for _, cached := range []bool{false, true} {
+		m := noisyMachine(11)
+		if cached {
+			m.EnableRunCache()
+		}
+		want, err := m.Run(c, 600, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		got, err := m.RunCtx(ctx, c, 600, rng.New(3))
+		cancel()
+		if err != nil {
+			t.Fatalf("cached=%v: RunCtx: %v", cached, err)
+		}
+		if !got.Dist().Equal(want.Dist(), 0) {
+			t.Fatalf("cached=%v: RunCtx differs from Run", cached)
+		}
+		if got.Total() != want.Total() {
+			t.Fatalf("cached=%v: totals %d vs %d", cached, got.Total(), want.Total())
+		}
+	}
+}
+
+// TestRunCtxCancelledUncached: mid-run cancellation on a cache-less
+// machine must abort the trial loops and surface ctx.Err() — never a
+// panic, never a truncated histogram.
+func TestRunCtxCancelledUncached(t *testing.T) {
+	m := noisyMachine(12)
+	c := bell(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCtx(ctx, c, 1<<20, rng.New(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx err = %v, want Canceled", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := m.RunCtx(ctx2, c, 1<<22, rng.New(5))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline RunCtx err = %v, want DeadlineExceeded", err)
+	}
+	// 2^22 trials would take far longer than a second; cancellation must
+	// cut the run short instead of letting it finish.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run still took %v", d)
+	}
+}
+
+// TestRunCtxCancelledCachedDetaches: with the run cache, a cancelled
+// waiter detaches while the detached build completes and serves the
+// next identical request from cache.
+func TestRunCtxCancelledCachedDetaches(t *testing.T) {
+	m := noisyMachine(13)
+	m.EnableRunCache()
+	c := bell(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := m.RunCtx(ctx, c, 1<<19, rng.New(6))
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if err == nil {
+		// The machine beat the deadline; nothing to detach from.
+		t.Skip("run finished before the deadline fired")
+	}
+	// The orphaned simulation finishes and lands in the cache; an
+	// identical request must be served from it, identical to a fresh run.
+	counts, err := m.RunCtx(context.Background(), c, 1<<19, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := noisyMachine(13)
+	want, err := fresh.Run(c, 1<<19, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !counts.Dist().Equal(want.Dist(), 0) {
+		t.Fatal("cached post-detach result differs from a fresh run")
+	}
+}

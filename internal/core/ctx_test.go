@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edm/internal/rng"
+	"edm/internal/workloads"
+)
+
+// TestRunCtxBitIdenticalToRun pins that the full context-threaded EDM
+// pipeline (TopKCtx compile + RunCtx members + checked merge) matches
+// Run exactly when the context stays live.
+func TestRunCtxBitIdenticalToRun(t *testing.T) {
+	r := newRunner(31, 0.1)
+	w := workloads.BV("1011")
+	cfg := Config{K: 4, Trials: 2000, Weighting: WeightDivergence}
+	want, err := r.Run(w.Circuit, cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := r.RunCtx(ctx, w.Circuit, cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Merged.Equal(want.Merged, 0) {
+		t.Fatal("RunCtx merged distribution differs from Run")
+	}
+	for i := range got.Members {
+		if !got.Members[i].Output.Equal(want.Members[i].Output, 0) {
+			t.Fatalf("member %d output differs", i)
+		}
+		if got.Members[i].Weight != want.Members[i].Weight {
+			t.Fatalf("member %d weight %v vs %v", i, got.Members[i].Weight, want.Members[i].Weight)
+		}
+	}
+}
+
+// TestRunCtxCancelled: mid-request cancellation surfaces as a member
+// error wrapping ctx.Err(), without a panic.
+func TestRunCtxCancelled(t *testing.T) {
+	r := newRunner(32, 0.1)
+	w := workloads.QAOA(5)
+	cfg := Config{K: 2, Trials: 1 << 20, Weighting: WeightUniform}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := r.RunCtx(ctx, w.Circuit, cfg, rng.New(7))
+	if err == nil {
+		t.Skip("machine finished 2^20 trials before the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in the chain", err)
+	}
+}
+
+// TestRunCtxBadConfig: invalid configs error on the ctx path exactly as
+// on the plain one.
+func TestRunCtxBadConfig(t *testing.T) {
+	r := newRunner(33, 0.1)
+	w := workloads.Adder()
+	ctx := context.Background()
+	if _, err := r.RunCtx(ctx, w.Circuit, Config{K: 0, Trials: 100}, rng.New(1)); err == nil {
+		t.Fatal("K=0 must error")
+	}
+	if _, err := r.RunCtx(ctx, w.Circuit, Config{K: 4, Trials: 2}, rng.New(1)); err == nil {
+		t.Fatal("Trials < K must error")
+	}
+}

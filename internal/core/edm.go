@@ -205,39 +205,12 @@ func (r *Runner) RunExecutables(execs []*mapper.Executable, cfg Config, rr *rng.
 
 // merge combines member outputs into res.Merged, applying the uniformity
 // filter and the configured weighting, and records per-member weights.
+// Inputs on this path are repository-built, so a merge failure is a
+// programmer error; the serving path uses mergeChecked (ctx.go) instead.
 func merge(res *Result, cfg Config) {
-	// Uniformity filter (footnote 2): drop members indistinguishable from
-	// noise, unless that would drop everyone.
-	kept := make([]int, 0, len(res.Members))
-	if cfg.UniformityFilter > 0 {
-		for i := range res.Members {
-			if res.Members[i].Output.IsNearUniform(cfg.UniformityFilter) {
-				res.Members[i].Discarded = true
-			} else {
-				kept = append(kept, i)
-			}
-		}
+	if err := mergeChecked(res, cfg); err != nil {
+		panic(err)
 	}
-	if len(kept) == 0 {
-		kept = kept[:0]
-		for i := range res.Members {
-			res.Members[i].Discarded = false
-			kept = append(kept, i)
-		}
-	}
-	dists := make([]*dist.Dist, len(kept))
-	for j, i := range kept {
-		dists[j] = res.Members[i].Output
-	}
-	weights := MergeWeights(dists, cfg.Weighting)
-	var total float64
-	for _, w := range weights {
-		total += w
-	}
-	for j, i := range kept {
-		res.Members[i].Weight = weights[j] / total
-	}
-	res.Merged = dist.WeightedMerge(dists, weights)
 }
 
 // MergeWeights returns the raw (unnormalized) member weights for the

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"edm/internal/bitstr"
+)
+
+// The checked constructors exist so user-supplied job payloads degrade
+// to errors on the serving path; the panicking variants must keep their
+// contract for repository-internal call sites.
+
+func TestNewChecked(t *testing.T) {
+	for _, bad := range []int{-1, bitstr.MaxBits + 1} {
+		if _, err := NewChecked(bad); err == nil {
+			t.Errorf("NewChecked(%d) succeeded, want error", bad)
+		}
+	}
+	d, err := NewChecked(3)
+	if err != nil || d.N() != 3 {
+		t.Fatalf("NewChecked(3) = %v, %v", d, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestMergeChecked(t *testing.T) {
+	if _, err := MergeChecked(nil); err == nil {
+		t.Error("MergeChecked(nil) succeeded, want error")
+	}
+	a := MustFromMap(map[string]float64{"00": 1})
+	b := MustFromMap(map[string]float64{"000": 1})
+	if _, err := MergeChecked([]*Dist{a, b}); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Errorf("mixed-width MergeChecked err = %v, want width mismatch", err)
+	}
+	m, err := MergeChecked([]*Dist{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.P(bitstr.MustParse("00")); p != 1 {
+		t.Errorf("merged mass = %v, want 1", p)
+	}
+}
+
+func TestWeightedMergeChecked(t *testing.T) {
+	a := MustFromMap(map[string]float64{"0": 1})
+	b := MustFromMap(map[string]float64{"1": 1})
+	cases := []struct {
+		name    string
+		members []*Dist
+		weights []float64
+	}{
+		{"no members", nil, nil},
+		{"length mismatch", []*Dist{a, b}, []float64{1}},
+		{"negative weight", []*Dist{a, b}, []float64{1, -1}},
+		{"all zero", []*Dist{a, b}, []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := WeightedMergeChecked(tc.members, tc.weights); err == nil {
+			t.Errorf("%s: succeeded, want error", tc.name)
+		}
+	}
+	m, err := WeightedMergeChecked([]*Dist{a, b}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.P(bitstr.MustParse("0")); p != 0.75 {
+		t.Errorf("weighted mass = %v, want 0.75", p)
+	}
+	// The panicking wrapper must still panic for internal callers.
+	defer func() {
+		if recover() == nil {
+			t.Error("WeightedMerge with bad weights did not panic")
+		}
+	}()
+	WeightedMerge([]*Dist{a}, []float64{-1})
+}

@@ -23,12 +23,26 @@ type Dist struct {
 	p map[uint64]float64
 }
 
-// New returns an empty (all-zero) distribution over n-bit outcomes.
+// New returns an empty (all-zero) distribution over n-bit outcomes. The
+// width is a property of the circuit on every internal call site, so an
+// out-of-range width is a programmer error and panics; widths derived
+// from user-supplied payloads go through NewChecked.
 func New(n int) *Dist {
-	if n < 0 || n > bitstr.MaxBits {
-		panic(fmt.Sprintf("dist: width %d out of range", n))
+	d, err := NewChecked(n)
+	if err != nil {
+		panic(err)
 	}
-	return &Dist{n: n, p: make(map[uint64]float64)}
+	return d
+}
+
+// NewChecked is New returning an error instead of panicking on an
+// out-of-range width, for widths that come from untrusted input (a
+// served job's inline circuit) rather than repository code.
+func NewChecked(n int) (*Dist, error) {
+	if n < 0 || n > bitstr.MaxBits {
+		return nil, fmt.Errorf("dist: width %d out of range [0,%d]", n, bitstr.MaxBits)
+	}
+	return &Dist{n: n, p: make(map[uint64]float64)}, nil
 }
 
 // Uniform returns the uniform distribution over all 2^n outcomes.
@@ -387,42 +401,68 @@ func (d *Dist) SymKL(other *Dist) float64 {
 
 // Merge returns the uniform average of the member distributions — the EDM
 // combination rule (Section 5.2). All members must share one width and
-// there must be at least one member.
+// there must be at least one member; violations panic. MergeChecked is
+// the error-returning variant for untrusted inputs.
 func Merge(members []*Dist) *Dist {
+	d, err := MergeChecked(members)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MergeChecked is Merge returning an error instead of panicking on
+// invalid input (no members, mixed widths), for member sets assembled
+// from user-supplied payloads.
+func MergeChecked(members []*Dist) (*Dist, error) {
 	if len(members) == 0 {
-		panic("dist: Merge of no members")
+		return nil, fmt.Errorf("dist: Merge of no members")
 	}
 	w := make([]float64, len(members))
 	for i := range w {
 		w[i] = 1
 	}
-	return WeightedMerge(members, w)
+	return WeightedMergeChecked(members, w)
 }
 
 // WeightedMerge returns the weighted average of the member distributions
 // with the given non-negative weights (not all zero). Weights are
 // normalized internally, implementing Appendix B Equations 5-6 once the
-// caller supplies the raw divergence weights.
+// caller supplies the raw divergence weights. Invalid input panics;
+// WeightedMergeChecked is the error-returning variant.
 func WeightedMerge(members []*Dist, weights []float64) *Dist {
+	d, err := WeightedMergeChecked(members, weights)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// WeightedMergeChecked is WeightedMerge returning an error instead of
+// panicking on invalid input: no members, a members/weights length
+// mismatch, mixed widths, a negative weight, or an all-zero weight
+// vector. The serving path uses it so a malformed job degrades to a
+// request error instead of killing the process.
+func WeightedMergeChecked(members []*Dist, weights []float64) (*Dist, error) {
 	if len(members) == 0 {
-		panic("dist: WeightedMerge of no members")
+		return nil, fmt.Errorf("dist: WeightedMerge of no members")
 	}
 	if len(members) != len(weights) {
-		panic("dist: members/weights length mismatch")
+		return nil, fmt.Errorf("dist: %d members but %d weights", len(members), len(weights))
 	}
 	n := members[0].n
 	var total float64
 	for i, m := range members {
 		if m.n != n {
-			panic("dist: WeightedMerge width mismatch")
+			return nil, fmt.Errorf("dist: WeightedMerge width mismatch: member %d has width %d, member 0 has %d", i, m.n, n)
 		}
 		if weights[i] < 0 {
-			panic("dist: negative weight")
+			return nil, fmt.Errorf("dist: negative weight %v for member %d", weights[i], i)
 		}
 		total += weights[i]
 	}
 	if total <= 0 {
-		panic("dist: all weights zero")
+		return nil, fmt.Errorf("dist: all weights zero")
 	}
 	out := New(n)
 	for i, m := range members {
@@ -434,7 +474,7 @@ func WeightedMerge(members []*Dist, weights []float64) *Dist {
 			out.p[v] += f * p
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DivergenceWeights returns the raw WEDM weight for every member: the sum

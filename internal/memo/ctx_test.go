@@ -1,0 +1,286 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetCtxWaiterDetaches is the serving-path contract: a waiter whose
+// context expires while another goroutine is building must detach with
+// ctx.Err() without poisoning the entry — the build completes, later
+// callers hit.
+func TestGetCtxWaiterDetaches(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Builder: plain Get, runs the build synchronously.
+		v := c.Get(7, func() int {
+			builds.Add(1)
+			<-gate
+			return 42
+		})
+		if v != 42 {
+			t.Errorf("builder got %d, want 42", v)
+		}
+	}()
+	// Wait until the entry is in flight.
+	for c.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := c.GetCtx(ctx, 7, func() int { t.Error("waiter must not build"); return 0 }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("detached waiter err = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	wg.Wait()
+	v, err := c.GetCtx(context.Background(), 7, func() int { builds.Add(1); return -1 })
+	if err != nil || v != 42 {
+		t.Fatalf("post-detach Get = %d, %v; want 42, nil", v, err)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1 (detach must not poison the entry)", builds.Load())
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Waits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 wait / 1 miss", s)
+	}
+}
+
+// TestGetCtxBuilderDetaches: when the *initiating* caller's context
+// expires, the detached build still completes and publishes for everyone
+// else.
+func TestGetCtxBuilderDetaches(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	var builds atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	res := make(chan error, 1)
+	go func() {
+		_, err := c.GetCtx(ctx, 9, func() int {
+			builds.Add(1)
+			close(started)
+			<-gate
+			return 5
+		})
+		res <- err
+	}()
+	<-started
+	cancel()
+	if err := <-res; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled initiator err = %v, want Canceled", err)
+	}
+	close(gate)
+	// The orphaned build must finish and serve future callers.
+	v, err := c.GetCtx(context.Background(), 9, func() int { builds.Add(1); return -1 })
+	if err != nil || v != 5 {
+		t.Fatalf("got %d, %v; want 5, nil", v, err)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+}
+
+// TestGetCtxNonCancellable pins that a background context takes the
+// plain Get path bit-for-bit (same counters, synchronous build).
+func TestGetCtxNonCancellable(t *testing.T) {
+	c := New[int](2)
+	v, err := c.GetCtx(context.Background(), 1, func() int { return 11 })
+	if err != nil || v != 11 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+	v, err = c.GetCtx(context.Background(), 1, func() int { return -1 })
+	if err != nil || v != 11 {
+		t.Fatalf("hit got %d, %v", v, err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Waits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestGetCtxExpiredHitStillServes: a completed entry wins over an
+// already-expired context — hits never become cancellation errors.
+func TestGetCtxExpiredHitStillServes(t *testing.T) {
+	c := New[int](2)
+	c.Get(3, func() int { return 30 })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := c.GetCtx(ctx, 3, func() int { return -1 })
+	if err != nil || v != 30 {
+		t.Fatalf("expired-ctx hit = %d, %v; want 30, nil", v, err)
+	}
+}
+
+// TestGetCtxPanicPropagatesToWaiters: a panicking detached build
+// re-raises in callers that observe it and removes the entry for retry.
+func TestGetCtxPanicPropagatesToWaiters(t *testing.T) {
+	c := New[int](2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want boom", r)
+			}
+		}()
+		_, _ = c.GetCtx(ctx, 4, func() int { panic("boom") })
+		t.Error("GetCtx returned instead of panicking")
+	}()
+	// Entry was removed; a later build retries and succeeds.
+	v, err := c.GetCtx(ctx, 4, func() int { return 44 })
+	if err != nil || v != 44 {
+		t.Fatalf("retry got %d, %v", v, err)
+	}
+}
+
+// TestGetGenCtxWaiterDetaches covers the generation-tagged variant: a
+// waiter on a stale in-flight build detaches on expiry; the new
+// generation's upgrade still runs exactly once.
+func TestGetGenCtxWaiterDetaches(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	bg := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetGen(5, 0, func() int { <-gate; return 100 }, nil)
+	}()
+	for c.Len() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Waiter for generation 1 sees a stale in-flight build and must
+	// detach when its deadline fires.
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	_, err := c.GetGenCtx(ctx, 5, 1, func() int { return -1 }, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stale-wait err = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	wg.Wait()
+	var upgrades atomic.Int64
+	v, err := c.GetGenCtx(bg, 5, 1, func() int { return -1 }, func(stale int) int {
+		upgrades.Add(1)
+		return stale + 1
+	})
+	if err != nil || v != 101 {
+		t.Fatalf("gen-1 value = %d, %v; want 101, nil", v, err)
+	}
+	if upgrades.Load() != 1 {
+		t.Fatalf("upgrade ran %d times, want 1", upgrades.Load())
+	}
+}
+
+// TestGetCtxCancellationStress exercises the detach path at full
+// GOMAXPROCS under the race detector: many keys, many waiters, a mix of
+// expiring and patient contexts. Every patient caller must observe the
+// correct value and every key must build exactly once.
+func TestGetCtxCancellationStress(t *testing.T) {
+	const keys = 8
+	goroutines := 4 * runtime.GOMAXPROCS(0)
+	c := New[uint64](keys)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := uint64(i % keys)
+				var ctx context.Context
+				var cancel context.CancelFunc
+				if (g+i)%3 == 0 {
+					ctx, cancel = context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+				} else {
+					ctx, cancel = context.WithCancel(context.Background())
+				}
+				v, err := c.GetCtx(ctx, key, func() uint64 {
+					builds.Add(1)
+					time.Sleep(200 * time.Microsecond)
+					return key * 1000
+				})
+				cancel()
+				if err == nil && v != key*1000 {
+					t.Errorf("key %d got %d", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b := builds.Load(); b != keys {
+		t.Fatalf("builds = %d, want exactly %d (one per key)", b, keys)
+	}
+	for k := uint64(0); k < keys; k++ {
+		v, err := c.GetCtx(context.Background(), k, func() uint64 { builds.Add(1); return 0 })
+		if err != nil || v != k*1000 {
+			t.Fatalf("final key %d = %d, %v", k, v, err)
+		}
+	}
+	if b := builds.Load(); b != keys {
+		t.Fatalf("final builds = %d, want %d (no poisoned entries)", b, keys)
+	}
+}
+
+// TestEachReentrant pins the deadlock fix: a callback touching the same
+// cache (Get on its own key, Len, a fresh insert) must not deadlock.
+func TestEachReentrant(t *testing.T) {
+	c := New[int](8)
+	for k := uint64(0); k < 4; k++ {
+		k := k
+		c.Get(k, func() int { return int(k) * 10 })
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seen := 0
+		c.Each(func(k uint64, v int) {
+			seen++
+			if got := c.Get(k, func() int { return -1 }); got != v {
+				t.Errorf("reentrant Get(%d) = %d, want %d", k, got, v)
+			}
+			_ = c.Len()
+			c.Get(100+k, func() int { return 0 }) // insert during iteration
+		})
+		if seen != 4 {
+			t.Errorf("Each visited %d entries, want 4", seen)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Each deadlocked on a reentrant callback")
+	}
+}
+
+// TestNewChecked pins the error-returning constructor and that the
+// panicking constructors remain for programmer-constant capacities.
+func TestNewChecked(t *testing.T) {
+	for _, bad := range []int{0, -1} {
+		if _, err := NewChecked[int](bad, nil); err == nil {
+			t.Errorf("NewChecked(%d) succeeded, want error", bad)
+		}
+	}
+	c, err := NewChecked[int](2, nil)
+	if err != nil || c == nil {
+		t.Fatalf("NewChecked(2) = %v, %v", c, err)
+	}
+	if v := c.Get(1, func() int { return 7 }); v != 7 {
+		t.Fatalf("checked cache Get = %d", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}

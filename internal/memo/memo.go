@@ -27,6 +27,8 @@
 package memo
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -94,17 +96,35 @@ func New[V any](capacity int) *Cache[V] {
 }
 
 // NewShared is New with caller-supplied counters, so several caches can
-// report one aggregate Stats line.
+// report one aggregate Stats line. The capacity is a compile-time choice
+// on every call site in this repository, so a non-positive value is a
+// programmer error and panics; configuration-supplied capacities (the
+// serving layer's shard sizes) go through NewChecked instead.
 func NewShared[V any](capacity int, ctr *Counters) *Cache[V] {
+	c, err := NewChecked[V](capacity, ctr)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewChecked is NewShared returning an error instead of panicking on a
+// non-positive capacity, for callers whose capacity comes from runtime
+// configuration rather than a constant. A nil ctr allocates private
+// counters.
+func NewChecked[V any](capacity int, ctr *Counters) (*Cache[V], error) {
 	if capacity <= 0 {
-		panic("memo: cache capacity must be positive")
+		return nil, fmt.Errorf("memo: cache capacity %d must be positive", capacity)
+	}
+	if ctr == nil {
+		ctr = &Counters{}
 	}
 	return &Cache[V]{
 		cap:     capacity,
 		entries: make(map[uint64]*entry[V], capacity),
 		ring:    make([]uint64, capacity),
 		ctr:     ctr,
-	}
+	}, nil
 }
 
 // Get returns the cached value for key, building it with build on a miss.
@@ -137,6 +157,87 @@ func (c *Cache[V]) Get(key uint64, build func() V) V {
 	c.mu.Unlock()
 
 	return c.runBuild(key, e, build)
+}
+
+// GetCtx is Get with cancellation: a caller whose ctx expires while the
+// value is being built detaches and returns ctx.Err() without waiting.
+// The build itself is never cancelled — it runs detached to completion
+// and publishes its value for every other (and future) caller, so a
+// request timeout can never poison the entry. This is the serving-path
+// variant of Get: one client abandoning a job must not invalidate the
+// work for the clients still waiting on it.
+//
+// A build that panics records the panic and re-raises it in every caller
+// that observes the entry, exactly as Get does; if every caller has
+// detached, the panic is dropped with the entry (the next Get retries).
+// With a ctx that can never be cancelled, GetCtx is exactly Get.
+func (c *Cache[V]) GetCtx(ctx context.Context, key uint64, build func() V) (V, error) {
+	if ctx.Done() == nil {
+		return c.Get(key, build), nil
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			c.ctr.hits.Add(1)
+		default:
+			c.ctr.waits.Add(1)
+		}
+		c.mu.Unlock()
+		return waitEntry(ctx, e)
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.ctr.misses.Add(1)
+	c.ctr.inserts.Add(1)
+	c.evictOldestLocked()
+	c.entries[key] = e
+	c.ring[(c.head+c.n)%c.cap] = key
+	c.n++
+	c.mu.Unlock()
+
+	go c.runBuildDetached(key, e, build)
+	return waitEntry(ctx, e)
+}
+
+// waitEntry waits for an in-flight entry with cancellation. A completed
+// entry wins over an already-expired ctx, so hits never turn into
+// spurious cancellation errors.
+func waitEntry[V any](ctx context.Context, e *entry[V]) (V, error) {
+	select {
+	case <-e.done:
+	default:
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
+	return e.val, nil
+}
+
+// runBuildDetached is runBuild for builds owned by the cache rather than
+// the calling goroutine: a panic is recorded and published to waiters
+// (who re-raise it) but not re-raised here, where it would kill the
+// process from a goroutine no caller owns.
+func (c *Cache[V]) runBuildDetached(key uint64, e *entry[V], build func() V) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			close(e.done)
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.ctr.evictions.Add(1)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	e.val = build()
+	close(e.done)
 }
 
 // runBuild executes build for a freshly inserted in-flight entry,
@@ -242,6 +343,69 @@ func (c *Cache[V]) GetGen(key, gen uint64, build func() V, upgrade func(stale V)
 	}
 }
 
+// GetGenCtx is GetGen with the cancellation semantics of GetCtx: callers
+// detach when ctx expires, builds and upgrades run detached to
+// completion, and a cancelled caller can never poison the entry. With a
+// ctx that can never be cancelled it is exactly GetGen.
+func (c *Cache[V]) GetGenCtx(ctx context.Context, key, gen uint64, build func() V, upgrade func(stale V) V) (V, error) {
+	if ctx.Done() == nil {
+		return c.GetGen(key, gen, build, upgrade), nil
+	}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok && e.gen == gen {
+			select {
+			case <-e.done:
+				c.ctr.hits.Add(1)
+			default:
+				c.ctr.waits.Add(1)
+			}
+			c.mu.Unlock()
+			return waitEntry(ctx, e)
+		}
+		if ok {
+			select {
+			case <-e.done:
+			default:
+				// A stale generation is still building; wait it out (or
+				// detach) and retry, as in GetGen.
+				c.ctr.waits.Add(1)
+				c.mu.Unlock()
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					var zero V
+					return zero, ctx.Err()
+				}
+				continue
+			}
+		}
+		ne := &entry[V]{done: make(chan struct{}), gen: gen}
+		c.ctr.misses.Add(1)
+		c.ctr.inserts.Add(1)
+		var stale *entry[V]
+		if ok {
+			stale = e
+			c.ctr.evictions.Add(1)
+		} else {
+			c.evictOldestLocked()
+			c.ring[(c.head+c.n)%c.cap] = key
+			c.n++
+		}
+		c.entries[key] = ne
+		c.mu.Unlock()
+
+		go c.runBuildDetached(key, ne, func() V {
+			if stale != nil && stale.panicked == nil && upgrade != nil {
+				return upgrade(stale.val)
+			}
+			return build()
+		})
+		return waitEntry(ctx, ne)
+	}
+}
+
 // evictOldestLocked makes room for one insertion. Every live entry owns
 // exactly one ring slot (a key re-inserted after eviction gets a fresh
 // slot; a panicked build leaves a stale slot behind), so len(entries) <=
@@ -273,18 +437,29 @@ func (c *Cache[V]) Len() int {
 
 // Each calls f with every live, completed value. In-flight builds are
 // skipped (Each never blocks on a builder). Iteration order is
-// unspecified. f must not call back into the cache.
+// unspecified. The entries are snapshotted under the lock and f runs
+// outside it, so f may call back into this cache (including Get on the
+// keys it is handed) without deadlocking; values inserted or evicted
+// while the callbacks run may or may not be observed.
 func (c *Cache[V]) Each(f func(key uint64, v V)) {
+	type kv struct {
+		k uint64
+		v V
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	snap := make([]kv, 0, len(c.entries))
 	for k, e := range c.entries {
 		select {
 		case <-e.done:
 			if e.panicked == nil {
-				f(k, e.val)
+				snap = append(snap, kv{k, e.val})
 			}
 		default:
 		}
+	}
+	c.mu.Unlock()
+	for _, p := range snap {
+		f(p.k, p.v)
 	}
 }
 

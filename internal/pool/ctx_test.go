@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func drainAll(t *testing.T) (restore func()) {
+	t.Helper()
+	n := 0
+	for TryAcquire() {
+		n++
+	}
+	held := n
+	return func() {
+		for i := 0; i < held; i++ {
+			Release()
+		}
+	}
+}
+
+func TestAcquireCtxImmediate(t *testing.T) {
+	if err := AcquireCtx(context.Background()); err != nil {
+		t.Fatalf("AcquireCtx with free tokens: %v", err)
+	}
+	Release()
+}
+
+func TestAcquireCtxCancelledWhileWaiting(t *testing.T) {
+	restore := drainAll(t)
+	defer restore()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := AcquireCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		if err == nil {
+			Release()
+		}
+		t.Fatalf("AcquireCtx on exhausted pool = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestAcquireCtxAvailableTokenBeatsExpiredCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := AcquireCtx(ctx); err != nil {
+		t.Fatalf("expired ctx with free token = %v, want nil", err)
+	}
+	Release()
+}
+
+func TestTryAcquire(t *testing.T) {
+	restore := drainAll(t)
+	if TryAcquire() {
+		Release()
+		restore()
+		t.Fatal("TryAcquire succeeded on an exhausted pool")
+	}
+	restore()
+	if !TryAcquire() {
+		t.Fatal("TryAcquire failed with free tokens")
+	}
+	Release()
+}

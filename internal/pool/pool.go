@@ -17,7 +17,10 @@
 // semaphores and leave the tokens to their leaves.
 package pool
 
-import "runtime"
+import (
+	"context"
+	"runtime"
+)
 
 // tokens is sized once at init; see Size.
 var tokens = make(chan struct{}, initialSize())
@@ -39,8 +42,40 @@ func Size() int { return cap(tokens) }
 // Acquire blocks until a compute token is available.
 func Acquire() { tokens <- struct{}{} }
 
-// Release returns a token acquired with Acquire.
+// Release returns a token acquired with Acquire, AcquireCtx or
+// TryAcquire.
 func Release() { <-tokens }
+
+// AcquireCtx blocks until a compute token is available or ctx is done,
+// in which case it returns ctx.Err() without holding a token. An
+// available token wins over an already-expired ctx, so callers under
+// light load never pay a spurious cancellation. The serving layer uses
+// it so a request abandoned while queued for CPU stops occupying the
+// admission pipeline.
+func AcquireCtx(ctx context.Context) error {
+	select {
+	case tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a token if one is immediately available and reports
+// whether it did.
+func TryAcquire() bool {
+	select {
+	case tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
 
 // Workers returns the number of goroutines worth spawning for n
 // independent work items: min(GOMAXPROCS, n), at least 1. Callers decide

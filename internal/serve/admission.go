@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is returned by Admission.Acquire when the wait queue is at
+// capacity; the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// Admission bounds how many jobs execute at once and queues the overflow
+// with per-tenant round-robin fairness: released slots are handed to the
+// longest-waiting job of the next tenant in rotation, so one tenant
+// flooding the queue delays its own jobs, not everyone's. A slot released
+// with waiters present transfers directly — it never returns to the free
+// pool for a newcomer to steal ahead of the queue.
+type Admission struct {
+	mu       sync.Mutex
+	free     int // slots not held by an admitted job
+	capacity int
+	maxQueue int // queued waiters across all tenants
+	queued   int
+	waiters  map[string][]chan struct{}
+	order    []string // tenants with waiters, in rotation order
+	next     int      // rotation cursor into order
+
+	admitted  uint64
+	rejected  uint64
+	cancelled uint64
+}
+
+// AdmissionStats is a snapshot of the controller's counters.
+type AdmissionStats struct {
+	Capacity  int    // concurrent-job limit
+	InFlight  int    // slots currently held
+	Queued    int    // waiters currently queued
+	Admitted  uint64 // jobs granted a slot
+	Rejected  uint64 // jobs bounced on a full queue
+	Cancelled uint64 // waiters that gave up before a slot arrived
+}
+
+// NewAdmission builds a controller admitting up to capacity concurrent
+// jobs and queueing up to maxQueue more.
+func NewAdmission(capacity, maxQueue int) (*Admission, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("serve: admission capacity %d must be positive", capacity)
+	}
+	if maxQueue < 0 {
+		return nil, fmt.Errorf("serve: admission queue depth %d must be non-negative", maxQueue)
+	}
+	return &Admission{
+		free:     capacity,
+		capacity: capacity,
+		maxQueue: maxQueue,
+		waiters:  make(map[string][]chan struct{}),
+	}, nil
+}
+
+// Acquire takes a slot for tenant, waiting in the tenant's queue when the
+// service is saturated. It returns nil when a slot is held (the caller
+// must Release it), ErrQueueFull when the queue is at capacity, or
+// ctx.Err() when the caller gave up first. A free slot is only taken
+// directly when nobody is queued, so arrival order cannot starve waiters.
+func (a *Admission) Acquire(ctx context.Context, tenant string) error {
+	a.mu.Lock()
+	if a.free > 0 && a.queued == 0 {
+		a.free--
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.maxQueue {
+		a.rejected++
+		a.mu.Unlock()
+		return fmt.Errorf("%w (tenant %q, %d queued)", ErrQueueFull, tenant, a.queued)
+	}
+	ch := make(chan struct{})
+	if len(a.waiters[tenant]) == 0 {
+		a.order = append(a.order, tenant)
+	}
+	a.waiters[tenant] = append(a.waiters[tenant], ch)
+	a.queued++
+	a.mu.Unlock()
+
+	if ctx == nil {
+		<-ch
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if a.removeWaiter(tenant, ch) {
+			a.queued--
+			a.cancelled++
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		a.mu.Unlock()
+		// The slot was handed over in the race window between ctx firing
+		// and the lock; give it back rather than leak it.
+		a.Release()
+		return ctx.Err()
+	}
+}
+
+// removeWaiter drops ch from tenant's queue; false means it was already
+// dequeued (a handoff won the race).
+func (a *Admission) removeWaiter(tenant string, ch chan struct{}) bool {
+	q := a.waiters[tenant]
+	for i := range q {
+		if q[i] == ch {
+			a.waiters[tenant] = append(q[:i:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns a slot. With waiters queued it transfers directly to
+// the head waiter of the next tenant in rotation; otherwise it rejoins
+// the free pool.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.order) > 0 {
+		if a.next >= len(a.order) {
+			a.next = 0
+		}
+		tenant := a.order[a.next]
+		q := a.waiters[tenant]
+		if len(q) == 0 {
+			// Tenant drained (or its waiters cancelled): drop it from the
+			// rotation and look at the next one from the same position.
+			delete(a.waiters, tenant)
+			a.order = append(a.order[:a.next:a.next], a.order[a.next+1:]...)
+			continue
+		}
+		a.waiters[tenant] = q[1:]
+		a.queued--
+		a.admitted++
+		a.next++
+		close(q[0]) // slot transfers; free is unchanged
+		return
+	}
+	a.next = 0
+	a.free++
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Capacity:  a.capacity,
+		InFlight:  a.capacity - a.free,
+		Queued:    a.queued,
+		Admitted:  a.admitted,
+		Rejected:  a.rejected,
+		Cancelled: a.cancelled,
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// admit tries Acquire on a background goroutine and returns a channel
+// delivering its result.
+func admit(a *Admission, ctx context.Context, tenant string) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- a.Acquire(ctx, tenant) }()
+	return ch
+}
+
+func TestAdmissionCapacity(t *testing.T) {
+	a, err := NewAdmission(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	blocked := admit(a, ctx, "a")
+	select {
+	case err := <-blocked:
+		t.Fatalf("third acquire got through a 2-slot controller: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release()
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.Admitted != 3 || s.InFlight != 2 || s.Queued != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a, err := NewAdmission(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	queued := admit(a, ctx, "a")
+	time.Sleep(10 * time.Millisecond) // let the waiter enqueue
+	if err := a.Acquire(ctx, "b"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue acquire err = %v, want ErrQueueFull", err)
+	}
+	if s := a.Stats(); s.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Rejected)
+	}
+	a.Release()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	a.Release()
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a, err := NewAdmission(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := admit(a, ctx, "b")
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want Canceled", err)
+	}
+	// The abandoned waiter must not absorb the released slot.
+	a.Release()
+	if err := a.Acquire(context.Background(), "c"); err != nil {
+		t.Fatalf("slot leaked to a cancelled waiter: %v", err)
+	}
+	a.Release()
+	if s := a.Stats(); s.Cancelled != 1 || s.InFlight != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestAdmissionRoundRobinFairness: with tenant a flooding the queue,
+// tenant b's lone job is admitted on the second release, not after all of
+// a's backlog.
+func TestAdmissionRoundRobinFairness(t *testing.T) {
+	a, err := NewAdmission(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Acquire(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan string, 8)
+	enqueue := func(tenant string) {
+		go func() {
+			if err := a.Acquire(ctx, tenant); err != nil {
+				t.Errorf("acquire %s: %v", tenant, err)
+				return
+			}
+			admitted <- tenant
+		}()
+	}
+	// Enqueue deterministically: a1, a2, a3, then b.
+	queued := 0
+	for _, tenant := range []string{"a", "a", "a", "b"} {
+		enqueue(tenant)
+		queued++
+		for {
+			time.Sleep(time.Millisecond)
+			if s := a.Stats(); s.Queued == queued {
+				break
+			}
+		}
+	}
+	// Each Release hands the slot to exactly one waiter, so reading one
+	// admission per release observes the rotation synchronously.
+	var order []string
+	for i := 0; i < queued; i++ {
+		a.Release()
+		order = append(order, <-admitted)
+	}
+	a.Release()
+	// Rotation: a's head first (a was queued first), then b, then a's rest.
+	want := []string{"a", "b", "a", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+	if s := a.Stats(); s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNewAdmissionValidation(t *testing.T) {
+	if _, err := NewAdmission(0, 4); err == nil {
+		t.Fatal("capacity 0 must error")
+	}
+	if _, err := NewAdmission(2, -1); err == nil {
+		t.Fatal("negative queue must error")
+	}
+}

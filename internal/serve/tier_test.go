@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewTierValidation(t *testing.T) {
+	if _, err := NewTier(0, 8); err == nil {
+		t.Fatal("zero shards must error")
+	}
+	if _, err := NewTier(4, 0); err == nil {
+		t.Fatal("zero per-shard capacity must error")
+	}
+	tier, err := NewTier(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier.Shards() != 4 {
+		t.Fatalf("3 shards rounded to %d, want 4", tier.Shards())
+	}
+}
+
+func TestTierSingleflightAcrossShards(t *testing.T) {
+	tier, err := NewTier(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]*jobOutcome, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := tier.Do(context.Background(), 0xfeed, 1, func() *jobOutcome {
+				builds.Add(1)
+				return &jobOutcome{res: &JobResult{Seed: 7}}
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds for %d concurrent duplicates, want 1", n, workers)
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("duplicate callers received different outcome pointers")
+		}
+	}
+	s := tier.Stats()
+	if s.Misses != 1 || s.Hits+s.Waits != workers-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestTierGenerationReplacesInPlace: a new generation tag recomputes only
+// the requested entry; other entries survive untouched.
+func TestTierGenerationReplacesInPlace(t *testing.T) {
+	tier, err := NewTier(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	build := func(seed uint64) func() *jobOutcome {
+		return func() *jobOutcome { return &jobOutcome{res: &JobResult{Seed: seed}} }
+	}
+	if _, err := tier.Do(ctx, 1, 100, build(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tier.Do(ctx, 2, 100, build(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Key 1 expires (new gen); key 2 is untouched.
+	out, err := tier.Do(ctx, 1, 101, build(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.res.Seed != 11 {
+		t.Fatalf("stale generation served: seed %d", out.res.Seed)
+	}
+	out2, err := tier.Do(ctx, 2, 100, build(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.res.Seed != 2 {
+		t.Fatal("unrelated entry was flushed by another key's generation bump")
+	}
+	s := tier.Stats()
+	if s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (in-place replacement)", s.Entries)
+	}
+}
+
+func TestTierShardSpread(t *testing.T) {
+	tier, err := NewTier(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := uint64(0); i < 64; i++ {
+		key := i << 48 // drive the shard-selection bits directly
+		if _, err := tier.Do(ctx, key, 0, func() *jobOutcome { return &jobOutcome{} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range tier.ShardStats() {
+		if s.Entries == 0 {
+			t.Fatalf("shard %d never used: %+v", i, tier.ShardStats())
+		}
+	}
+}

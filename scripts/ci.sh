@@ -20,6 +20,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -42,6 +49,45 @@ echo "== campaign cache determinism (DESIGN.md §9) =="
 go test -race -count=1 -run 'Campaign|TopKCache|RunCache|PrefixStability' \
 	./internal/experiment ./internal/mapper ./internal/backend
 go test -race -count=1 ./internal/memo
+
+echo "== serving stack: cancellation + singleflight under race (DESIGN.md §12) =="
+# The detached-build cancellation contract: waiters whose contexts expire
+# must detach without poisoning cache entries, at full GOMAXPROCS under
+# the race detector, across the memo core, the ctx-threaded hot paths and
+# the serve tier/admission layers.
+go test -race -count=1 -run 'Ctx|Reentrant|Checked|Tier|Admission' \
+	./internal/memo ./internal/pool ./internal/backend ./internal/mapper ./internal/core
+go test -race -count=1 ./internal/serve
+
+echo "== edmd smoke: CLI/server byte identity =="
+# Start the server, post the same job the CLI runs, and require the text
+# responses to be byte-for-byte identical — the determinism contract over
+# HTTP. Also proves malformed payloads get a 4xx, not a dead process.
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"; [ -n "${EDMD_PID:-}" ] && kill "$EDMD_PID" 2>/dev/null || true' EXIT
+go build -o "$SMOKE/edm" ./cmd/edm
+go build -o "$SMOKE/edmd" ./cmd/edmd
+"$SMOKE/edm" run -workload bv-6 -k 2 -trials 512 -seed 7 >"$SMOKE/cli.txt"
+"$SMOKE/edmd" serve -addr 127.0.0.1:0 >"$SMOKE/serve.log" &
+EDMD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's/^edmd listening on \([^ ]*\).*/\1/p' "$SMOKE/serve.log")"
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "edmd never came up" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
+curl -sf -X POST "http://$ADDR/v1/jobs?format=text" \
+	-d '{"workload":"bv-6","k":2,"trials":512,"seed":7}' >"$SMOKE/srv.txt"
+cmp "$SMOKE/cli.txt" "$SMOKE/srv.txt"
+BAD_STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/jobs" -d 'not json')"
+[ "$BAD_STATUS" = "400" ] || { echo "malformed job got $BAD_STATUS, want 400" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^edmd_job_cache_misses_total 1$'
+curl -sf "http://$ADDR/healthz" >/dev/null
+kill -TERM "$EDMD_PID"
+wait "$EDMD_PID" || { echo "edmd exited nonzero on SIGTERM" >&2; exit 1; }
+EDMD_PID=""
+echo "edmd smoke OK"
 
 echo "== incremental recompilation identity (DESIGN.md §11) =="
 # The drift-tracked pools must be bit-identical to full recompilation at
