@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 
 	"edm/internal/backend"
+	"edm/internal/device"
 	"edm/internal/experiment"
 	"edm/internal/mapper"
 	"edm/internal/serve"
@@ -47,6 +48,7 @@ func main() {
 		trials = flag.Int("trials", 16384, "trials per policy per round (paper: 16384)")
 		k      = flag.Int("k", 4, "default ensemble size (paper: 4)")
 		drift  = flag.Float64("drift", 0.2, "calibration drift between compile and run time")
+		dev    = flag.String("device", "", "campaign device: melbourne (default), tokyo, falcon27 or eagle127")
 		quick  = flag.Bool("quick", false, "small fast campaign (3 rounds, 2048 trials)")
 		stats  = flag.Bool("cachestats", false, "print campaign cache counters after the run")
 		cpuOut = flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to `file`")
@@ -98,6 +100,12 @@ func main() {
 	}
 	s.K = *k
 	s.Drift = *drift
+	topo, prof, err := device.ByName(*dev)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edm: %v\n", err)
+		os.Exit(2)
+	}
+	s.Topo, s.Profile = topo, prof
 
 	// Resolve the experiment list up front so an unknown name exits
 	// before any profile file is created or started.
@@ -233,6 +241,8 @@ func printEngineStats(out *os.File) {
 		"tape-tree", es.PlansBuilt, es.PlanFallbacks, es.TreeLeaves)
 	fmt.Fprintf(out, "  %-14s dominant %-6d divergent %d\n",
 		"trials", es.FullDominantTrials, es.DivergentTrials)
+	fmt.Fprintf(out, "  %-14s programs %-5d fallbacks %-4d prefix-steps %-6d max-words %-3d trials %d\n",
+		"stabilizer", es.StabPrograms, es.StabFallbacks, es.StabPrefixSteps, es.StabMaxWords, es.StabTrials)
 	if es.PlanFallbacks > 0 {
 		fmt.Fprintf(out, "  warning: %d program(s) fell back to the legacy trajectory loop\n",
 			es.PlanFallbacks)

@@ -200,6 +200,7 @@ func printDrift(s experiment.Setup) {
 	ds.Cycles = s.Rounds
 	ds.Trials = s.Trials
 	ds.Drift = s.Drift
+	ds.Topo, ds.Profile = s.Topo, s.Profile
 	if ds.Cycles <= ds.CrossCheckEvery {
 		ds.CrossCheckEvery = 2
 	}

@@ -65,8 +65,19 @@ const (
 	EnginePrefixSharing TrajectoryEngine = iota
 	// EngineLegacy runs every trial's full trajectory from |0...0>. It
 	// is kept as the frozen baseline for benchmarks and as a
-	// cross-check in the byte-identity tests.
+	// cross-check in the byte-identity tests. It never uses the
+	// stabilizer fast path.
 	EngineLegacy
+	// EngineStabilizer is the strict tableau engine: fully-Clifford
+	// schedules run on the stabilizer tableau (stab.go), anything else
+	// is an error. Use it to assert that a campaign actually gets the
+	// fast path instead of silently paying for statevectors.
+	EngineStabilizer
+	// EngineStatevector pins the tape-tree statevector engine even for
+	// fully-Clifford programs that the default engine would route to
+	// the tableau. Benchmarks use it to keep frozen baselines measuring
+	// statevector work.
+	EngineStatevector
 )
 
 // SetTrajectoryEngine selects the trial execution strategy. Like
@@ -143,6 +154,11 @@ type program struct {
 	// program on first use and shared read-only by every stripe.
 	prefixOnce sync.Once
 	prefix     *prefixPlan
+
+	// stab is the Clifford analysis of the stabilizer engine (stab.go),
+	// built at most once per compiled program on first use.
+	stabOnce sync.Once
+	stab     *stabAnalysis
 }
 
 // compile lowers the executable onto the machine: SWAPs become CX
@@ -157,10 +173,14 @@ func (m *Machine) compile(exe *circuit.Circuit) (*program, error) {
 		return nil, fmt.Errorf("backend: executable uses %d qubits, device has %d", exe.NumQubits, m.cal.Topo.Qubits)
 	}
 	lowered := exe.LowerSwaps()
-	active := lowered.UsedQubits()
-	if len(active) > statevec.MaxQubits {
-		return nil, fmt.Errorf("backend: %d active qubits exceed simulator limit %d", len(active), statevec.MaxQubits)
+	// The statevector width limit is enforced at engine-selection time
+	// (selectStab), not here: fully-Clifford schedules run on the
+	// stabilizer tableau at any device width. Classical bits stay capped
+	// by the histogram key width.
+	if lowered.NumClbits > bitstr.MaxBits {
+		return nil, fmt.Errorf("backend: %d classical bits exceed histogram limit %d", lowered.NumClbits, bitstr.MaxBits)
 	}
+	active := lowered.UsedQubits()
 	local := make(map[int]int, len(active))
 	for i, q := range active {
 		local[q] = i
@@ -360,20 +380,31 @@ func (m *Machine) runFresh(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.
 	if err != nil {
 		return nil, err
 	}
-	return m.runProgram(prog, trials, r, nil), nil
+	sp, err := m.selectStab(prog)
+	if err != nil {
+		return nil, err
+	}
+	return m.runProgram(prog, sp, trials, r, nil), nil
 }
 
 // runProgram executes a compiled program for the given number of trials.
 // A non-nil cancel flag makes the trial loops stop early once it flips
 // true (the RunCtx path); the partial histogram is then discarded by the
 // caller, so the flag never affects a result that is actually returned.
-func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG, cancel *atomic.Bool) *dist.Counts {
-	plan := m.planFor(prog) // nil when the legacy engine is selected
+func (m *Machine) runProgram(prog *program, sp *stabPlan, trials int, r *rng.RNG, cancel *atomic.Bool) *dist.Counts {
+	stripe := func(start, stride int) *dist.Counts {
+		if sp != nil {
+			return m.runStabStripe(prog, sp, start, stride, trials, r, cancel)
+		}
+		// planFor is once-guarded, so calling it per stripe builds at
+		// most one plan.
+		return m.runStripe(prog, m.planFor(prog), start, stride, trials, r, cancel)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if trials < parallelThreshold || workers < 2 {
 		pool.Acquire()
 		defer pool.Release()
-		return m.runStripe(prog, plan, 0, 1, trials, r, cancel)
+		return stripe(0, 1)
 	}
 	// Static striping: worker w owns trials w, w+workers, w+2*workers, ...
 	// Each worker fills a private histogram; merging integer counts is
@@ -388,7 +419,7 @@ func (m *Machine) runProgram(prog *program, trials int, r *rng.RNG, cancel *atom
 			defer wg.Done()
 			pool.Acquire()
 			defer pool.Release()
-			partial[w] = m.runStripe(prog, plan, w, workers, trials, r, cancel)
+			partial[w] = stripe(w, workers)
 		}(w)
 	}
 	wg.Wait()

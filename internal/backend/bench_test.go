@@ -122,8 +122,12 @@ func BenchmarkTrajectoryEngine(b *testing.B) {
 
 // BenchmarkRunParallel measures the striped multi-worker Run path
 // (trial count above parallelThreshold) end to end, including compile.
+// The engine is pinned so the frozen baseline keeps measuring
+// statevector work regardless of how the auto engine routes Clifford
+// schedules.
 func BenchmarkRunParallel(b *testing.B) {
 	m := noisyMachine(7)
+	m.SetTrajectoryEngine(EngineStatevector)
 	exe := benchCircuit(10)
 	const trials = 2048
 	b.ReportAllocs()

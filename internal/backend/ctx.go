@@ -60,10 +60,14 @@ func (m *Machine) runFreshCtx(ctx context.Context, exe *circuit.Circuit, trials 
 	if err != nil {
 		return nil, err
 	}
+	sp, err := m.selectStab(prog)
+	if err != nil {
+		return nil, err
+	}
 	var cancel atomic.Bool
 	stop := context.AfterFunc(ctx, func() { cancel.Store(true) })
 	defer stop()
-	counts := m.runProgram(prog, trials, r, &cancel)
+	counts := m.runProgram(prog, sp, trials, r, &cancel)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -97,8 +97,8 @@ func TestFusionEquivalenceRun(t *testing.T) {
 		}
 		fused := fuseProgram(raw)
 		const trials = 2000
-		want := m.runProgram(raw, trials, rng.New(uint64(500+trial)), nil)
-		got := m.runProgram(fused, trials, rng.New(uint64(500+trial)), nil)
+		want := m.runProgram(raw, nil, trials, rng.New(uint64(500+trial)), nil)
+		got := m.runProgram(fused, nil, trials, rng.New(uint64(500+trial)), nil)
 		if want.Total() != got.Total() {
 			t.Fatalf("trial %d: totals differ: %d vs %d", trial, want.Total(), got.Total())
 		}

@@ -235,6 +235,13 @@ var engineStats struct {
 	treeLeaves    atomic.Int64
 	fullDominant  atomic.Int64
 	divergent     atomic.Int64
+
+	// Stabilizer engine counters (stab.go).
+	stabPrograms    atomic.Int64
+	stabFallbacks   atomic.Int64
+	stabPrefixSteps atomic.Int64
+	stabMaxWords    atomic.Int64
+	stabTrials      atomic.Int64
 }
 
 // EngineStats is a snapshot of the trajectory engine's counters.
@@ -252,6 +259,20 @@ type EngineStats struct {
 	// DivergentTrials replayed a suffix from a checkpoint.
 	FullDominantTrials int64
 	DivergentTrials    int64
+
+	// StabPrograms / StabFallbacks count analyzed programs whose whole
+	// schedule converted to tableau operations vs those with a
+	// non-Clifford step (which run on the statevector engine instead).
+	StabPrograms  int64
+	StabFallbacks int64
+	// StabPrefixSteps is the total Clifford prefix length across
+	// analyzed programs (equal to the schedule length for converted
+	// programs); StabMaxWords is the widest tableau row, in 64-bit
+	// words, any stabilizer plan used.
+	StabPrefixSteps int64
+	StabMaxWords    int64
+	// StabTrials counts trials executed on the tableau.
+	StabTrials int64
 }
 
 // EngineStatsSnapshot returns the process-wide trajectory engine
@@ -263,6 +284,11 @@ func EngineStatsSnapshot() EngineStats {
 		TreeLeaves:         engineStats.treeLeaves.Load(),
 		FullDominantTrials: engineStats.fullDominant.Load(),
 		DivergentTrials:    engineStats.divergent.Load(),
+		StabPrograms:       engineStats.stabPrograms.Load(),
+		StabFallbacks:      engineStats.stabFallbacks.Load(),
+		StabPrefixSteps:    engineStats.stabPrefixSteps.Load(),
+		StabMaxWords:       engineStats.stabMaxWords.Load(),
+		StabTrials:         engineStats.stabTrials.Load(),
 	}
 }
 
@@ -273,6 +299,11 @@ func ResetEngineStats() {
 	engineStats.treeLeaves.Store(0)
 	engineStats.fullDominant.Store(0)
 	engineStats.divergent.Store(0)
+	engineStats.stabPrograms.Store(0)
+	engineStats.stabFallbacks.Store(0)
+	engineStats.stabPrefixSteps.Store(0)
+	engineStats.stabMaxWords.Store(0)
+	engineStats.stabTrials.Store(0)
 }
 
 // engineTally accumulates per-trial counters inside one stripe so the
@@ -280,6 +311,7 @@ func ResetEngineStats() {
 type engineTally struct {
 	full int64
 	div  int64
+	stab int64
 }
 
 func (t *engineTally) flush() {
@@ -289,7 +321,10 @@ func (t *engineTally) flush() {
 	if t.div != 0 {
 		engineStats.divergent.Add(t.div)
 	}
-	t.full, t.div = 0, 0
+	if t.stab != 0 {
+		engineStats.stabTrials.Add(t.stab)
+	}
+	t.full, t.div, t.stab = 0, 0, 0
 }
 
 // planFor returns the program's prefix plan, building it on first use.

@@ -1,0 +1,107 @@
+// Package bitset provides a small fixed-stride multi-word bitset for
+// device-qubit and device-edge index sets.
+//
+// The compiler stack historically packed layout footprints into a single
+// uint64, capping devices at 64 qubits. Set widens that to a fixed
+// [Words]uint64 array — wide enough for the 127-qubit Eagle heavy-hex
+// device and its 144 edges — while keeping the properties the hot paths
+// rely on: it is a comparable value type (usable as a map key), lives
+// inline in structs with no heap allocation, and supports word-parallel
+// intersection/overlap tests.
+//
+// APIs that still assume a single-word mask must reject devices wider
+// than their representation explicitly (device.ErrDeviceTooWide) rather
+// than silently truncating; Cap is the widened ceiling that replaced the
+// old 64-element one.
+package bitset
+
+import "math/bits"
+
+// Words is the fixed stride of a Set in 64-bit words.
+const Words = 3
+
+// Cap is the number of distinct elements a Set can hold (0..Cap-1).
+// 192 covers the Eagle-127 heavy-hex device's 127 qubits and 144 edges
+// with headroom.
+const Cap = Words * 64
+
+// Set is a fixed-width bitset over [0, Cap). The zero value is the empty
+// set. Set is comparable, so it can key maps directly.
+type Set [Words]uint64
+
+// Add sets element i. i must be in [0, Cap).
+func (s *Set) Add(i int) {
+	s[i>>6] |= 1 << uint(i&63)
+}
+
+// Remove clears element i. i must be in [0, Cap).
+func (s *Set) Remove(i int) {
+	s[i>>6] &^= 1 << uint(i&63)
+}
+
+// Has reports whether element i is set. i must be in [0, Cap).
+func (s Set) Has(i int) bool {
+	return s[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Overlap returns the number of elements shared with t.
+func (s Set) Overlap(t Set) int {
+	n := 0
+	for i, w := range s {
+		n += bits.OnesCount64(w & t[i])
+	}
+	return n
+}
+
+// Intersects reports whether the sets share any element.
+func (s Set) Intersects(t Set) bool {
+	for i, w := range s {
+		if w&t[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns the elementwise union of s and t.
+func (s Set) Union(t Set) Set {
+	var u Set
+	for i, w := range s {
+		u[i] = w | t[i]
+	}
+	return u
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash folds the set into a 64-bit FNV-style fingerprint, matching the
+// mixing discipline of the mapper's integer keys.
+func (s Set) Hash() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, w := range s {
+		h ^= w
+		h *= fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,98 @@
+package bitset
+
+import "testing"
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("zero value not empty: %v", s)
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 126, 127, 128, 191} {
+		if s.Has(i) {
+			t.Fatalf("Has(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Has(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 9 {
+		t.Fatalf("Count = %d, want 9", s.Count())
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 8 {
+		t.Fatalf("Remove(64) failed: count %d", s.Count())
+	}
+	// Remove of an absent element is a no-op.
+	s.Remove(64)
+	if s.Count() != 8 {
+		t.Fatalf("double Remove changed count: %d", s.Count())
+	}
+}
+
+func TestSetOverlapUnion(t *testing.T) {
+	var a, b Set
+	a.Add(3)
+	a.Add(70)
+	a.Add(130)
+	b.Add(70)
+	b.Add(130)
+	b.Add(185)
+	if got := a.Overlap(b); got != 2 {
+		t.Fatalf("Overlap = %d, want 2", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	u := a.Union(b)
+	if u.Count() != 4 {
+		t.Fatalf("Union count = %d, want 4", u.Count())
+	}
+	for _, i := range []int{3, 70, 130, 185} {
+		if !u.Has(i) {
+			t.Fatalf("Union missing %d", i)
+		}
+	}
+	var c Set
+	c.Add(64)
+	if a.Intersects(c) || a.Overlap(c) != 0 {
+		t.Fatal("disjoint sets reported as overlapping")
+	}
+}
+
+func TestSetComparable(t *testing.T) {
+	var a, b Set
+	a.Add(127)
+	b.Add(127)
+	if a != b {
+		t.Fatal("equal sets compare unequal")
+	}
+	m := map[Set]int{a: 1}
+	if m[b] != 1 {
+		t.Fatal("Set not usable as map key")
+	}
+	b.Add(0)
+	if a == b {
+		t.Fatal("distinct sets compare equal")
+	}
+}
+
+func TestSetHash(t *testing.T) {
+	var a, b Set
+	a.Add(5)
+	b.Add(5)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets hash differently")
+	}
+	b.Add(150)
+	if a.Hash() == b.Hash() {
+		t.Fatal("distinct sets collide (word mixing broken)")
+	}
+	// Same bit pattern in different words must hash differently.
+	var c, d Set
+	c.Add(1)
+	d.Add(65)
+	if c.Hash() == d.Hash() {
+		t.Fatal("word position not mixed into hash")
+	}
+}

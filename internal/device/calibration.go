@@ -340,18 +340,32 @@ func (c *Calibration) Drift(f float64, r *rng.RNG) *Calibration {
 		if out.T2us[q] > 2*out.T1us[q] {
 			out.T2us[q] = 2 * out.T1us[q]
 		}
-		out.CohY[q] += f * 0.05 * qr.Norm()
-		out.CohZ[q] += f * 0.04 * qr.Norm()
+		// Coherent terms drift additively, but only where the base
+		// calibration has any: a field generated at exactly zero (a
+		// Clifford-clean profile like HeavyHexProfile) must stay zero or
+		// drift would silently reintroduce non-Clifford physics. The
+		// Norm() is drawn unconditionally so the RNG stream — and with
+		// it every existing seeded campaign — is unchanged.
+		if d := f * 0.05 * qr.Norm(); out.CohY[q] != 0 {
+			out.CohY[q] += d
+		}
+		if d := f * 0.04 * qr.Norm(); out.CohZ[q] != 0 {
+			out.CohZ[q] += d
+		}
 	}
 	er := r.Derive("edge-drift")
 	for _, e := range sortedEdges(out.CXErr) {
 		out.CXErr[e] = clamp(out.CXErr[e]*math.Exp(f*er.Norm()), 0, 0.4)
 	}
 	for _, e := range sortedEdges(out.CXCohZZ) {
-		out.CXCohZZ[e] += f * 0.08 * er.Norm()
+		if d := f * 0.08 * er.Norm(); out.CXCohZZ[e] != 0 {
+			out.CXCohZZ[e] += d
+		}
 	}
 	for _, e := range sortedEdges(out.CrossZZ) {
-		out.CrossZZ[e] += f * 0.02 * er.Norm()
+		if d := f * 0.02 * er.Norm(); out.CrossZZ[e] != 0 {
+			out.CrossZZ[e] += d
+		}
 	}
 	return out
 }
@@ -397,8 +411,14 @@ func (c *Calibration) DriftLocal(hitQ, hitE int, scale, jitter float64, r *rng.R
 		if out.T2us[q] > 2*out.T1us[q] {
 			out.T2us[q] = 2 * out.T1us[q]
 		}
-		out.CohY[q] += f * 0.05 * qr.Norm()
-		out.CohZ[q] += f * 0.04 * qr.Norm()
+		// Same zero-field gating as Drift: draw, then apply only to
+		// fields the base calibration actually has.
+		if d := f * 0.05 * qr.Norm(); out.CohY[q] != 0 {
+			out.CohY[q] += d
+		}
+		if d := f * 0.04 * qr.Norm(); out.CohZ[q] != 0 {
+			out.CohZ[q] += d
+		}
 	}
 	er := r.Derive("edge-drift")
 	for i, e := range edges {
@@ -410,8 +430,12 @@ func (c *Calibration) DriftLocal(hitQ, hitE int, scale, jitter float64, r *rng.R
 			continue
 		}
 		out.CXErr[e] = clamp(out.CXErr[e]*math.Exp(f*er.Norm()), 0, 0.4)
-		out.CXCohZZ[e] += f * 0.08 * er.Norm()
-		out.CrossZZ[e] += f * 0.02 * er.Norm()
+		if d := f * 0.08 * er.Norm(); out.CXCohZZ[e] != 0 {
+			out.CXCohZZ[e] += d
+		}
+		if d := f * 0.02 * er.Norm(); out.CrossZZ[e] != 0 {
+			out.CrossZZ[e] += d
+		}
 	}
 	return out
 }

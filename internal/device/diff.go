@@ -3,6 +3,8 @@ package device
 import (
 	"fmt"
 	"math"
+
+	"edm/internal/bitset"
 )
 
 // diff.go implements calibration diffing for drift-aware incremental
@@ -63,8 +65,11 @@ func (s DiffStats) String() string {
 
 // CalDiff is the element-wise difference between two calibrations of the
 // same device, the input to the mapper's incremental recompilation path.
-// Qubit masks pack qubit q at word q>>6, bit q&63; edge masks pack edge
-// index i (the position of the edge in Topo.Edges() order) the same way.
+// Qubit masks hold qubit indices; edge masks hold edge indices (the
+// position of the edge in Topo.Edges() order). The masks are inline
+// multi-word bitsets, so a CalDiff is a flat value with no heap
+// footprint; devices wider than bitset.Cap (qubits or edges) degrade
+// to a Global diff — explicitly conservative, never silently truncated.
 //
 // Two granularities coexist: the Any masks flag every element whose
 // sub-fingerprint moved at all (any bit — the exactness test: untouched
@@ -75,12 +80,12 @@ func (s DiffStats) String() string {
 // bit change counts — degenerating to today's full invalidation.
 type CalDiff struct {
 	Tol    float64
-	Global bool // topology, gate-time or ReadoutCorr change: no reuse possible
+	Global bool // topology, gate-time, ReadoutCorr or device-width change: no reuse possible
 
-	Qubits    []uint64 // beyond-tol changed qubits
-	Edges     []uint64 // beyond-tol changed edges, Topo.Edges() order
-	QubitsAny []uint64 // any-bit changed qubits
-	EdgesAny  []uint64 // any-bit changed edges
+	Qubits    bitset.Set // beyond-tol changed qubits
+	Edges     bitset.Set // beyond-tol changed edges, Topo.Edges() order
+	QubitsAny bitset.Set // any-bit changed qubits
+	EdgesAny  bitset.Set // any-bit changed edges
 
 	Stats DiffStats
 }
@@ -91,13 +96,10 @@ func (d CalDiff) Full() bool {
 	return d.Global || (d.Tol <= 0 && d.Stats.TouchedQubits+d.Stats.TouchedEdges > 0)
 }
 
-func maskSet(m []uint64, i int)           { m[i>>6] |= 1 << uint(i&63) }
-func maskHas(m []uint64, i int) bool      { return m[i>>6]>>(uint(i)&63)&1 == 1 }
-func diffMask(n int) []uint64             { return make([]uint64, (n+63)>>6) }
-func (d CalDiff) QubitChanged(q int) bool { return maskHas(d.Qubits, q) }
-func (d CalDiff) QubitTouched(q int) bool { return maskHas(d.QubitsAny, q) }
-func (d CalDiff) EdgeChanged(i int) bool  { return maskHas(d.Edges, i) }
-func (d CalDiff) EdgeTouched(i int) bool  { return maskHas(d.EdgesAny, i) }
+func (d CalDiff) QubitChanged(q int) bool { return d.Qubits.Has(q) }
+func (d CalDiff) QubitTouched(q int) bool { return d.QubitsAny.Has(q) }
+func (d CalDiff) EdgeChanged(i int) bool  { return d.Edges.Has(i) }
+func (d CalDiff) EdgeTouched(i int) bool  { return d.EdgesAny.Has(i) }
 
 // relDelta is the symmetric relative difference |a-b| / max(|a|,|b|);
 // zero when the values are equal (including both zero).
@@ -129,8 +131,13 @@ func Diff(old, new *Calibration, tol float64) CalDiff {
 	}
 	n := new.Topo.Qubits
 	edges := new.Topo.Edges()
-	d.Qubits, d.QubitsAny = diffMask(n), diffMask(n)
-	d.Edges, d.EdgesAny = diffMask(len(edges)), diffMask(len(edges))
+	if n > bitset.Cap || len(edges) > bitset.Cap {
+		// Wider than the inline masks can index: fall back to a Global
+		// diff (full invalidation) rather than dropping high elements.
+		d.Global = true
+		d.Stats.Global = true
+		return d
+	}
 	d.Stats.Qubits, d.Stats.Edges = n, len(edges)
 
 	for q := 0; q < n; q++ {
@@ -150,11 +157,11 @@ func Diff(old, new *Calibration, tol float64) CalDiff {
 		if !touched {
 			continue
 		}
-		maskSet(d.QubitsAny, q)
+		d.QubitsAny.Add(q)
 		d.Stats.TouchedQubits++
 		d.Stats.MaxRelQubit = math.Max(d.Stats.MaxRelQubit, maxRel)
 		if tol <= 0 || maxRel > tol {
-			maskSet(d.Qubits, q)
+			d.Qubits.Add(q)
 			d.Stats.ChangedQubits++
 		}
 	}
@@ -174,11 +181,11 @@ func Diff(old, new *Calibration, tol float64) CalDiff {
 		if !touched {
 			continue
 		}
-		maskSet(d.EdgesAny, i)
+		d.EdgesAny.Add(i)
 		d.Stats.TouchedEdges++
 		d.Stats.MaxRelEdge = math.Max(d.Stats.MaxRelEdge, maxRel)
 		if tol <= 0 || maxRel > tol {
-			maskSet(d.Edges, i)
+			d.Edges.Add(i)
 			d.Stats.ChangedEdges++
 		}
 	}

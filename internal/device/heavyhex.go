@@ -1,0 +1,114 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDeviceTooWide is returned by APIs whose representation still
+// assumes a bounded device width when handed a larger device. Callers
+// must surface it rather than silently truncating: a mask that drops
+// qubit 192+ would corrupt layouts, diffs and footprints invisibly.
+var ErrDeviceTooWide = errors.New("device: device wider than the supported mask width")
+
+// HeavyHexFalcon27 returns the 27-qubit heavy-hexagon coupling graph of
+// IBM's Falcon processors (ibmq_montreal, ibm_cairo, ...): hexagon
+// cells sharing edges, with qubits on both the vertices and the edge
+// midpoints, so no qubit couples to more than three neighbours. The
+// edge list is the published coupling map.
+func HeavyHexFalcon27() *Topology {
+	edges := []Edge{
+		{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8},
+		{6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14},
+		{12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19},
+		{17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+		{23, 24}, {24, 25}, {25, 26},
+	}
+	return NewTopology("heavy-hex-falcon-27", 27, edges)
+}
+
+// HeavyHexEagle127 returns the 127-qubit heavy-hexagon lattice of IBM's
+// Eagle processors (ibm_washington coupling map): seven long rows of
+// 14-15 qubits joined by columns of four connector qubits, connector
+// positions alternating by two sites between successive gaps. 127
+// qubits, 144 edges, maximum degree 3.
+func HeavyHexEagle127() *Topology {
+	rowStart := [7]int{0, 18, 37, 56, 75, 94, 113}
+	rowLen := [7]int{14, 15, 15, 15, 15, 15, 14}
+	connStart := [6]int{14, 33, 52, 71, 90, 109}
+
+	var edges []Edge
+	for r := 0; r < 7; r++ {
+		for i := 0; i+1 < rowLen[r]; i++ {
+			edges = append(edges, Edge{rowStart[r] + i, rowStart[r] + i + 1})
+		}
+	}
+	posA := [4]int{0, 4, 8, 12}
+	posB := [4]int{2, 6, 10, 14}
+	for gap := 0; gap < 6; gap++ {
+		pos := posA
+		if gap%2 == 1 {
+			pos = posB
+		}
+		for k := 0; k < 4; k++ {
+			conn := connStart[gap] + k
+			upper := rowStart[gap] + pos[k]
+			lower := rowStart[gap+1] + pos[k]
+			if gap+1 == 6 {
+				// The bottom row is one site shorter and shifted, so
+				// its attachment points sit one position earlier.
+				lower--
+			}
+			edges = append(edges, NewEdge(upper, conn), NewEdge(conn, lower))
+		}
+	}
+	return NewTopology("heavy-hex-eagle-127", 127, edges)
+}
+
+// HeavyHexProfile returns generation parameters for the heavy-hex
+// devices. Stochastic rates are tighter than Melbourne's, matching the
+// generational improvement of Falcon/Eagle hardware, but the profile's
+// defining property is that it is *Clifford-clean*: every coherent
+// (unitary) noise term is zero and T1/T2 are infinite, so the only
+// error channels are Pauli (depolarizing) gate noise and readout flips
+// — all of which the stabilizer tableau engine models exactly. That is
+// what lets 127-qubit workloads execute at all: any coherent angle or
+// finite damping would inject non-Clifford steps and force the
+// statevector fallback, which cannot exist past 64 qubits.
+//
+// T1/T2 must be math.Inf, not merely huge: a finite T1 yields
+// 1-exp(-dt/T1) strictly greater than zero and the compiler would emit
+// (non-Clifford) damping steps for every gate window.
+func HeavyHexProfile() Profile {
+	return Profile{
+		SQErrMean: 0.0005, SQErrSpread: 0.5,
+		CXErrMean: 0.012, CXErrSpread: 0.6,
+		Meas01Mean: 0.01, Meas01Spread: 0.8,
+		Meas10Mean: 0.02, Meas10Spread: 0.8,
+		T1MeanUs: math.Inf(1), T2MeanUs: math.Inf(1),
+		ReadoutCorr: 0.25,
+		BadQubits:   4,
+		BadFactor:   3.0,
+		Gate1QNs:    35,
+		Gate2QNs:    300,
+		MeasNs:      700,
+	}
+}
+
+// ByName resolves a device name to its topology and calibration
+// profile. The empty name means the default Melbourne device, keeping
+// existing serve configurations valid.
+func ByName(name string) (*Topology, Profile, error) {
+	switch name {
+	case "", "melbourne":
+		return Melbourne(), MelbourneProfile(), nil
+	case "tokyo":
+		return Tokyo(), MelbourneProfile(), nil
+	case "falcon27":
+		return HeavyHexFalcon27(), HeavyHexProfile(), nil
+	case "eagle127":
+		return HeavyHexEagle127(), HeavyHexProfile(), nil
+	}
+	return nil, Profile{}, fmt.Errorf("device: unknown device %q (have melbourne, tokyo, falcon27, eagle127)", name)
+}

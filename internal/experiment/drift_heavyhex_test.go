@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"edm/internal/backend"
+	"edm/internal/device"
+)
+
+// TestDriftCampaignHeavyHex runs the drifting campaign on the 27-qubit
+// heavy-hex Falcon with the Clifford-clean profile: the multi-word
+// calibration diffs and incremental recompilation must stay
+// bit-identical to full rebuilds past 14 qubits, and the fully-Clifford
+// compiled workloads must actually execute on the stabilizer engine.
+func TestDriftCampaignHeavyHex(t *testing.T) {
+	s := QuickDriftSetup()
+	s.Cycles = 3
+	s.Trials = 512
+	s.K = 2
+	s.Topo = device.HeavyHexFalcon27()
+	s.Profile = device.HeavyHexProfile()
+	s.Workloads = []string{"greycode-6", "greycode-12", "bv-6"}
+	s.CrossCheckEvery = 2
+
+	backend.ResetEngineStats()
+	ResetCampaignCaches()
+	inc := RunDrifting(s)
+
+	full := s
+	full.Mode = DriftFull
+	ResetCampaignCaches()
+	fullRes := RunDrifting(full)
+
+	if !reflect.DeepEqual(cellsOf(inc), cellsOf(fullRes)) {
+		t.Fatal("heavy-hex incremental campaign cells differ from full recompilation")
+	}
+	for _, rd := range inc.Rounds {
+		if rd.CrossChecked && !rd.PoolsIdentical {
+			t.Fatalf("cycle %d: incremental pool != full rebuild on falcon27 (max ESP delta %g)",
+				rd.Cycle, rd.MaxESPDelta)
+		}
+	}
+	es := backend.EngineStatsSnapshot()
+	if es.StabTrials == 0 || es.StabPrograms == 0 {
+		t.Fatalf("engine stats %+v: Clifford-clean heavy-hex campaign never used the tableau", es)
+	}
+	if es.StabFallbacks != 0 {
+		t.Fatalf("engine stats %+v: unexpected statevector fallbacks", es)
+	}
+}

@@ -90,15 +90,15 @@ func BenchmarkQubitSetMask(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sets := make([]qmask, len(layouts))
 		for j, l := range layouts {
-			m := newMask(14)
+			var m qmask
 			for _, q := range l {
-				m.add(q)
+				m.Add(q)
 			}
 			sets[j] = m
 		}
 		n := 0
 		for j := 1; j < len(sets); j++ {
-			n += maskOverlap(sets[0], sets[j])
+			n += sets[0].Overlap(sets[j])
 		}
 	}
 }

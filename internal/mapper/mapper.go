@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"edm/internal/bitset"
 	"edm/internal/circuit"
 	"edm/internal/device"
 	"edm/internal/graph"
@@ -291,6 +292,17 @@ func (c *Compiler) pathBetween(src, dst int) []int {
 	return path
 }
 
+// widthErr rejects devices wider than the inline qmask footprints can
+// index. Every public compile entry checks it, so a too-wide device is
+// an explicit error — never a silently truncated footprint mask.
+func (c *Compiler) widthErr() error {
+	if c.devN > bitset.Cap {
+		return fmt.Errorf("mapper: %d-qubit device exceeds the %d-qubit footprint width: %w",
+			c.devN, bitset.Cap, device.ErrDeviceTooWide)
+	}
+	return nil
+}
+
 // Compile maps the logical circuit onto the device: variation-aware
 // initial placement followed by reliability-aware SWAP routing. The
 // returned executable acts on the full device register (NumQubits =
@@ -298,6 +310,9 @@ func (c *Compiler) pathBetween(src, dst int) []int {
 // distributions from differently mapped executables are directly
 // comparable.
 func (c *Compiler) Compile(logical *circuit.Circuit) (*Executable, error) {
+	if err := c.widthErr(); err != nil {
+		return nil, err
+	}
 	if err := logical.Validate(); err != nil {
 		return nil, err
 	}
@@ -319,6 +334,9 @@ func (c *Compiler) Compile(logical *circuit.Circuit) (*Executable, error) {
 // mapping) get what they asked for. Routing still uses the lookahead
 // router for the SWAPs themselves.
 func (c *Compiler) CompileWithLayout(logical *circuit.Circuit, layout []int) (*Executable, error) {
+	if err := c.widthErr(); err != nil {
+		return nil, err
+	}
 	if err := logical.Validate(); err != nil {
 		return nil, err
 	}

@@ -427,21 +427,19 @@ func candLess(a, b *candidate) bool {
 // edge's rates enter its ESP or routing). The edge test is conservative
 // — a set containing both endpoints might never run a gate across that
 // edge — so it can over-rescore but never under-rescore.
-func touchPred(edges []device.Edge, qm []uint64, em []uint64) func(set qmask) bool {
+func touchPred(edges []device.Edge, qm, em qmask) func(set qmask) bool {
 	var hit []device.Edge
 	for i, e := range edges {
-		if em[i>>6]>>(uint(i)&63)&1 == 1 {
+		if em.Has(i) {
 			hit = append(hit, e)
 		}
 	}
 	return func(set qmask) bool {
-		for i := range set {
-			if i < len(qm) && set[i]&qm[i] != 0 {
-				return true
-			}
+		if set.Intersects(qm) {
+			return true
 		}
 		for _, e := range hit {
-			if set.has(e.A) && set.has(e.B) {
+			if set.Has(e.A) && set.Has(e.B) {
 				return true
 			}
 		}
@@ -517,9 +515,9 @@ func (c *Compiler) recompilePool(logical *circuit.Circuit, prev *poolEntry, d de
 		}
 		baseRes = res
 	} else {
-		baseMask := newMask(c.devN)
+		var baseMask qmask
 		for _, q := range prev.rp.used {
-			baseMask.add(q)
+			baseMask.Add(q)
 		}
 		if touchedTol(baseMask) {
 			bl, res, err := c.routeDry(prog, prev.seed)

@@ -253,13 +253,14 @@ func (a *altPlacement) exe() *Executable { return a.c.replay(a.prog, a.layout, a
 // SWAP endpoint appears in some emitted op. So the set equals UsedQubits()
 // of the materialized circuit.
 func (a *altPlacement) usedMask(devN int) qmask {
-	set := newMask(devN)
+	_ = devN // width is fixed by the qmask type; kept for call-site symmetry
+	var set qmask
 	for _, q := range a.prog.used {
-		set.add(a.layout[q])
+		set.Add(a.layout[q])
 	}
 	for _, r := range a.res.rec {
-		set.add(r.u)
-		set.add(r.v)
+		set.Add(r.u)
+		set.Add(r.v)
 	}
 	return set
 }

@@ -240,12 +240,11 @@ func TestRouterUsedMaskMatchesCircuit(t *testing.T) {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
 		for i, a := range alts {
-			want := newMask(comp.devN)
+			var want qmask
 			for _, q := range a.exe().UsedQubits() {
-				want.add(q)
+				want.Add(q)
 			}
-			got := a.usedMask(comp.devN)
-			if got.hash() != want.hash() || maskOverlap(got, want) != want.count() || got.count() != want.count() {
+			if got := a.usedMask(comp.devN); got != want {
 				t.Errorf("%s alt %d: usedMask != circuit UsedQubits", w.Name, i)
 			}
 		}

@@ -3,10 +3,10 @@ package mapper
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"sort"
 	"sync/atomic"
 
+	"edm/internal/bitset"
 	"edm/internal/circuit"
 	"edm/internal/graph"
 	"edm/internal/pool"
@@ -34,33 +34,13 @@ const enumLimit = 100000
 // ---------------------------------------------------------------------------
 // Qubit-set bitmasks and hashed keys.
 
-// qmask is a set of physical qubits as packed bits. It replaces the
-// map[int]bool sets and byte-string keys the selection stage used before.
-type qmask []uint64
-
-func newMask(n int) qmask { return make(qmask, (n+63)>>6) }
-
-func (m qmask) add(q int) { m[q>>6] |= 1 << uint(q&63) }
-
-func (m qmask) has(q int) bool { return m[q>>6]>>(uint(q)&63)&1 == 1 }
-
-func (m qmask) count() int {
-	n := 0
-	for _, w := range m {
-		n += popcount(w)
-	}
-	return n
-}
-
-func maskOverlap(a, b qmask) int {
-	n := 0
-	for i := range a {
-		n += popcount(a[i] & b[i])
-	}
-	return n
-}
-
-func popcount(x uint64) int { return bits.OnesCount64(x) }
+// qmask is a set of physical qubits as an inline fixed-width multi-word
+// bitset. It replaced the map[int]bool sets and byte-string keys the
+// selection stage used originally, and the single-uint64 footprint that
+// capped devices at 64 qubits after that. Devices wider than bitset.Cap
+// are rejected with device.ErrDeviceTooWide at the compiler's public
+// entry points (widthErr) rather than silently truncating footprints.
+type qmask = bitset.Set
 
 const (
 	fnvOffset = 14695981039346656037
@@ -90,7 +70,9 @@ func hashInts(xs []int) uint64 {
 	return h
 }
 
-func (m qmask) hash() uint64 {
+// maskHash fingerprints a qubit set with the same word mixing as the
+// mapper's other integer keys.
+func maskHash(m qmask) uint64 {
 	h := uint64(fnvOffset)
 	for _, w := range m {
 		h = fnvMix(h, w)
@@ -287,9 +269,9 @@ func (rp *replacer) layoutOf(mono []int) []int {
 
 func (rp *replacer) makeCandidate(mono []int) *candidate {
 	m := append([]int(nil), mono...)
-	set := newMask(rp.c.devN)
+	var set qmask
 	for _, q := range m {
-		set.add(q)
+		set.Add(q)
 	}
 	layout := rp.layoutOf(m)
 	return &candidate{
@@ -297,7 +279,7 @@ func (rp *replacer) makeCandidate(mono []int) *candidate {
 		layout: layout,
 		lkey:   hashInts(layout),
 		set:    set,
-		skey:   set.hash(),
+		skey:   maskHash(set),
 		mono:   m,
 	}
 }
@@ -399,7 +381,7 @@ func candFromAlt(devN int, a *altPlacement) *candidate {
 		layout: a.layout,
 		lkey:   hashInts(a.layout),
 		set:    set,
-		skey:   set.hash(),
+		skey:   maskHash(set),
 		alt:    a,
 	}
 }
@@ -472,6 +454,9 @@ func dedupeByLayout(cs []*candidate) []*candidate {
 // exactly), and the returned executables are shared immutable values —
 // callers must not mutate them.
 func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) {
+	if err := c.widthErr(); err != nil {
+		return nil, err
+	}
 	if k <= 0 {
 		return nil, fmt.Errorf("mapper: k must be positive")
 	}
@@ -501,6 +486,9 @@ func (c *Compiler) TopK(logical *circuit.Circuit, k int) ([]*Executable, error) 
 // compile stage is inlined (validate, place, dry-route, replay) so the
 // entry can retain the intermediates incremental recompilation needs.
 func (c *Compiler) buildPool(logical *circuit.Circuit) *poolEntry {
+	if err := c.widthErr(); err != nil {
+		return &poolEntry{err: err}
+	}
 	if err := logical.Validate(); err != nil {
 		return &poolEntry{err: err}
 	}
@@ -710,7 +698,7 @@ func selectDiverse(cpool []*candidate, k int) []*candidate {
 	if len(cpool) == 0 {
 		return nil
 	}
-	footprint := cpool[0].set.count()
+	footprint := cpool[0].set.Count()
 	bestESP := cpool[0].esp
 	for _, slack := range []float64{0.15, 0.3, 0.5, 1.0} {
 		minESP := bestESP * (1 - slack)
@@ -725,7 +713,7 @@ func selectDiverse(cpool []*candidate, k int) []*candidate {
 				}
 				ok := true
 				for _, p := range picked {
-					if maskOverlap(cand.set, p.set) > maxShared {
+					if cand.set.Overlap(p.set) > maxShared {
 						ok = false
 						break
 					}

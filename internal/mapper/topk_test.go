@@ -1,10 +1,12 @@
 package mapper
 
 import (
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
 
+	"edm/internal/bitset"
 	"edm/internal/device"
 	"edm/internal/rng"
 	"edm/internal/workloads"
@@ -154,24 +156,37 @@ func TestCachedCompiler(t *testing.T) {
 	}
 }
 
+// TestTooWideDeviceRejected: compiling for a device wider than the
+// footprint masks must fail loudly with ErrDeviceTooWide, never truncate
+// qubit indices into the mask.
+func TestTooWideDeviceRejected(t *testing.T) {
+	comp := NewCompiler(calFor(device.Linear(bitset.Cap+8), 11))
+	w := workloads.All()[0]
+	if _, err := comp.Compile(w.Circuit); !errors.Is(err, device.ErrDeviceTooWide) {
+		t.Fatalf("Compile on %d-qubit device: err = %v, want ErrDeviceTooWide", bitset.Cap+8, err)
+	}
+	if _, err := comp.TopK(w.Circuit, 4); !errors.Is(err, device.ErrDeviceTooWide) {
+		t.Fatalf("TopK on wide device: err = %v, want ErrDeviceTooWide", err)
+	}
+}
+
 // TestMaskOps sanity-checks the bitmask set type against the obvious
 // reference.
 func TestMaskOps(t *testing.T) {
-	a := newMask(130)
-	b := newMask(130)
+	var a, b qmask
 	for _, q := range []int{0, 5, 63, 64, 77, 129} {
-		a.add(q)
+		a.Add(q)
 	}
 	for _, q := range []int{5, 63, 100, 129} {
-		b.add(q)
+		b.Add(q)
 	}
-	if a.count() != 6 || b.count() != 4 {
-		t.Fatalf("counts: %d %d", a.count(), b.count())
+	if a.Count() != 6 || b.Count() != 4 {
+		t.Fatalf("counts: %d %d", a.Count(), b.Count())
 	}
-	if got := maskOverlap(a, b); got != 3 {
+	if got := a.Overlap(b); got != 3 {
 		t.Fatalf("overlap = %d, want 3", got)
 	}
-	if a.hash() == b.hash() {
+	if maskHash(a) == maskHash(b) {
 		t.Fatal("distinct masks share a hash")
 	}
 }

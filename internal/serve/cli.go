@@ -43,6 +43,7 @@ func Lookup(name string) (Command, bool) {
 
 // jobFlags registers the job-shaping flags shared by run and serve.
 func jobFlags(fs *flag.FlagSet, cfg *Config) {
+	fs.StringVar(&cfg.Device, "device", cfg.Device, "target device: melbourne (default), tokyo, falcon27 or eagle127")
 	fs.Uint64Var(&cfg.CalSeed, "calseed", cfg.CalSeed, "calibration stream seed")
 	fs.Float64Var(&cfg.Drift, "drift", cfg.Drift, "calibration drift between compile and run time")
 	fs.IntVar(&cfg.Window, "window", cfg.Window, "calibration window index")
@@ -183,7 +184,7 @@ func ServeCLI(args []string, stdout, stderr io.Writer) int {
 	go func() { done <- srv.ListenAndServe(context.Background(), *addr, ready) }()
 	select {
 	case bound := <-ready:
-		fmt.Fprintf(stdout, "edmd listening on %s (window %d)\n", bound, cfg.Window)
+		fmt.Fprintf(stdout, "edmd listening on %s (device %s, window %d)\n", bound, svc.DeviceName(), cfg.Window)
 	case err := <-done:
 		fmt.Fprintf(stderr, "serve: %v\n", err)
 		return 1

@@ -190,6 +190,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	put("recompile_candidates_reused_total", m.Recompile.Reused)
 	put("recompile_candidates_rescored_total", m.Recompile.Rescored)
 	put("recompile_candidates_rerouted_total", m.Recompile.Rerouted)
+	put("engine_stab_programs_total", uint64(m.Engine.StabPrograms))
+	put("engine_stab_fallbacks_total", uint64(m.Engine.StabFallbacks))
+	put("engine_stab_prefix_steps_total", uint64(m.Engine.StabPrefixSteps))
+	put("engine_stab_trials_total", uint64(m.Engine.StabTrials))
+	put("engine_stab_max_words", uint64(m.Engine.StabMaxWords))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = io.WriteString(w, sb.String())
 }

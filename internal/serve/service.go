@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"edm/internal/backend"
+	"edm/internal/bitstr"
 	"edm/internal/circuit"
 	"edm/internal/core"
 	"edm/internal/device"
@@ -18,6 +19,11 @@ import (
 // Config fixes a service instance's device, determinism anchor and
 // resource bounds. The zero value is unusable; start from DefaultConfig.
 type Config struct {
+	// Device names the target device (see device.ByName): melbourne
+	// (default), tokyo, falcon27 or eagle127. The heavy-hex devices run
+	// Clifford-clean calibrations, so wide jobs route to the stabilizer
+	// engine instead of a statevector the process could never allocate.
+	Device string
 	// CalSeed anchors the calibration stream. Window i's compile-time
 	// calibration and drifted runtime truth derive from it exactly as
 	// experiment.Setup derives a round: root = rng.New(CalSeed),
@@ -111,6 +117,9 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.TTL < 0 {
 		return nil, fmt.Errorf("serve: ttl %v must be non-negative", cfg.TTL)
 	}
+	if _, _, err := device.ByName(cfg.Device); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	cal, runtimeCal := windowCals(cfg, cfg.Window)
 	life, stop := context.WithCancel(context.Background())
 	s := &Service{
@@ -129,9 +138,15 @@ func NewService(cfg Config) (*Service, error) {
 
 // windowCals materializes window i's compile-time calibration and its
 // drifted runtime truth, exactly as the batch campaign does per round.
+// cfg.Device must already be validated (NewService checks it); an
+// unknown name here is a programming error, not user input.
 func windowCals(cfg Config, i int) (cal, runtimeCal *device.Calibration) {
+	topo, prof, err := device.ByName(cfg.Device)
+	if err != nil {
+		panic(err)
+	}
 	root := rng.New(cfg.CalSeed)
-	cal = device.Generate(device.Melbourne(), device.MelbourneProfile(), root.DeriveN("calibration", i))
+	cal = device.Generate(topo, prof, root.DeriveN("calibration", i))
 	runtimeCal = cal.Drift(cfg.Drift, root.DeriveN("drift", i))
 	return cal, runtimeCal
 }
@@ -147,6 +162,15 @@ func newWindowMachine(runtimeCal *device.Calibration) *backend.Machine {
 // Close stops the service: detached builds see a cancelled context and
 // fail fast instead of simulating for nobody.
 func (s *Service) Close() { s.stop() }
+
+// DeviceName returns the canonical name of the configured device
+// ("melbourne" for the empty default).
+func (s *Service) DeviceName() string {
+	if s.cfg.Device == "" {
+		return "melbourne"
+	}
+	return s.cfg.Device
+}
 
 // Window returns the current calibration window index.
 func (s *Service) Window() int {
@@ -200,6 +224,13 @@ func (s *Service) RunJob(ctx context.Context, spec *JobSpec) (*JobResult, error)
 	if err != nil {
 		return nil, err
 	}
+	// Histogram keys are single machine words; a job that measures more
+	// classical bits than bitstr can hold is a payload problem, caught
+	// here so wide-device (127-qubit) inline circuits fail with a 4xx
+	// instead of surfacing as an execution error.
+	if circ.NumClbits > bitstr.MaxBits {
+		return nil, badJob("circuit measures %d classical bits, histogram limit %d", circ.NumClbits, bitstr.MaxBits)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -235,14 +266,19 @@ func (s *Service) execute(spec *JobSpec, circ *circuit.Circuit, fp uint64) *jobO
 }
 
 // Metrics is the live counter snapshot behind /metrics and /cachestats.
+// Engine is the process-wide trajectory-engine snapshot (stabilizer
+// routing, prefix plans); in the single-service edmd process it reflects
+// this service's machines.
 type Metrics struct {
 	Window    int                   `json:"window"`
+	Device    string                `json:"device"`
 	Admission AdmissionStats        `json:"admission"`
 	Tier      memo.Stats            `json:"tier"`
 	TierShard []memo.Stats          `json:"tier_shards,omitempty"`
 	Pools     memo.Stats            `json:"compile_pools"`
 	Recompile mapper.RecompileStats `json:"recompile"`
 	Runs      memo.Stats            `json:"runs"`
+	Engine    backend.EngineStats   `json:"engine"`
 }
 
 // Snapshot gathers the service's counters.
@@ -255,11 +291,13 @@ func (s *Service) Snapshot(withShards bool) Metrics {
 	s.mu.RUnlock()
 	m := Metrics{
 		Window:    window,
+		Device:    s.DeviceName(),
 		Admission: s.adm.Stats(),
 		Tier:      s.tier.Stats(),
 		Pools:     pools,
 		Recompile: rec,
 		Runs:      runs,
+		Engine:    backend.EngineStatsSnapshot(),
 	}
 	if withShards {
 		m.TierShard = s.tier.ShardStats()

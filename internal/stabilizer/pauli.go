@@ -1,0 +1,153 @@
+// Package stabilizer implements an Aaronson–Gottesman-style tableau
+// simulator for Clifford circuits (arXiv:quant-ph/0406196).
+//
+// A Tableau tracks the stabilizer group of an n-qubit state as 2n+1
+// Pauli rows (n destabilizers, n stabilizers, one scratch row), each
+// packed into (n+63)/64 uint64 words per X/Z half plus a phase mod 4.
+// Rows are kept in *normal form*: row = i^p · X^x · Z^z, with all X
+// factors to the left of all Z factors. This differs from CHP's
+// sign-bit/Y-count convention but makes the row product a single
+// word-parallel XOR plus a popcount-parity phase fix, and lets gate
+// conjugation be driven by small lookup tables built from Pauli images
+// rather than hard-coded per-gate rules — which is what the backend
+// needs, since its fused composite gates are recognized numerically,
+// not by name.
+//
+// Everything here is exact integer arithmetic: no floating point except
+// the one uniform drawn per measurement, which mirrors the statevector
+// engine's draw so counts stay byte-identical wherever both engines run.
+package stabilizer
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pauli is a Pauli operator on up to 8 qubit slots in normal form
+// i^Phase · X^X · Z^Z. Bit k of X/Z is slot k's X/Z exponent.
+type Pauli struct {
+	X, Z  uint8
+	Phase uint8 // mod 4
+}
+
+// Mul returns the normal-form product a·b. Commuting X factors of b
+// left across Z factors of a contributes i^2 per crossing pair, hence
+// the popcount-parity term.
+func Mul(a, b Pauli) Pauli {
+	return Pauli{
+		X:     a.X ^ b.X,
+		Z:     a.Z ^ b.Z,
+		Phase: (a.Phase + b.Phase + uint8(bits.OnesCount8(a.Z&b.X)&1)<<1) & 3,
+	}
+}
+
+// Hermitian reports whether the operator is Hermitian (a valid
+// conjugation image of a Hermitian Pauli): each Y factor is i·XZ, so
+// the normal-form phase parity must equal the Y count parity.
+func (p Pauli) Hermitian() bool {
+	return (p.Phase^uint8(bits.OnesCount8(p.X&p.Z)))&1 == 0
+}
+
+// LUT1 drives single-qubit Clifford conjugation: entry k = za<<1|xa
+// holds the image bits and phase delta for the row factor X^xa Z^za on
+// the gate's qubit. Image bits are stored as 0/1 uint64s so Apply1 can
+// splice them into packed rows without conversions.
+type LUT1 struct {
+	x, z [4]uint64
+	d    [4]uint8
+}
+
+// NewLUT1 builds the table from the gate's conjugation images of X and
+// Z on its qubit. Images must be single-slot (bit 0 only) Hermitian
+// Paulis; anything else is a programmer error in the recognizer.
+func NewLUT1(imgX, imgZ Pauli) *LUT1 {
+	for _, img := range []Pauli{imgX, imgZ} {
+		if img.X > 1 || img.Z > 1 || !img.Hermitian() {
+			panic(fmt.Sprintf("stabilizer: invalid 1Q image %+v", img))
+		}
+	}
+	var l LUT1
+	for xa := uint8(0); xa < 2; xa++ {
+		for za := uint8(0); za < 2; za++ {
+			img := Pauli{}
+			if xa == 1 {
+				img = Mul(img, imgX)
+			}
+			if za == 1 {
+				img = Mul(img, imgZ)
+			}
+			k := za<<1 | xa
+			l.x[k] = uint64(img.X & 1)
+			l.z[k] = uint64(img.Z & 1)
+			l.d[k] = img.Phase
+		}
+	}
+	return &l
+}
+
+// LUT2 drives two-qubit Clifford conjugation: entry
+// k = zb<<3|xb<<2|za<<1|xa holds the image bits on qubits (a,b) and the
+// phase delta for the row factor X_a^xa Z_a^za X_b^xb Z_b^zb.
+type LUT2 struct {
+	xa, za, xb, zb [16]uint64
+	d              [16]uint8
+}
+
+// NewLUT2 builds the table from the gate's conjugation images of
+// X_a, Z_a, X_b, Z_b (slot a = bit 0, slot b = bit 1). The input row
+// factor X_a^xa Z_a^za X_b^xb Z_b^zb carries no phase of its own
+// (factors on distinct qubits commute exactly), so each entry is the
+// ordered image product.
+func NewLUT2(imgXA, imgZA, imgXB, imgZB Pauli) *LUT2 {
+	for _, img := range []Pauli{imgXA, imgZA, imgXB, imgZB} {
+		if img.X > 3 || img.Z > 3 || !img.Hermitian() {
+			panic(fmt.Sprintf("stabilizer: invalid 2Q image %+v", img))
+		}
+	}
+	var l LUT2
+	for k := uint8(0); k < 16; k++ {
+		xa, za := k&1, k>>1&1
+		xb, zb := k>>2&1, k>>3&1
+		img := Pauli{}
+		if xa == 1 {
+			img = Mul(img, imgXA)
+		}
+		if za == 1 {
+			img = Mul(img, imgZA)
+		}
+		if xb == 1 {
+			img = Mul(img, imgXB)
+		}
+		if zb == 1 {
+			img = Mul(img, imgZB)
+		}
+		l.xa[k] = uint64(img.X & 1)
+		l.za[k] = uint64(img.Z & 1)
+		l.xb[k] = uint64(img.X >> 1 & 1)
+		l.zb[k] = uint64(img.Z >> 1 & 1)
+		l.d[k] = img.Phase
+	}
+	return &l
+}
+
+// Named gate images, used by package tests and as recognizer
+// cross-checks. Slot a = bit 0, slot b = bit 1.
+var (
+	// LUTH: H maps X→Z, Z→X.
+	LUTH = NewLUT1(Pauli{X: 0, Z: 1}, Pauli{X: 1, Z: 0})
+	// LUTS: S maps X→Y = i·XZ, Z→Z.
+	LUTS = NewLUT1(Pauli{X: 1, Z: 1, Phase: 1}, Pauli{X: 0, Z: 1})
+	// LUTSdg: S† maps X→−Y = i³·XZ, Z→Z.
+	LUTSdg = NewLUT1(Pauli{X: 1, Z: 1, Phase: 3}, Pauli{X: 0, Z: 1})
+	// LUTX: X maps X→X, Z→−Z.
+	LUTX = NewLUT1(Pauli{X: 1, Z: 0}, Pauli{X: 0, Z: 1, Phase: 2})
+	// LUTY: Y maps X→−X, Z→−Z.
+	LUTY = NewLUT1(Pauli{X: 1, Z: 0, Phase: 2}, Pauli{X: 0, Z: 1, Phase: 2})
+	// LUTZ: Z maps X→−X, Z→Z.
+	LUTZ = NewLUT1(Pauli{X: 1, Z: 0, Phase: 2}, Pauli{X: 0, Z: 1})
+	// LUTCX: CX (control a, target b) maps X_a→X_aX_b, Z_a→Z_a,
+	// X_b→X_b, Z_b→Z_aZ_b.
+	LUTCX = NewLUT2(Pauli{X: 3, Z: 0}, Pauli{X: 0, Z: 1}, Pauli{X: 2, Z: 0}, Pauli{X: 0, Z: 3})
+	// LUTCZ: CZ maps X_a→X_aZ_b, Z_a→Z_a, X_b→Z_aX_b, Z_b→Z_b.
+	LUTCZ = NewLUT2(Pauli{X: 1, Z: 2}, Pauli{X: 0, Z: 1}, Pauli{X: 2, Z: 1}, Pauli{X: 0, Z: 2})
+)

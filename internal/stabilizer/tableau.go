@@ -1,0 +1,275 @@
+package stabilizer
+
+import (
+	"math/bits"
+
+	"edm/internal/rng"
+)
+
+// Tableau is the stabilizer-group representation of an n-qubit state.
+// Rows 0..n-1 are destabilizers, rows n..2n-1 stabilizers, row 2n is
+// measurement scratch. Row r's X (Z) half occupies words
+// x[r*words : (r+1)*words], qubit q at word q>>6 bit q&63; p[r] is the
+// normal-form phase mod 4 (row = i^p X^x Z^z).
+type Tableau struct {
+	n     int
+	words int
+	x, z  []uint64
+	p     []uint8
+}
+
+// New returns a tableau initialized to |0…0⟩: destabilizer i = X_i,
+// stabilizer i = Z_i, all phases 0.
+func New(n int) *Tableau {
+	if n < 1 {
+		panic("stabilizer: tableau needs at least one qubit")
+	}
+	w := (n + 63) / 64
+	t := &Tableau{
+		n:     n,
+		words: w,
+		x:     make([]uint64, (2*n+1)*w),
+		z:     make([]uint64, (2*n+1)*w),
+		p:     make([]uint8, 2*n+1),
+	}
+	t.Reset()
+	return t
+}
+
+// N returns the qubit count.
+func (t *Tableau) N() int { return t.n }
+
+// Words returns the packed row width in 64-bit words.
+func (t *Tableau) Words() int { return t.words }
+
+// Reset reinitializes the tableau to |0…0⟩.
+func (t *Tableau) Reset() {
+	for i := range t.x {
+		t.x[i] = 0
+		t.z[i] = 0
+	}
+	for i := range t.p {
+		t.p[i] = 0
+	}
+	for i := 0; i < t.n; i++ {
+		t.x[i*t.words+(i>>6)] |= 1 << uint(i&63)
+		t.z[(i+t.n)*t.words+(i>>6)] |= 1 << uint(i&63)
+	}
+}
+
+// CopyFrom overwrites t with src. Both tableaus must have the same
+// qubit count.
+func (t *Tableau) CopyFrom(src *Tableau) {
+	if t.n != src.n {
+		panic("stabilizer: CopyFrom size mismatch")
+	}
+	copy(t.x, src.x)
+	copy(t.z, src.z)
+	copy(t.p, src.p)
+}
+
+// Clone returns an independent copy of t.
+func (t *Tableau) Clone() *Tableau {
+	c := New(t.n)
+	c.CopyFrom(t)
+	return c
+}
+
+// rowMult multiplies row h by row i in place (row_h ← row_h · row_i).
+// In normal form the phase picks up i^2 for every Z factor of row_h
+// crossing an X factor of row_i, so only the parity of
+// popcount(z_h & x_i) — taken before the XOR — matters.
+func (t *Tableau) rowMult(h, i int) {
+	w := t.words
+	xh := t.x[h*w : h*w+w : h*w+w]
+	zh := t.z[h*w : h*w+w : h*w+w]
+	xi := t.x[i*w : i*w+w : i*w+w]
+	zi := t.z[i*w : i*w+w : i*w+w]
+	cnt := 0
+	for k := 0; k < w; k++ {
+		cnt += bits.OnesCount64(zh[k] & xi[k])
+	}
+	t.p[h] = (t.p[h] + t.p[i] + uint8(cnt&1)<<1) & 3
+	for k := 0; k < w; k++ {
+		xh[k] ^= xi[k]
+		zh[k] ^= zi[k]
+	}
+}
+
+func (t *Tableau) zeroRow(r int) {
+	w := t.words
+	for k := r * w; k < (r+1)*w; k++ {
+		t.x[k] = 0
+		t.z[k] = 0
+	}
+	t.p[r] = 0
+}
+
+func (t *Tableau) copyRow(dst, src int) {
+	w := t.words
+	copy(t.x[dst*w:(dst+1)*w], t.x[src*w:(src+1)*w])
+	copy(t.z[dst*w:(dst+1)*w], t.z[src*w:(src+1)*w])
+	t.p[dst] = t.p[src]
+}
+
+// Apply1 conjugates every tableau row by the single-qubit Clifford
+// described by l, acting on qubit q.
+func (t *Tableau) Apply1(q int, l *LUT1) {
+	wq, bq := q>>6, uint(q&63)
+	w := t.words
+	for r := 0; r < 2*t.n; r++ {
+		i := r*w + wq
+		xa := t.x[i] >> bq & 1
+		za := t.z[i] >> bq & 1
+		k := za<<1 | xa
+		t.x[i] = t.x[i]&^(1<<bq) | l.x[k]<<bq
+		t.z[i] = t.z[i]&^(1<<bq) | l.z[k]<<bq
+		t.p[r] = (t.p[r] + l.d[k]) & 3
+	}
+}
+
+// Apply2 conjugates every tableau row by the two-qubit Clifford
+// described by l, acting on qubits (a, b) in the LUT's slot order.
+func (t *Tableau) Apply2(a, b int, l *LUT2) {
+	wa, ba := a>>6, uint(a&63)
+	wb, bb := b>>6, uint(b&63)
+	w := t.words
+	for r := 0; r < 2*t.n; r++ {
+		ia := r*w + wa
+		ib := r*w + wb
+		xa := t.x[ia] >> ba & 1
+		za := t.z[ia] >> ba & 1
+		xb := t.x[ib] >> bb & 1
+		zb := t.z[ib] >> bb & 1
+		k := zb<<3 | xb<<2 | za<<1 | xa
+		t.x[ia] = t.x[ia]&^(1<<ba) | l.xa[k]<<ba
+		t.z[ia] = t.z[ia]&^(1<<ba) | l.za[k]<<ba
+		t.x[ib] = t.x[ib]&^(1<<bb) | l.xb[k]<<bb
+		t.z[ib] = t.z[ib]&^(1<<bb) | l.zb[k]<<bb
+		t.p[r] = (t.p[r] + l.d[k]) & 3
+	}
+}
+
+// ApplyPauliX applies an X error on qubit q: stabilizers anticommuting
+// with X_q (z-bit set) flip sign. Adding 2 mod 4 is an XOR.
+func (t *Tableau) ApplyPauliX(q int) {
+	wq, bq := q>>6, uint(q&63)
+	w := t.words
+	for r := 0; r < 2*t.n; r++ {
+		t.p[r] ^= uint8(t.z[r*w+wq]>>bq&1) << 1
+	}
+}
+
+// ApplyPauliZ applies a Z error on qubit q: rows with the x-bit set
+// flip sign.
+func (t *Tableau) ApplyPauliZ(q int) {
+	wq, bq := q>>6, uint(q&63)
+	w := t.words
+	for r := 0; r < 2*t.n; r++ {
+		t.p[r] ^= uint8(t.x[r*w+wq]>>bq&1) << 1
+	}
+}
+
+// ApplyPauliY applies a Y error on qubit q: rows with exactly one of
+// the x/z bits set anticommute with Y and flip sign.
+func (t *Tableau) ApplyPauliY(q int) {
+	wq, bq := q>>6, uint(q&63)
+	w := t.words
+	for r := 0; r < 2*t.n; r++ {
+		t.p[r] ^= uint8((t.x[r*w+wq]^t.z[r*w+wq])>>bq&1) << 1
+	}
+}
+
+// ApplyPauli applies error k on qubit q using the noise package's
+// Pauli index convention (0=I, 1=X, 2=Y, 3=Z).
+func (t *Tableau) ApplyPauli(q, k int) {
+	switch k {
+	case 1:
+		t.ApplyPauliX(q)
+	case 2:
+		t.ApplyPauliY(q)
+	case 3:
+		t.ApplyPauliZ(q)
+	}
+}
+
+// MeasureQubit measures qubit q in the computational basis, collapsing
+// the state, and returns the outcome bit.
+//
+// The draw protocol mirrors statevec.MeasureQubit exactly — one
+// uniform per measurement, outcome 1 iff u < P(1) — so a trial's RNG
+// stream position after a measurement is identical on both engines,
+// and the outcomes agree wherever the statevector's P(1) rounds to the
+// tableau's exact {0, ½, 1}.
+func (t *Tableau) MeasureQubit(q int, r *rng.RNG) int {
+	n, w := t.n, t.words
+	wq, bq := q>>6, uint(q&63)
+	pivot := -1
+	for i := n; i < 2*n; i++ {
+		if t.x[i*w+wq]>>bq&1 != 0 {
+			pivot = i
+			break
+		}
+	}
+	if pivot >= 0 {
+		// Random outcome: some stabilizer anticommutes with Z_q, so
+		// P(1) is exactly ½. Collapse per CHP: fold the pivot row into
+		// every other row that anticommutes with Z_q, demote the pivot
+		// to the destabilizer slot, and install ±Z_q as the stabilizer.
+		outcome := 0
+		if r.Float64() < 0.5 {
+			outcome = 1
+		}
+		for i := 0; i < 2*n; i++ {
+			if i != pivot && t.x[i*w+wq]>>bq&1 != 0 {
+				t.rowMult(i, pivot)
+			}
+		}
+		t.copyRow(pivot-n, pivot)
+		t.zeroRow(pivot)
+		t.z[pivot*w+wq] |= 1 << bq
+		t.p[pivot] = uint8(outcome) << 1
+		return outcome
+	}
+	// Deterministic outcome: Z_q is in the stabilizer group. The product
+	// of the stabilizers flagged by destabilizer x-bits equals ±Z_q;
+	// its phase (0 or 2, X half is empty so the row is Hermitian with
+	// no Y factors) encodes the outcome. The multiplied rows commute
+	// pairwise, so the accumulation order cannot change the phase.
+	s := 2 * n
+	t.zeroRow(s)
+	for i := 0; i < n; i++ {
+		if t.x[i*w+wq]>>bq&1 != 0 {
+			t.rowMult(s, i+n)
+		}
+	}
+	outcome := int(t.p[s] >> 1)
+	// Burn the same uniform the statevector engine draws: u < 1.0 is
+	// always true and u < 0.0 always false, so the outcome is
+	// unchanged but the stream position matches.
+	if r.Float64() < float64(outcome) {
+		return 1
+	}
+	return 0
+}
+
+// ProbabilityOne returns P(measuring 1) on qubit q without collapsing:
+// exactly 0.5 if any stabilizer anticommutes with Z_q, else exactly 0
+// or 1. Used by identity tests against the statevector engine.
+func (t *Tableau) ProbabilityOne(q int) float64 {
+	n, w := t.n, t.words
+	wq, bq := q>>6, uint(q&63)
+	for i := n; i < 2*n; i++ {
+		if t.x[i*w+wq]>>bq&1 != 0 {
+			return 0.5
+		}
+	}
+	s := 2 * n
+	t.zeroRow(s)
+	for i := 0; i < n; i++ {
+		if t.x[i*w+wq]>>bq&1 != 0 {
+			t.rowMult(s, i+n)
+		}
+	}
+	return float64(t.p[s] >> 1)
+}

@@ -1,0 +1,250 @@
+package stabilizer
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+func TestPauliMulAlgebra(t *testing.T) {
+	x := Pauli{X: 1}
+	z := Pauli{Z: 1}
+	y := Pauli{X: 1, Z: 1, Phase: 1} // Y = i·XZ
+	// XZ is already normal form with no phase; ZX = -XZ.
+	if got := Mul(x, z); got != (Pauli{X: 1, Z: 1}) {
+		t.Fatalf("X·Z = %+v", got)
+	}
+	if got := Mul(z, x); got != (Pauli{X: 1, Z: 1, Phase: 2}) {
+		t.Fatalf("Z·X = %+v", got)
+	}
+	// Pauli involutions square to identity.
+	for _, p := range []Pauli{x, z, y} {
+		if got := Mul(p, p); got != (Pauli{}) {
+			t.Fatalf("%+v squared = %+v", p, got)
+		}
+	}
+	// XY = iZ, YX = -iZ.
+	if got := Mul(x, y); got != (Pauli{Z: 1, Phase: 1}) {
+		t.Fatalf("X·Y = %+v", got)
+	}
+	if got := Mul(y, x); got != (Pauli{Z: 1, Phase: 3}) {
+		t.Fatalf("Y·X = %+v", got)
+	}
+	if !y.Hermitian() || !x.Hermitian() {
+		t.Fatal("X/Y not Hermitian")
+	}
+}
+
+func TestPauliHermitian(t *testing.T) {
+	// XZ has one Y-like overlap bit and phase 0: (XZ)† = Z X = −XZ, so it
+	// is *not* Hermitian; i·XZ = Y is.
+	if (Pauli{X: 1, Z: 1, Phase: 0}).Hermitian() {
+		t.Fatal("XZ reported Hermitian")
+	}
+	if !(Pauli{X: 1, Z: 1, Phase: 1}).Hermitian() {
+		t.Fatal("Y reported non-Hermitian")
+	}
+	if !(Pauli{X: 1, Z: 0, Phase: 2}).Hermitian() {
+		t.Fatal("-X reported non-Hermitian")
+	}
+	if (Pauli{X: 1, Z: 0, Phase: 1}).Hermitian() {
+		t.Fatal("iX reported Hermitian")
+	}
+}
+
+func TestDeterministicMeasurements(t *testing.T) {
+	r := rng.New(1)
+	tb := New(3)
+	if got := tb.MeasureQubit(0, r); got != 0 {
+		t.Fatalf("|000> measured %d", got)
+	}
+	tb.Apply1(1, LUTX)
+	if got := tb.MeasureQubit(1, r); got != 1 {
+		t.Fatalf("X|0> measured %d", got)
+	}
+	// H then H is identity.
+	tb.Apply1(2, LUTH)
+	tb.Apply1(2, LUTH)
+	if p := tb.ProbabilityOne(2); p != 0 {
+		t.Fatalf("HH|0> P(1) = %v", p)
+	}
+	// HZH = X.
+	tb.Apply1(2, LUTH)
+	tb.Apply1(2, LUTZ)
+	tb.Apply1(2, LUTH)
+	if got := tb.MeasureQubit(2, r); got != 1 {
+		t.Fatalf("HZH|0> measured %d", got)
+	}
+}
+
+func TestBellCorrelation(t *testing.T) {
+	for seed := uint64(0); seed < 32; seed++ {
+		r := rng.New(seed)
+		tb := New(2)
+		tb.Apply1(0, LUTH)
+		tb.Apply2(0, 1, LUTCX)
+		if p := tb.ProbabilityOne(0); p != 0.5 {
+			t.Fatalf("Bell P(1) on qubit 0 = %v", p)
+		}
+		o0 := tb.MeasureQubit(0, r)
+		if p := tb.ProbabilityOne(1); p != float64(o0) {
+			t.Fatalf("after measuring %d, qubit 1 P(1) = %v", o0, p)
+		}
+		if o1 := tb.MeasureQubit(1, r); o1 != o0 {
+			t.Fatalf("Bell outcomes differ: %d vs %d", o0, o1)
+		}
+	}
+}
+
+func TestPauliErrorPhases(t *testing.T) {
+	r := rng.New(7)
+	tb := New(1)
+	tb.ApplyPauliX(0)
+	if got := tb.MeasureQubit(0, r); got != 1 {
+		t.Fatalf("X error on |0>: measured %d", got)
+	}
+	tb2 := New(1)
+	tb2.ApplyPauliZ(0) // Z|0> = |0>
+	if got := tb2.MeasureQubit(0, r); got != 0 {
+		t.Fatalf("Z error on |0>: measured %d", got)
+	}
+	tb3 := New(1)
+	tb3.ApplyPauliY(0) // Y|0> = i|1>
+	if got := tb3.MeasureQubit(0, r); got != 1 {
+		t.Fatalf("Y error on |0>: measured %d", got)
+	}
+}
+
+// cliffordGate pairs a tableau action with the equivalent statevector
+// matrix so random-circuit tests can drive both representations.
+type cliffordGate struct {
+	name  string
+	arity int
+	lut1  *LUT1
+	lut2  *LUT2
+	m2    circuit.Matrix2
+	m4    circuit.Matrix4
+}
+
+func gateSet() []cliffordGate {
+	return []cliffordGate{
+		{name: "h", arity: 1, lut1: LUTH, m2: circuit.Matrix1Q(circuit.H, nil)},
+		{name: "s", arity: 1, lut1: LUTS, m2: circuit.Matrix1Q(circuit.S, nil)},
+		{name: "sdg", arity: 1, lut1: LUTSdg, m2: circuit.Matrix1Q(circuit.Sdg, nil)},
+		{name: "x", arity: 1, lut1: LUTX, m2: circuit.Matrix1Q(circuit.X, nil)},
+		{name: "y", arity: 1, lut1: LUTY, m2: circuit.Matrix1Q(circuit.Y, nil)},
+		{name: "z", arity: 1, lut1: LUTZ, m2: circuit.Matrix1Q(circuit.Z, nil)},
+		{name: "cx", arity: 2, lut2: LUTCX, m4: circuit.Matrix2Q(circuit.CX)},
+		{name: "cz", arity: 2, lut2: LUTCZ, m4: circuit.Matrix2Q(circuit.CZ)},
+	}
+}
+
+// TestRandomCliffordVsStatevec drives random Clifford circuits with
+// interleaved Pauli errors and mid-circuit measurements through both
+// the tableau and the dense statevector, on identical RNG streams, and
+// requires identical outcomes and matching probabilities throughout.
+func TestRandomCliffordVsStatevec(t *testing.T) {
+	gates := gateSet()
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 25; trial++ {
+			seed := uint64(n*1000 + trial)
+			gen := rng.New(seed).Derive("gen")
+			rt := rng.New(seed).Derive("draws")
+			rs := rng.New(seed).Derive("draws")
+			tb := New(n)
+			sv := statevec.NewState(n)
+			steps := 8 + 4*n
+			for s := 0; s < steps; s++ {
+				switch gen.Intn(4) {
+				case 0, 1: // gate
+					g := gates[gen.Intn(len(gates))]
+					if g.arity == 2 && n < 2 {
+						continue
+					}
+					if g.arity == 1 {
+						q := gen.Intn(n)
+						tb.Apply1(q, g.lut1)
+						sv.Apply1Q(g.m2, q)
+					} else {
+						a := gen.Intn(n)
+						b := gen.Intn(n - 1)
+						if b >= a {
+							b++
+						}
+						tb.Apply2(a, b, g.lut2)
+						sv.Apply2Q(g.m4, a, b)
+					}
+				case 2: // Pauli error
+					q := gen.Intn(n)
+					k := 1 + gen.Intn(3)
+					tb.ApplyPauli(q, k)
+					pm := [4]circuit.Kind{circuit.I, circuit.X, circuit.Y, circuit.Z}
+					sv.Apply1Q(circuit.Matrix1Q(pm[k], nil), q)
+				case 3: // measurement
+					q := gen.Intn(n)
+					pt := tb.ProbabilityOne(q)
+					ps := sv.ProbabilityOne(q)
+					if math.Abs(pt-ps) > 1e-9 {
+						t.Fatalf("n=%d trial=%d step=%d: P(1) tableau %v vs statevec %v", n, trial, s, pt, ps)
+					}
+					ot := tb.MeasureQubit(q, rt)
+					os := sv.MeasureQubit(q, rs)
+					if ot != os {
+						t.Fatalf("n=%d trial=%d step=%d: outcome tableau %d vs statevec %d", n, trial, s, ot, os)
+					}
+				}
+			}
+			// Final full measurement sweep.
+			for q := 0; q < n; q++ {
+				ot := tb.MeasureQubit(q, rt)
+				os := sv.MeasureQubit(q, rs)
+				if ot != os {
+					t.Fatalf("n=%d trial=%d final q=%d: tableau %d vs statevec %d", n, trial, q, ot, os)
+				}
+			}
+			if rt.State() != rs.State() {
+				t.Fatalf("n=%d trial=%d: RNG streams diverged", n, trial)
+			}
+		}
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	tb := New(70) // multi-word
+	tb.Apply1(0, LUTH)
+	tb.Apply2(0, 69, LUTCX)
+	if tb.Words() != 2 {
+		t.Fatalf("Words = %d, want 2", tb.Words())
+	}
+	snap := tb.Clone()
+	r1 := rng.New(3)
+	r2 := rng.New(3)
+	o1a := tb.MeasureQubit(0, r1)
+	o1b := tb.MeasureQubit(69, r1)
+	tb.CopyFrom(snap)
+	o2a := tb.MeasureQubit(0, r2)
+	o2b := tb.MeasureQubit(69, r2)
+	if o1a != o2a || o1b != o2b {
+		t.Fatalf("replay after CopyFrom differs: (%d,%d) vs (%d,%d)", o1a, o1b, o2a, o2b)
+	}
+	if o1a != o1b {
+		t.Fatalf("multi-word Bell pair decorrelated: %d vs %d", o1a, o1b)
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	tb := New(4)
+	tb.Apply1(2, LUTX)
+	tb.Apply1(1, LUTH)
+	tb.Reset()
+	fresh := New(4)
+	r1, r2 := rng.New(9), rng.New(9)
+	for q := 0; q < 4; q++ {
+		if a, b := tb.MeasureQubit(q, r1), fresh.MeasureQubit(q, r2); a != b || a != 0 {
+			t.Fatalf("Reset state measured %d on qubit %d", a, q)
+		}
+	}
+}

@@ -22,6 +22,8 @@ package workloads
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"edm/internal/bitstr"
@@ -56,10 +58,24 @@ func All() []Workload {
 }
 
 // ByName returns the workload with the given name from All, or false.
+// Beyond the fixed Table 1 set, names of the form "greycode-N" (N from 2
+// to bitstr.MaxBits) build an N-bit grey-code decoder with the
+// alternating golden output 1010…; its n-1 CX chain is all-Clifford, the
+// wide-device workload of the stabilizer engine.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
 		if w.Name == name {
 			return w, true
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "greycode-"); ok {
+		n, err := strconv.Atoi(rest)
+		if err == nil && n >= 2 && n <= bitstr.MaxBits {
+			out := make([]byte, n)
+			for i := range out {
+				out[i] = byte('1' - i%2)
+			}
+			return Greycode(string(out)), true
 		}
 	}
 	return Workload{}, false

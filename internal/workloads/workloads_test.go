@@ -1,10 +1,11 @@
 package workloads
 
 import (
-	"edm/internal/circuit"
+	"fmt"
 	"testing"
 
 	"edm/internal/bitstr"
+	"edm/internal/circuit"
 	"edm/internal/statevec"
 )
 
@@ -155,6 +156,42 @@ func TestByName(t *testing.T) {
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName accepted garbage")
+	}
+}
+
+func TestByNameGreycodeN(t *testing.T) {
+	// Table 1's greycode-6 (output 001000) must shadow the parametric
+	// builder at n=6.
+	w6, ok := ByName("greycode-6")
+	if !ok || w6.Correct.String() != "001000" {
+		t.Fatalf("ByName(greycode-6) = %v %v, want Table 1 output 001000", w6.Correct, ok)
+	}
+	for _, n := range []int{2, 5, 48, bitstr.MaxBits} {
+		name := fmt.Sprintf("greycode-%d", n)
+		if n == 6 {
+			continue
+		}
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%s) failed", name)
+		}
+		if w.Name != name || w.Correct.Len() != n {
+			t.Fatalf("ByName(%s): name=%s len=%d", name, w.Name, w.Correct.Len())
+		}
+		for i := 0; i < n; i++ {
+			if w.Correct.Bit(i) != (i%2 == 0) {
+				t.Fatalf("%s output %v is not alternating", name, w.Correct)
+			}
+		}
+		st := w.Circuit.Stats()
+		if st.CX != n-1 {
+			t.Fatalf("%s has %d CX, want %d", name, st.CX, n-1)
+		}
+	}
+	for _, bad := range []string{"greycode-1", "greycode-64", "greycode-x", "greycode-"} {
+		if _, ok := ByName(bad); ok {
+			t.Fatalf("ByName(%s) accepted out-of-range width", bad)
+		}
 	}
 }
 

@@ -89,6 +89,33 @@ wait "$EDMD_PID" || { echo "edmd exited nonzero on SIGTERM" >&2; exit 1; }
 EDMD_PID=""
 echo "edmd smoke OK"
 
+echo "== edmd wide-device smoke: 127-qubit heavy-hex (stabilizer engine) =="
+# The same byte-identity contract on a device no statevector could
+# represent: greycode-24 on eagle127 must serve the alternating golden
+# output, match the CLI byte for byte, and actually run on the tableau
+# (visible through the /metrics stabilizer counters).
+"$SMOKE/edm" run -device eagle127 -workload greycode-24 -k 2 -trials 512 -seed 7 >"$SMOKE/cli127.txt"
+"$SMOKE/edmd" serve -addr 127.0.0.1:0 -device eagle127 >"$SMOKE/serve127.log" &
+EDMD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's/^edmd listening on \([^ ]*\).*/\1/p' "$SMOKE/serve127.log")"
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "wide edmd never came up" >&2; cat "$SMOKE/serve127.log" >&2; exit 1; }
+curl -sf -X POST "http://$ADDR/v1/jobs?format=text" \
+	-d '{"workload":"greycode-24","k":2,"trials":512,"seed":7}' >"$SMOKE/srv127.txt"
+cmp "$SMOKE/cli127.txt" "$SMOKE/srv127.txt"
+grep -q '^101010101010101010101010 ' "$SMOKE/srv127.txt" ||
+	{ echo "greycode-24 golden output missing from the served distribution" >&2; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q '^edmd_engine_stab_trials_total [1-9]' ||
+	{ echo "stabilizer engine never engaged on eagle127" >&2; exit 1; }
+kill -TERM "$EDMD_PID"
+wait "$EDMD_PID" || { echo "wide edmd exited nonzero on SIGTERM" >&2; exit 1; }
+EDMD_PID=""
+echo "wide-device smoke OK"
+
 echo "== incremental recompilation identity (DESIGN.md §11) =="
 # The drift-tracked pools must be bit-identical to full recompilation at
 # any GOMAXPROCS: serial pins the GOMAXPROCS=1 end, the full-width pass
@@ -106,6 +133,16 @@ echo "== trajectory engine determinism (DESIGN.md §10) =="
 # read-only across workers (and the stats tally is flushed per stripe).
 GOMAXPROCS=1 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
+
+echo "== stabilizer engine identity (DESIGN.md §13) =="
+# Fully-Clifford schedules route to the tableau engine; its histograms
+# must be byte-identical to both statevector engines at GOMAXPROCS=1
+# and at full stripe width, under the race detector (the snapshot
+# tableau is shared read-only across workers). The stabilizer and
+# bitset packages carry the unit-level property tests.
+GOMAXPROCS=1 go test -race -count=1 -run 'Stabilizer' ./internal/backend
+go test -race -count=1 -run 'Stabilizer' ./internal/backend
+go test -race -count=1 ./internal/stabilizer ./internal/bitset
 
 echo "== statevec kernel bit-identity (SoA + AVX2 vs frozen scalar) =="
 # The SoA kernels must pin every amplitude bit against the frozen
