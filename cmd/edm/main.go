@@ -241,6 +241,12 @@ func printEngineStats(out *os.File) {
 		"tape-tree", es.PlansBuilt, es.PlanFallbacks, es.TreeLeaves)
 	fmt.Fprintf(out, "  %-14s dominant %-6d divergent %d\n",
 		"trials", es.FullDominantTrials, es.DivergentTrials)
+	meanBatch := 0.0
+	if es.BatchUnits > 0 {
+		meanBatch = float64(es.BatchTrials) / float64(es.BatchUnits)
+	}
+	fmt.Fprintf(out, "  %-14s buckets %-6d units %-6d mean-batch %-6.1f clones %-6d deferred %-4d steals %d\n",
+		"batched", es.BatchBuckets, es.BatchUnits, meanBatch, es.BatchLaneClones, es.BatchDeferredTrials, es.UnitSteals)
 	fmt.Fprintf(out, "  %-14s programs %-5d fallbacks %-4d prefix-steps %-6d max-words %-3d trials %d\n",
 		"stabilizer", es.StabPrograms, es.StabFallbacks, es.StabPrefixSteps, es.StabMaxWords, es.StabTrials)
 	if es.PlanFallbacks > 0 {

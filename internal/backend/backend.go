@@ -392,6 +392,15 @@ func (m *Machine) runFresh(exe *circuit.Circuit, trials int, r *rng.RNG) (*dist.
 // true (the RunCtx path); the partial histogram is then discarded by the
 // caller, so the flag never affects a result that is actually returned.
 func (m *Machine) runProgram(prog *program, sp *stabPlan, trials int, r *rng.RNG, cancel *atomic.Bool) *dist.Counts {
+	if sp == nil && batchedReplay {
+		// Prefix-planned programs run the batched replay engine: walk
+		// every trial first, then replay divergent suffixes in shared
+		// batches (sched.go). Legacy machines (plan == nil) and
+		// stabilizer programs keep the striped loops below.
+		if plan := m.planFor(prog); plan != nil {
+			return m.runBatched(prog, plan, trials, r, cancel)
+		}
+	}
 	stripe := func(start, stride int) *dist.Counts {
 		if sp != nil {
 			return m.runStabStripe(prog, sp, start, stride, trials, r, cancel)

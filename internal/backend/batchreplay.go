@@ -1,0 +1,380 @@
+package backend
+
+import (
+	"sync/atomic"
+
+	"edm/internal/circuit"
+	"edm/internal/dist"
+	"edm/internal/noise"
+	"edm/internal/rng"
+	"edm/internal/statevec"
+)
+
+// Batched divergent-suffix replay. The sequential prefix engine replays
+// every divergent trial's suffix alone: restore the checkpoint into a
+// scratch statevector, walk the remaining schedule, draw that trial's
+// stochastic branches. Divergences cluster — most divergent trials fall
+// off the dominant path at the same high-probability noise sites — so
+// the per-trial replay re-applies the same deterministic gate runs to
+// the same intermediate states over and over.
+//
+// The batched engine replays a whole bucket of trials breadth-first
+// instead. A replayUnit is a set of trials that diverged under the same
+// checkpoint. Its trials start as one group sharing one lane of a
+// statevec.Batch (the restored checkpoint state). Deterministic steps
+// apply once across every live lane through the flat batch kernels;
+// stochastic steps draw each trial's branch from its own derived
+// stream, then partition each group by branch: the most populated
+// branch keeps the group's lane, minority branches get lanes cloned
+// from the still-unmutated lane, and each sub-group continues as an
+// independent group. Every amplitude still sees the exact FP op
+// sequence of a lane-by-lane replay and every trial draws exactly the
+// uniforms the sequential path draws, so Counts stay byte-identical to
+// the legacy loop (pinned by the identity tests).
+
+// batchedReplay gates the batched replay scheduler inside runProgram.
+// It exists for the batched-vs-sequential identity tests and as an
+// escape hatch; the batched path is the default.
+var batchedReplay = true
+
+// maxBatchBytes bounds one unit's batch storage (B·16·2^n bytes for B
+// lanes of n qubits, DESIGN.md §15).
+const maxBatchBytes = 32 << 20
+
+// maxLanesFor returns the lane capacity for a replay unit on n local
+// qubits: as many lanes as fit in maxBatchBytes, clamped to [4, 128].
+// The scheduler also fragments buckets into units of at most this many
+// trials, so a unit can never need more lanes than it has (each lane
+// carries at least one trial) and the deferral path in partitionStoch
+// stays a safety net rather than a steady-state cost.
+func maxLanesFor(n int) int {
+	lanes := maxBatchBytes / (16 << uint(n))
+	if lanes > 128 {
+		lanes = 128
+	}
+	if lanes < 4 {
+		lanes = 4
+	}
+	return lanes
+}
+
+// replayUnit is one schedulable piece of divergent-suffix work: the
+// checkpoint to restore and the sorted trial indices to replay from it.
+// Units never carry positioned RNG streams — processUnit re-derives
+// each trial's stream from the run stream and skips it to the
+// checkpoint's draw index, so a unit deferred and reprocessed later
+// redraws the same branches.
+type replayUnit struct {
+	ck  *checkpoint
+	ids []int
+}
+
+// laneTrial is one trial inside a unit: its trial index and its private
+// stream, positioned mid-suffix. rng.RNG is a value type, so the
+// partition engine moves trials between groups by copying.
+type laneTrial struct {
+	id int
+	r  rng.RNG
+}
+
+// rGroup is a contiguous run work[start:end] of trials whose replayed
+// histories are still identical: they share lane `lane` of the unit's
+// batch and the classical bits recorded so far.
+type rGroup struct {
+	start, end int
+	lane       int
+	bits       []int
+}
+
+// unitState is the double-buffered working set of one processUnit call.
+type unitState struct {
+	work   []laneTrial // current trial order, grouped contiguously
+	swap   []laneTrial // next order, rebuilt by each partition
+	branch []int       // branch drawn per work index, scratch
+	groups []rGroup
+	gnext  []rGroup
+}
+
+// stochOp adapts one stochastic sub-step to the partition engine. prep
+// computes the state-dependent values once per group from its lane
+// (branch probabilities, P(1)); draw consumes exactly the uniforms the
+// sequential path consumes and returns the branch id; apply mutates a
+// lane (and the group's bits) the way the sequential path would for
+// that branch.
+type stochOp struct {
+	prep  func(lane *statevec.State)
+	draw  func(r *rng.RNG) int
+	apply func(lane *statevec.State, bits []int, branch int)
+}
+
+// batchTally accumulates batched-replay counters inside one worker so
+// the unit loop touches no atomics; the scheduler flushes it once.
+type batchTally struct {
+	units, trials, lanes, clones, deferred, steals int64
+}
+
+func (t *batchTally) flush() {
+	if t.units != 0 {
+		engineStats.batchUnits.Add(t.units)
+	}
+	if t.trials != 0 {
+		engineStats.batchTrials.Add(t.trials)
+	}
+	if t.lanes != 0 {
+		engineStats.batchLanes.Add(t.lanes)
+	}
+	if t.clones != 0 {
+		engineStats.batchClones.Add(t.clones)
+	}
+	if t.deferred != 0 {
+		engineStats.batchDeferred.Add(t.deferred)
+	}
+	if t.steals != 0 {
+		engineStats.unitSteals.Add(t.steals)
+	}
+	*t = batchTally{}
+}
+
+// applyUnitaryStepBatch is applyUnitaryStep across every live lane of a
+// batch: the same matClass dispatch onto the batched flat kernels.
+func applyUnitaryStepBatch(b *statevec.Batch, st *step) {
+	switch st.kind {
+	case stepU1:
+		switch st.class {
+		case matDiag:
+			b.Apply1QDiagBatch(st.m2[0][0], st.m2[1][1], st.q0)
+		case matAnti:
+			b.Apply1QAntiDiagBatch(st.m2[0][1], st.m2[1][0], st.q0)
+		default:
+			b.Apply1QBatch(st.m2, st.q0)
+		}
+	case stepU2:
+		switch st.class {
+		case matDiag:
+			b.Apply2QDiagBatch(st.d4, st.q0, st.q1)
+		case matPerm:
+			b.Apply2QPermBatch(st.perm, st.q0, st.q1)
+		default:
+			b.Apply2QBatch(st.m4, st.q0, st.q1)
+		}
+	}
+}
+
+// partitionStoch advances every group through one stochastic sub-step:
+// draw each trial's branch from its own stream, split groups whose
+// trials disagree, clone lanes for minority branches, and rebuild the
+// work array so groups stay contiguous. Branch ids must fit [0, 16).
+//
+// Ordering matters twice. Clones are taken before any branch's operator
+// is applied, so every sub-group's lane snapshots the pre-step state.
+// And the keeper branch (the most populated; ties to the smallest id)
+// reuses the group's lane, so a group that does not split does no state
+// copying at all.
+//
+// When the batch has no free lane for a minority branch, that branch's
+// trials are deferred: appended to *defers as a fresh unit on the same
+// checkpoint, to be replayed from scratch later. The keeper branch
+// never defers, so every unit retires at least one trial per pass and
+// deferral terminates.
+func partitionStoch(b *statevec.Batch, us *unitState, op stochOp, ck *checkpoint, defers *[]replayUnit, tally *batchTally) {
+	us.gnext = us.gnext[:0]
+	out := us.swap[:0]
+	for gi := range us.groups {
+		g := &us.groups[gi]
+		lane := b.Lane(g.lane)
+		if op.prep != nil {
+			op.prep(lane)
+		}
+		uniform := true
+		first := -1
+		for i := g.start; i < g.end; i++ {
+			k := op.draw(&us.work[i].r)
+			us.branch[i] = k
+			if first < 0 {
+				first = k
+			} else if k != first {
+				uniform = false
+			}
+		}
+		if uniform {
+			// Whole group took one branch: keep the lane, no reorder.
+			ns := len(out)
+			out = append(out, us.work[g.start:g.end]...)
+			op.apply(lane, g.bits, first)
+			us.gnext = append(us.gnext, rGroup{start: ns, end: len(out), lane: g.lane, bits: g.bits})
+			continue
+		}
+		var cnt [16]int
+		for i := g.start; i < g.end; i++ {
+			cnt[us.branch[i]]++
+		}
+		keep, kc := 0, 0
+		for k, c := range cnt {
+			if c > kc {
+				keep, kc = k, c
+			}
+		}
+		// Two passes: assign lanes and gather sub-groups first, apply
+		// after — clones must snapshot the lane before the keeper's
+		// operator mutates it.
+		type subGroup struct {
+			g      rGroup
+			branch int
+		}
+		var subs [16]subGroup
+		nsubs := 0
+		for k, c := range cnt {
+			if c == 0 {
+				continue
+			}
+			laneIdx := g.lane
+			bits := g.bits
+			if k != keep {
+				if b.Live() >= b.Cap() {
+					// Lane budget exhausted: replay this branch's trials
+					// from the checkpoint in a continuation unit.
+					du := replayUnit{ck: ck, ids: make([]int, 0, c)}
+					for i := g.start; i < g.end; i++ {
+						if us.branch[i] == k {
+							du.ids = append(du.ids, us.work[i].id)
+						}
+					}
+					*defers = append(*defers, du)
+					tally.deferred += int64(c)
+					continue
+				}
+				laneIdx = b.CloneLane(g.lane)
+				bits = append([]int(nil), g.bits...)
+				tally.clones++
+			}
+			ns := len(out)
+			for i := g.start; i < g.end; i++ {
+				if us.branch[i] == k {
+					out = append(out, us.work[i])
+				}
+			}
+			subs[nsubs] = subGroup{
+				g:      rGroup{start: ns, end: len(out), lane: laneIdx, bits: bits},
+				branch: k,
+			}
+			nsubs++
+		}
+		for i := 0; i < nsubs; i++ {
+			op.apply(b.Lane(subs[i].g.lane), subs[i].g.bits, subs[i].branch)
+			us.gnext = append(us.gnext, subs[i].g)
+		}
+	}
+	us.work, us.swap = out, us.work[:0]
+	us.groups, us.gnext = us.gnext, us.groups
+}
+
+// processUnit replays one unit's trials from its checkpoint to readout,
+// observing each trial's outcome into counts. Overflowing sub-groups
+// are appended to *defers as continuation units. A cancelled run
+// returns early; the caller discards partial counts.
+func (m *Machine) processUnit(prog *program, u replayUnit, base *rng.RNG, counts *dist.Counts, defers *[]replayUnit, tally *batchTally, maxLanes int, cancel *atomic.Bool) {
+	ck := u.ck
+	lanes := len(u.ids)
+	if lanes > maxLanes {
+		lanes = maxLanes
+	}
+	b := statevec.GetBatch(prog.nLocal, lanes)
+	defer b.Release()
+
+	us := &unitState{
+		work:   make([]laneTrial, 0, len(u.ids)),
+		swap:   make([]laneTrial, 0, len(u.ids)),
+		branch: make([]int, len(u.ids)),
+		groups: make([]rGroup, 0, 4),
+		gnext:  make([]rGroup, 0, 4),
+	}
+	for _, t := range u.ids {
+		rr := base.DeriveN("trial", t)
+		rr.Skip(ck.tapeIdx)
+		us.work = append(us.work, laneTrial{id: t, r: *rr})
+	}
+	lane0 := b.PushLane(ck.state) // nil state restores |0...0>
+	bits := make([]int, prog.numClbits)
+	if ck.state != nil {
+		copy(bits, ck.bits)
+	}
+	us.groups = append(us.groups, rGroup{start: 0, end: len(us.work), lane: lane0, bits: bits})
+
+	var probs [2]float64
+	for si := ck.stepIdx; si < len(prog.steps); si++ {
+		if cancel != nil && cancel.Load() {
+			return
+		}
+		st := &prog.steps[si]
+		switch st.kind {
+		case stepU1, stepU2:
+			applyUnitaryStepBatch(b, st)
+		case stepPauli1:
+			partitionStoch(b, us, stochOp{
+				draw: func(r *rng.RNG) int { return noise.SamplePauli1Q(st.p, r) },
+				apply: func(lane *statevec.State, _ []int, k int) {
+					if k != 0 {
+						lane.Apply1Q(noise.Pauli1Q[k], st.q0)
+					}
+				},
+			}, ck, defers, tally)
+		case stepPauli2:
+			partitionStoch(b, us, stochOp{
+				draw: func(r *rng.RNG) int {
+					ka, kb := noise.SamplePauli2Q(st.p, r)
+					return ka | kb<<2
+				},
+				apply: func(lane *statevec.State, _ []int, k int) {
+					if ka := k & 3; ka != 0 {
+						lane.Apply1Q(noise.Pauli1Q[ka], st.q0)
+					}
+					if kb := k >> 2; kb != 0 {
+						lane.Apply1Q(noise.Pauli1Q[kb], st.q1)
+					}
+				},
+			}, ck, defers, tally)
+		case stepDamp:
+			// Plan existence guarantees both Kraus sets have exactly two
+			// operators (buildPrefixPlan falls back otherwise), so each
+			// channel is one two-way stochastic sub-step with the same
+			// draw sequence as State.ApplyKraus1Q.
+			for _, ks := range [2][]circuit.Matrix2{st.ampK, st.phK} {
+				if ks == nil {
+					continue
+				}
+				ks := ks
+				partitionStoch(b, us, stochOp{
+					prep: func(lane *statevec.State) { lane.KrausBranchProbs1Q(ks, st.q0, probs[:]) },
+					draw: func(r *rng.RNG) int { return r.Choose(probs[:]) },
+					apply: func(lane *statevec.State, _ []int, k int) {
+						lane.ApplyKrausBranch1Q(ks, st.q0, k, probs[k])
+					},
+				}, ck, defers, tally)
+			}
+		case stepMeasure:
+			var p1 float64
+			partitionStoch(b, us, stochOp{
+				prep: func(lane *statevec.State) { p1 = lane.ProbabilityOne(st.q0) },
+				draw: func(r *rng.RNG) int {
+					if r.Float64() < p1 {
+						return 1
+					}
+					return 0
+				},
+				apply: func(lane *statevec.State, bits []int, k int) {
+					lane.Project(st.q0, k)
+					bits[st.cbit] = k
+				},
+			}, ck, defers, tally)
+		}
+	}
+	for gi := range us.groups {
+		g := &us.groups[gi]
+		for i := g.start; i < g.end; i++ {
+			counts.Observe(m.applyReadout(prog, g.bits, &us.work[i].r))
+		}
+	}
+	tally.units++
+	tally.trials += int64(len(us.work))
+	tally.lanes += int64(b.Live())
+}

@@ -1,0 +1,96 @@
+package backend
+
+import (
+	"testing"
+
+	"edm/internal/device"
+	"edm/internal/rng"
+)
+
+// TestBatchedReplayByteIdentityWorkloads is the acceptance gate of the
+// batched replay engine against its sequential ancestor: for every
+// workload, the Counts produced by the batched scheduler (walk phase +
+// bucketed suffix replay + work stealing) must be byte-identical to the
+// sequential prefix-sharing stripes, on both the serial path
+// (trials < parallelThreshold) and the parallel path. Together with
+// TestPrefixEngineByteIdentityWorkloads (legacy vs default engine, and
+// the default engine is the batched path) this pins
+// legacy == sequential prefix == batched for every workload. ci.sh
+// re-runs it under -race at GOMAXPROCS=1 and at full width.
+func TestBatchedReplayByteIdentityWorkloads(t *testing.T) {
+	defer func(prev bool) { batchedReplay = prev }(batchedReplay)
+	exes := physicalWorkloads(t)
+	cal := device.Generate(device.Melbourne(), device.MelbourneProfile(), rng.New(5))
+	for name, exe := range exes {
+		for _, trials := range []int{100, 1000} { // serial and parallel
+			batchedReplay = false
+			seq := New(cal)
+			want, err := seq.Run(exe.Circuit, trials, rng.New(42))
+			if err != nil {
+				t.Fatalf("%s sequential run: %v", name, err)
+			}
+			batchedReplay = true
+			bat := New(cal)
+			got, err := bat.Run(exe.Circuit, trials, rng.New(42))
+			if err != nil {
+				t.Fatalf("%s batched run: %v", name, err)
+			}
+			if !countsEqual(want, got) {
+				t.Errorf("%s trials=%d: batched counts differ from sequential replay", name, trials)
+			}
+		}
+	}
+}
+
+// TestBatchedReplayStats pins the occupancy accounting: every divergent
+// trial is replayed through exactly one retiring unit (deferred trials
+// are re-counted only when their continuation completes), units and
+// buckets are formed whenever divergences exist, and lane usage is at
+// least one per unit.
+func TestBatchedReplayStats(t *testing.T) {
+	defer func(prev bool) { batchedReplay = prev }(batchedReplay)
+	batchedReplay = true
+	ResetEngineStats()
+	m := noisyMachine(7)
+	exe := benchCircuit(10)
+	const trials = 4000
+	if _, err := m.Run(exe, trials, rng.New(99)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := EngineStatsSnapshot()
+	if s.FullDominantTrials+s.DivergentTrials != trials {
+		t.Fatalf("walk accounting: %d dominant + %d divergent != %d trials",
+			s.FullDominantTrials, s.DivergentTrials, trials)
+	}
+	if s.DivergentTrials == 0 {
+		t.Fatalf("workload produced no divergent trials; stats test needs a noisier case")
+	}
+	if s.BatchTrials != s.DivergentTrials {
+		t.Errorf("BatchTrials = %d, want %d (every divergent trial retires through one unit)",
+			s.BatchTrials, s.DivergentTrials)
+	}
+	if s.BatchBuckets == 0 || s.BatchUnits < s.BatchBuckets {
+		t.Errorf("bucket/unit accounting: buckets=%d units=%d", s.BatchBuckets, s.BatchUnits)
+	}
+	if s.BatchLanes < s.BatchUnits {
+		t.Errorf("lane accounting: lanes=%d < units=%d", s.BatchLanes, s.BatchUnits)
+	}
+	if s.BatchUnits > 0 && s.BatchTrials/s.BatchUnits < 1 {
+		t.Errorf("mean batch size below 1: trials=%d units=%d", s.BatchTrials, s.BatchUnits)
+	}
+}
+
+func TestMaxLanesFor(t *testing.T) {
+	for n := 0; n <= 30; n++ {
+		lanes := maxLanesFor(n)
+		if lanes < 4 || lanes > 128 {
+			t.Fatalf("maxLanesFor(%d) = %d outside [4, 128]", n, lanes)
+		}
+	}
+	if got := maxLanesFor(14); got != 128 {
+		t.Errorf("maxLanesFor(14) = %d, want 128", got)
+	}
+	if got := maxLanesFor(24); got != 4 {
+		t.Errorf("maxLanesFor(24) = %d, want 4 (memory-bound clamp)", got)
+	}
+}

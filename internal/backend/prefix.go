@@ -203,19 +203,28 @@ type prefixPlan struct {
 	stateBytes int64
 }
 
-// Tree and checkpoint budgets. Each fork doubles the trials that resolve
-// with zero state work at a genuinely random branch point, but each
-// leaf's suffix carries its own checkpoints, so both are bounded:
-// checkpoint memory is at most maxTreeLeaves * (maxCheckpoints+1) *
-// 16*2^n bytes (in practice far less, since paths share their prefix
-// checkpoints). forkMinProb is the minimum minority-branch probability
-// worth a fork: below it, fewer than a quarter of trials use the second
-// leaf and the suffix-replay path handles them at no memory cost.
+// Tree and checkpoint budgets. A fork adds a dominant path for a
+// minority branch: trials whose first divergence lands on a forked site
+// keep walking the tape at zero state cost, and when they diverge again
+// later they replay from one of the new path's own checkpoints — so
+// every fork shifts replay suffixes toward the tail of the schedule.
+// forkMinProb is deliberately small (a fraction of a typical calibrated
+// damping or measurement minority) so the depth-first build spends the
+// leaf budget on the earliest qualifying sites, where the suffix saving
+// is largest; Pauli entries still never fork (their error branch draws
+// an extra uniform, breaking the draw-index accounting). Checkpoint
+// memory is bounded twice over: the worst case is
+// maxTreeLeaves * (maxCheckpoints+1) * 16*2^n bytes, and
+// planStateBudget caps the actual footprint — forks stop at half the
+// budget (reserving room for the paths already committed) and
+// checkpoint snapshots stop at the full budget, degrading replay
+// granularity instead of exhausting memory on wide states.
 const (
-	maxCheckpoints       = 12
-	minCheckpointSpacing = 24
-	maxTreeLeaves        = 4
-	forkMinProb          = 0.25
+	maxCheckpoints       = 24
+	minCheckpointSpacing = 12
+	maxTreeLeaves        = 96
+	forkMinProb          = 0.003
+	planStateBudget      = 256 << 20
 )
 
 func checkpointSpacing(nSteps int) int {
@@ -242,6 +251,15 @@ var engineStats struct {
 	stabPrefixSteps atomic.Int64
 	stabMaxWords    atomic.Int64
 	stabTrials      atomic.Int64
+
+	// Batched replay counters (batchreplay.go / sched.go).
+	batchBuckets  atomic.Int64
+	batchUnits    atomic.Int64
+	batchTrials   atomic.Int64
+	batchLanes    atomic.Int64
+	batchClones   atomic.Int64
+	batchDeferred atomic.Int64
+	unitSteals    atomic.Int64
 }
 
 // EngineStats is a snapshot of the trajectory engine's counters.
@@ -273,6 +291,25 @@ type EngineStats struct {
 	StabMaxWords    int64
 	// StabTrials counts trials executed on the tableau.
 	StabTrials int64
+
+	// Batched-replay occupancy. BatchBuckets counts distinct
+	// (checkpoint) buckets the scheduler formed; BatchUnits counts the
+	// replay units processed (buckets after fragmentation plus deferred
+	// continuations); BatchTrials counts divergent trials replayed
+	// through the batched path, so BatchTrials/BatchUnits is the mean
+	// batch size. BatchLanes is the total live-lane high-water across
+	// units, BatchLaneClones counts lane copies taken when a group split
+	// at a stochastic step, and BatchDeferredTrials counts trials pushed
+	// to a continuation unit because their unit ran out of lanes.
+	BatchBuckets        int64
+	BatchUnits          int64
+	BatchTrials         int64
+	BatchLanes          int64
+	BatchLaneClones     int64
+	BatchDeferredTrials int64
+	// UnitSteals counts replay units migrated between workers by the
+	// work-stealing scheduler.
+	UnitSteals int64
 }
 
 // EngineStatsSnapshot returns the process-wide trajectory engine
@@ -289,6 +326,14 @@ func EngineStatsSnapshot() EngineStats {
 		StabPrefixSteps:    engineStats.stabPrefixSteps.Load(),
 		StabMaxWords:       engineStats.stabMaxWords.Load(),
 		StabTrials:         engineStats.stabTrials.Load(),
+
+		BatchBuckets:        engineStats.batchBuckets.Load(),
+		BatchUnits:          engineStats.batchUnits.Load(),
+		BatchTrials:         engineStats.batchTrials.Load(),
+		BatchLanes:          engineStats.batchLanes.Load(),
+		BatchLaneClones:     engineStats.batchClones.Load(),
+		BatchDeferredTrials: engineStats.batchDeferred.Load(),
+		UnitSteals:          engineStats.unitSteals.Load(),
 	}
 }
 
@@ -304,6 +349,13 @@ func ResetEngineStats() {
 	engineStats.stabPrefixSteps.Store(0)
 	engineStats.stabMaxWords.Store(0)
 	engineStats.stabTrials.Store(0)
+	engineStats.batchBuckets.Store(0)
+	engineStats.batchUnits.Store(0)
+	engineStats.batchTrials.Store(0)
+	engineStats.batchLanes.Store(0)
+	engineStats.batchClones.Store(0)
+	engineStats.batchDeferred.Store(0)
+	engineStats.unitSteals.Store(0)
 }
 
 // engineTally accumulates per-trial counters inside one stripe so the
@@ -373,11 +425,25 @@ func lastCkptOnPath(node *treeNode) *checkpoint {
 	return nil
 }
 
+// canFork reports whether the build may open another dominant path:
+// the leaf budget has room and checkpoint memory is below half the
+// plan budget (the committed paths still snapshot as they build).
+func (b *treeBuilder) canFork() bool {
+	return b.leaves < maxTreeLeaves && b.plan.stateBytes < planStateBudget/2
+}
+
 // snapshot records a checkpoint of the current path state before
 // schedule step stepIdx with tapeIdx path draws consumed, skipping
-// duplicates at the same step.
+// duplicates at the same step. Once the plan's checkpoint memory
+// reaches planStateBudget no further snapshots are taken — replay
+// restores from an ancestor checkpoint instead (lastCkptOnPath /
+// checkpointBefore already walk up the tree), trading replay
+// granularity for a bounded footprint.
 func (b *treeBuilder) snapshot(node *treeNode, s *statevec.State, bits []int, stepIdx, tapeIdx int) {
 	if last := lastCkptOnPath(node); last != nil && last.stepIdx == stepIdx {
+		return
+	}
+	if b.plan.stateBytes >= planStateBudget {
 		return
 	}
 	node.ckpts = append(node.ckpts, checkpoint{
@@ -543,7 +609,7 @@ func (b *treeBuilder) emitKraus(node *treeNode, s *statevec.State, bits []int,
 		op = tapeChoose1
 	}
 	entry := tapeEntry{op: op, a: probs[0], b: total, step: int32(stepIdx)}
-	if minor := probs[1-dom] / total; minor >= forkMinProb && b.leaves < maxTreeLeaves {
+	if minor := probs[1-dom] / total; minor >= forkMinProb && b.canFork() {
 		*tapeIdx++
 		b.fork(node, s, bits, entry, dom, probs[dom]/total, stepIdx, nextSub, *tapeIdx,
 			func(branch int, bs *statevec.State, _ []int) {
@@ -575,7 +641,7 @@ func (b *treeBuilder) emitMeasure(node *treeNode, s *statevec.State, bits []int,
 	if dom == 1 {
 		minor = 1 - p1
 	}
-	if minor >= forkMinProb && b.leaves < maxTreeLeaves {
+	if minor >= forkMinProb && b.canFork() {
 		pDom := p1
 		if dom == 0 {
 			pDom = 1 - p1
@@ -603,43 +669,54 @@ func (b *treeBuilder) emitMeasure(node *treeNode, s *statevec.State, bits []int,
 // stream. Production runs leave it nil.
 var testHookPrefix func(trial, nodeID, divergedAt int, final *rng.RNG)
 
+// walkTape burns a trial stream's uniforms against the tape tree: every
+// tape entry consumes one uniform and is re-evaluated with the live
+// comparison, every fork consumes one uniform and selects a child. It
+// returns the node where the walk ended, the schedule step of the first
+// divergent draw (-1 for a fully dominant trial — the node is then a
+// leaf and rt is positioned exactly before the readout draws), and the
+// path draw index of the divergent draw (-1 when dominant). It is the
+// state-free front half of both the sequential trial path
+// (runTrialShared) and the batched replay scheduler's walk phase.
+func walkTape(plan *prefixPlan, rt *rng.RNG) (node *treeNode, divStep, divPos int) {
+	node = plan.root
+	pos := 0 // path draw index
+	for {
+		tape := node.tape
+		for i := range tape {
+			if !tape[i].follows(rt.Float64()) {
+				return node, int(tape[i].step), pos + i
+			}
+		}
+		pos += len(tape)
+		if node.isLeaf() {
+			return node, -1, -1
+		}
+		// Fork: one uniform selects the child with the live comparison.
+		node = node.children[node.fork.branch(rt.Float64())]
+		pos++
+	}
+}
+
 // runTrialShared executes one trial through the prefix-sharing engine.
 // It must produce exactly the bits runTrajectory would produce for
 // r.DeriveN("trial", t) — the byte-identity tests enforce this across
 // every workload.
 func (m *Machine) runTrialShared(prog *program, plan *prefixPlan, scratch *statevec.State, trueBits []int, r *rng.RNG, t int, tally *engineTally) bitstr.BitString {
 	rt := r.DeriveN("trial", t)
-	node := plan.root
-	pos := 0      // path draw index
-	divStep := -1 // schedule step of the first divergent draw
-	divPos := -1
-walk:
-	for {
-		tape := node.tape
-		for i := range tape {
-			if !tape[i].follows(rt.Float64()) {
-				divStep = int(tape[i].step)
-				divPos = pos + i
-				break walk
-			}
+	node, divStep, divPos := walkTape(plan, rt)
+	if divStep < 0 {
+		// Fully dominant: the trial shares this leaf's final state, so
+		// only its readout draws are private. rt has consumed exactly as
+		// many uniforms as a live trajectory consumes before readout on
+		// this path.
+		copy(trueBits, node.domBits)
+		out := m.applyReadout(prog, trueBits, rt)
+		tally.full++
+		if testHookPrefix != nil {
+			testHookPrefix(t, node.id, -1, rt)
 		}
-		pos += len(tape)
-		if node.isLeaf() {
-			// Fully dominant: the trial shares this leaf's final state, so
-			// only its readout draws are private. rt has consumed exactly
-			// pos uniforms — the same count a live trajectory consumes
-			// before readout on this path.
-			copy(trueBits, node.domBits)
-			out := m.applyReadout(prog, trueBits, rt)
-			tally.full++
-			if testHookPrefix != nil {
-				testHookPrefix(t, node.id, -1, rt)
-			}
-			return out
-		}
-		// Fork: one uniform selects the child with the live comparison.
-		node = node.children[node.fork.branch(rt.Float64())]
-		pos++
+		return out
 	}
 	// Divergent from every path through this node: restore the nearest
 	// checkpoint on the followed path at or before the divergent step and

@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Op is one operation in a circuit.
@@ -34,6 +35,19 @@ type Circuit struct {
 	NumClbits int
 	Ops       []Op
 	Name      string
+
+	// fp caches the semantic fingerprint (fingerprint.go). The builder
+	// API only ever appends ops, so a cached hash is valid exactly while
+	// len(Ops) is unchanged; the pointer makes concurrent Fingerprint
+	// calls on a shared circuit race-free. Clone and composite literals
+	// leave it nil, which just means "not computed yet".
+	fp atomic.Pointer[fpCache]
+}
+
+// fpCache pairs a fingerprint with the op count it was computed at.
+type fpCache struct {
+	nOps int
+	hash uint64
 }
 
 // New returns an empty circuit with the given register sizes.

@@ -26,7 +26,24 @@ func fnvUint64(h, v uint64) uint64 {
 // identically regardless of labelling. The backend keys its compiled-
 // program cache on this value, so the hash must change whenever anything
 // that affects compilation changes.
+//
+// The hash is cached on the circuit and recomputed only when the op
+// count has changed since it was taken: the package's only mutators
+// append ops, so an unchanged length means an unchanged circuit. Every
+// cache layer keyed on the fingerprint (compiled programs, ensemble
+// compilations, run memoization, campaign rounds) hits this on its hot
+// path, and rehashing a thousand-op circuit per lookup was the dominant
+// cost of a cold campaign round.
 func (c *Circuit) Fingerprint() uint64 {
+	if fp := c.fp.Load(); fp != nil && fp.nOps == len(c.Ops) {
+		return fp.hash
+	}
+	h := c.fingerprint()
+	c.fp.Store(&fpCache{nOps: len(c.Ops), hash: h})
+	return h
+}
+
+func (c *Circuit) fingerprint() uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvUint64(h, uint64(c.NumQubits))
 	h = fnvUint64(h, uint64(c.NumClbits))

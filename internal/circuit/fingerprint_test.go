@@ -63,3 +63,28 @@ func TestFingerprintDiscriminates(t *testing.T) {
 		t.Error("fingerprint ignores gate parameters")
 	}
 }
+
+// TestFingerprintCacheInvalidation pins the cache contract: the hash is
+// cached per op count, so a repeat call is a cache hit, appending ops
+// recomputes, and the recomputed value equals an uncached circuit's.
+func TestFingerprintCacheInvalidation(t *testing.T) {
+	c := fpBell()
+	before := c.Fingerprint()
+	if got := c.Fingerprint(); got != before {
+		t.Fatal("cached fingerprint differs from first computation")
+	}
+	c.RZ(0, 0.25)
+	after := c.Fingerprint()
+	if after == before {
+		t.Fatal("fingerprint not recomputed after appending an op")
+	}
+	fresh := New(2, 2)
+	fresh.H(0).CX(0, 1).MeasureAll()
+	fresh.RZ(0, 0.25)
+	if fresh.Fingerprint() != after {
+		t.Fatal("cached-then-extended circuit disagrees with a fresh build")
+	}
+	if c.Clone().Fingerprint() != after {
+		t.Fatal("clone fingerprint differs from the original")
+	}
+}

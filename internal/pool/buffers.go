@@ -33,6 +33,18 @@ func (b *Buffers[T]) Get(n int) []T {
 	return make([]T, n)
 }
 
+// CeilPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+// Batch-of-statevector buffers round their lane count up through it so
+// variable batch widths collapse into a few pow2 size classes instead of
+// one class per width.
+func CeilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Put returns a slice obtained from Get (or any slice whose length is
 // its full capacity class) to the free list. Put of a nil or empty
 // slice is a no-op. The caller must not retain references to s.

@@ -1,0 +1,203 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"edm/internal/circuit"
+	"edm/internal/rng"
+)
+
+// TestBatchKernelsBitIdenticalToFrozen pins every *Batch kernel
+// amplitude-for-amplitude to the frozen complex128 loops: a batched
+// apply across B lanes must equal B independent frozen applies. Swept
+// over the scalar and (where hardware allows) AVX2 dispatch paths,
+// batch sizes 1, 3, 8 and 17 (non-power-of-two sizes make the flat
+// prefix a non-power-of-two multiple of the lane length, exercising the
+// vector kernels' tail handling), and lane widths down to one qubit.
+func TestBatchKernelsBitIdenticalToFrozen(t *testing.T) {
+	defer setKernelAVX2(true)
+	for _, path := range kernelPaths(t) {
+		path := path
+		t.Run(path.name, func(t *testing.T) {
+			if _, ok := setKernelAVX2(path.avx); !ok {
+				t.Skipf("kernel path %q unavailable", path.name)
+			}
+			for _, lanes := range []int{1, 3, 8, 17} {
+				for _, n := range []int{1, 2, 3, 5} {
+					testBatchVsFrozen(t, lanes, n)
+				}
+			}
+		})
+	}
+}
+
+func testBatchVsFrozen(t *testing.T, lanes, n int) {
+	t.Helper()
+	r := rng.New(uint64(9000 + 64*lanes + n))
+	b := GetBatch(n, lanes)
+	defer b.Release()
+	frozen := make([]*frozenState, lanes)
+	for i := 0; i < lanes; i++ {
+		src := randomState(n, r)
+		b.PushLane(src)
+		frozen[i] = newFrozenState(src)
+	}
+	for step := 0; step < 30; step++ {
+		q := r.Intn(n)
+		q2 := -1
+		if n > 1 {
+			for q2 = r.Intn(n); q2 == q; q2 = r.Intn(n) {
+			}
+		}
+		kind := r.Intn(6)
+		tag := fmt.Sprintf("lanes=%d n=%d step=%d kind=%d q=%d q2=%d", lanes, n, step, kind, q, q2)
+		switch kind {
+		case 0: // general 1Q
+			m := randomDense2(r)
+			b.Apply1QBatch(m, q)
+			for _, f := range frozen {
+				f.apply1Q(m, q)
+			}
+		case 1: // diagonal 1Q
+			d0 := complex(r.Float64(), r.Float64())
+			d1 := complex(r.Float64(), r.Float64())
+			b.Apply1QDiagBatch(d0, d1, q)
+			for _, f := range frozen {
+				f.apply1QDiag(d0, d1, q)
+			}
+		case 2: // anti-diagonal 1Q
+			a01 := complex(r.Float64(), r.Float64())
+			a10 := complex(r.Float64(), r.Float64())
+			b.Apply1QAntiDiagBatch(a01, a10, q)
+			for _, f := range frozen {
+				f.apply1QAntiDiag(a01, a10, q)
+			}
+		case 3: // general 2Q
+			if n < 2 {
+				continue
+			}
+			m := randomDense4(r)
+			b.Apply2QBatch(m, q, q2)
+			for _, f := range frozen {
+				f.apply2Q(m, q, q2)
+			}
+		case 4: // diagonal 2Q
+			if n < 2 {
+				continue
+			}
+			var d [4]complex128
+			for i := range d {
+				d[i] = complex(r.Float64(), r.Float64())
+			}
+			b.Apply2QDiagBatch(d, q, q2)
+			for _, f := range frozen {
+				f.apply2QDiag(d, q, q2)
+			}
+		case 5: // permutation 2Q
+			if n < 2 {
+				continue
+			}
+			var p Perm4
+			perm := r.Perm(4)
+			for i := range perm {
+				p.Src[i] = uint8(perm[i])
+				p.Coef[i] = complex(r.Float64(), r.Float64())
+			}
+			b.Apply2QPermBatch(p, q, q2)
+			for _, f := range frozen {
+				f.apply2QPerm(p, q, q2)
+			}
+		}
+		for i, f := range frozen {
+			compareBits(t, fmt.Sprintf("%s lane=%d", tag, i), b.Lane(i), f)
+		}
+	}
+}
+
+// TestBatchLaneViews pins the per-lane half of the batched engine's
+// contract: Lane views run the ordinary State methods (measurement
+// probabilities, projection, Kraus branches) on batch storage with
+// results bit-identical to the frozen loops, lane pushes and clones
+// snapshot the exact amplitudes, and PutState on a view is a no-op that
+// leaves the batch intact.
+func TestBatchLaneViews(t *testing.T) {
+	defer setKernelAVX2(true)
+	r := rng.New(424242)
+	const n = 4
+	b := GetBatch(n, 6)
+	defer b.Release()
+
+	if got := b.PushLane(nil); got != 0 {
+		t.Fatalf("PushLane(nil) index = %d, want 0", got)
+	}
+	zero := b.Lane(0)
+	if zero.re[0] != 1 {
+		t.Fatalf("PushLane(nil) lane is not |0...0>")
+	}
+	for i := 1; i < len(zero.re); i++ {
+		if zero.re[i] != 0 || zero.im[i] != 0 {
+			t.Fatalf("PushLane(nil) lane has residue at %d", i)
+		}
+	}
+
+	src := randomState(n, r)
+	i1 := b.PushLane(src)
+	f := newFrozenState(src)
+	compareBits(t, "restored lane", b.Lane(i1), f)
+
+	// Mutate lane i1 through its view; clone must snapshot the mutated
+	// amplitudes and further mutation must not leak between lanes.
+	m := randomDense2(r)
+	b.Lane(i1).Apply1Q(m, 2)
+	f.apply1Q(m, 2)
+	i2 := b.CloneLane(i1)
+	compareBits(t, "cloned lane", b.Lane(i2), f)
+	fClone := newFrozenState(b.Lane(i2))
+	m2 := randomDense2(r)
+	b.Lane(i1).Apply1Q(m2, 0)
+	f.apply1Q(m2, 0)
+	compareBits(t, "mutated original", b.Lane(i1), f)
+	compareBits(t, "clone unchanged", b.Lane(i2), fClone)
+
+	// Stochastic-step State methods on a view, vs frozen.
+	q := 1
+	p1 := b.Lane(i1).ProbabilityOne(q)
+	if math.Float64bits(p1) != math.Float64bits(f.probabilityOne(q)) {
+		t.Fatalf("ProbabilityOne on a lane view differs from frozen")
+	}
+	outcome := 0
+	if p1 > 0.5 {
+		outcome = 1
+	}
+	b.Lane(i1).Project(q, outcome)
+	f.projectQubit(q, outcome)
+	compareBits(t, "projected lane", b.Lane(i1), f)
+
+	gamma := 0.31
+	ks := []circuit.Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}},
+		{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}},
+	}
+	sp := make([]float64, 2)
+	fp := make([]float64, 2)
+	b.Lane(i1).KrausBranchProbs1Q(ks, 3, sp)
+	f.krausBranchProbs1Q(ks, 3, fp)
+	for i := range sp {
+		if math.Float64bits(sp[i]) != math.Float64bits(fp[i]) {
+			t.Fatalf("Kraus branch prob %d on a lane view differs from frozen", i)
+		}
+	}
+	b.Lane(i1).ApplyKrausBranch1Q(ks, 3, 0, sp[0])
+	f.applyKrausBranch1Q(ks, 3, 0, fp[0])
+	compareBits(t, "kraus lane", b.Lane(i1), f)
+
+	// PutState of a view must not poison the shared storage.
+	PutState(b.Lane(i2))
+	compareBits(t, "lane after PutState", b.Lane(i2), fClone)
+
+	if b.Live() != 3 || b.Cap() != 6 || b.N() != n {
+		t.Fatalf("batch accounting: live=%d cap=%d n=%d", b.Live(), b.Cap(), b.N())
+	}
+}

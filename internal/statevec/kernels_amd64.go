@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !purego
 
 package statevec
 
@@ -40,3 +40,15 @@ func mul2QPairsB0AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64)
 
 //go:noescape
 func mul2QPairsB1AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64)
+
+//go:noescape
+func mul1QPairsAVX(re, im *float64, n int, m *[8]float64)
+
+//go:noescape
+func mul1QGap2AVX(re, im *float64, n int, m *[8]float64)
+
+//go:noescape
+func antiPairsAVX(re, im *float64, n int, c *[4]float64)
+
+//go:noescape
+func antiGap2AVX(re, im *float64, n int, c *[4]float64)

@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !purego
 
 #include "textflag.h"
 
@@ -469,5 +469,185 @@ p1loop:
 	ADDQ $8, R8
 	JMP  p1loop
 p1done:
+	VZEROUPPER
+	RET
+
+// DEINT2 loads 8 floats [a a b b | a a b b] (two 4-float blocks whose
+// low/high 128-bit halves are the two roles) from PTR+R8*8 and splits
+// them into the low-half stream EV and the high-half stream OD.
+#define DEINT2(PTR, EV, OD) \
+	VMOVUPD (PTR)(R8*8), Y10 \
+	VMOVUPD 32(PTR)(R8*8), Y11 \
+	VPERM2F128 $0x20, Y11, Y10, EV \
+	VPERM2F128 $0x31, Y11, Y10, OD
+
+// REPACK2 is the inverse of DEINT2: reassembles the two blocks from the
+// role streams and stores them at PTR+R8*8.
+#define REPACK2(EV, OD, PTR) \
+	VPERM2F128 $0x20, OD, EV, Y10 \
+	VPERM2F128 $0x31, OD, EV, Y11 \
+	VMOVUPD Y10, (PTR)(R8*8) \
+	VMOVUPD Y11, 32(PTR)(R8*8)
+
+// MUL1Q_FLAT computes the general 2x2 update on deinterleaved streams
+// Y0 (a0r), Y1 (a0i), Y2 (a1r), Y3 (a1i), leaving loR'/loI'/hiR'/hiI'
+// in Y4/Y5/Y6/Y7. BX points at the mat2SoA matrix. Matches scalarMul1Q
+// operation for operation (no FMA, left-associated sums).
+#define MUL1Q_FLAT \
+	VBROADCASTSD 0(BX), Y8 \
+	VBROADCASTSD 8(BX), Y9 \
+	VBROADCASTSD 16(BX), Y14 \
+	VBROADCASTSD 24(BX), Y15 \
+	VMULPD Y0, Y8, Y4 \
+	VMULPD Y1, Y9, Y12 \
+	VSUBPD Y12, Y4, Y4 \
+	VMULPD Y2, Y14, Y12 \
+	VMULPD Y3, Y15, Y13 \
+	VSUBPD Y13, Y12, Y12 \
+	VADDPD Y12, Y4, Y4 \
+	VMULPD Y1, Y8, Y5 \
+	VMULPD Y0, Y9, Y12 \
+	VADDPD Y12, Y5, Y5 \
+	VMULPD Y3, Y14, Y12 \
+	VMULPD Y2, Y15, Y13 \
+	VADDPD Y13, Y12, Y12 \
+	VADDPD Y12, Y5, Y5 \
+	VBROADCASTSD 32(BX), Y8 \
+	VBROADCASTSD 40(BX), Y9 \
+	VBROADCASTSD 48(BX), Y14 \
+	VBROADCASTSD 56(BX), Y15 \
+	VMULPD Y0, Y8, Y6 \
+	VMULPD Y1, Y9, Y12 \
+	VSUBPD Y12, Y6, Y6 \
+	VMULPD Y2, Y14, Y12 \
+	VMULPD Y3, Y15, Y13 \
+	VSUBPD Y13, Y12, Y12 \
+	VADDPD Y12, Y6, Y6 \
+	VMULPD Y1, Y8, Y7 \
+	VMULPD Y0, Y9, Y12 \
+	VADDPD Y12, Y7, Y7 \
+	VMULPD Y3, Y14, Y12 \
+	VMULPD Y2, Y15, Y13 \
+	VADDPD Y13, Y12, Y12 \
+	VADDPD Y12, Y7, Y7
+
+// ANTI_FLAT computes the anti-diagonal update on deinterleaved streams
+// Y0-Y3 into Y4-Y7, with the coefficients pre-broadcast in Y8 (a01r),
+// Y9 (a01i), Y14 (a10r), Y15 (a10i). Matches scalarAnti.
+#define ANTI_FLAT \
+	VMULPD Y2, Y8, Y4 \
+	VMULPD Y3, Y9, Y12 \
+	VSUBPD Y12, Y4, Y4 \
+	VMULPD Y3, Y8, Y5 \
+	VMULPD Y2, Y9, Y12 \
+	VADDPD Y12, Y5, Y5 \
+	VMULPD Y0, Y14, Y6 \
+	VMULPD Y1, Y15, Y12 \
+	VSUBPD Y12, Y6, Y6 \
+	VMULPD Y1, Y14, Y7 \
+	VMULPD Y0, Y15, Y12 \
+	VADDPD Y12, Y7, Y7
+
+// func mul1QPairsAVX(re, im *float64, n int, m *[8]float64)
+// General 2x2 kernel for target bit 1 (qubit 0) on a flat array: even
+// indices are the qubit-clear role, odd indices the qubit-set role.
+// Deinterleaves the pair streams in registers, so the flat array — and
+// with it a Batch's batch dimension — is unit-stride vector work.
+// n is a multiple of 8.
+TEXT ·mul1QPairsAVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ m+24(FP), BX
+	XORQ R8, R8
+q1ploop:
+	CMPQ R8, AX
+	JGE  q1pdone
+	DEINT(DI, Y0, Y2)
+	DEINT(SI, Y1, Y3)
+	MUL1Q_FLAT
+	REPACK(Y4, Y6, DI)
+	REPACK(Y5, Y7, SI)
+	ADDQ $8, R8
+	JMP  q1ploop
+q1pdone:
+	VZEROUPPER
+	RET
+
+// func mul1QGap2AVX(re, im *float64, n int, m *[8]float64)
+// General 2x2 kernel for target bit 2 (qubit 1) on a flat array: each
+// 4-amplitude block is [clear clear set set], so the roles are the
+// 128-bit halves of each block. n is a multiple of 8.
+TEXT ·mul1QGap2AVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ m+24(FP), BX
+	XORQ R8, R8
+q1gloop:
+	CMPQ R8, AX
+	JGE  q1gdone
+	DEINT2(DI, Y0, Y2)
+	DEINT2(SI, Y1, Y3)
+	MUL1Q_FLAT
+	REPACK2(Y4, Y6, DI)
+	REPACK2(Y5, Y7, SI)
+	ADDQ $8, R8
+	JMP  q1gloop
+q1gdone:
+	VZEROUPPER
+	RET
+
+// func antiPairsAVX(re, im *float64, n int, c *[4]float64)
+// Anti-diagonal kernel for target bit 1 on a flat array (pair layout of
+// mul1QPairsAVX). n is a multiple of 8.
+TEXT ·antiPairsAVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ c+24(FP), BX
+	VBROADCASTSD 0(BX), Y8   // a01r
+	VBROADCASTSD 8(BX), Y9   // a01i
+	VBROADCASTSD 16(BX), Y14 // a10r
+	VBROADCASTSD 24(BX), Y15 // a10i
+	XORQ R8, R8
+adploop:
+	CMPQ R8, AX
+	JGE  adpdone
+	DEINT(DI, Y0, Y2)
+	DEINT(SI, Y1, Y3)
+	ANTI_FLAT
+	REPACK(Y4, Y6, DI)
+	REPACK(Y5, Y7, SI)
+	ADDQ $8, R8
+	JMP  adploop
+adpdone:
+	VZEROUPPER
+	RET
+
+// func antiGap2AVX(re, im *float64, n int, c *[4]float64)
+// Anti-diagonal kernel for target bit 2 on a flat array (block layout
+// of mul1QGap2AVX). n is a multiple of 8.
+TEXT ·antiGap2AVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ c+24(FP), BX
+	VBROADCASTSD 0(BX), Y8   // a01r
+	VBROADCASTSD 8(BX), Y9   // a01i
+	VBROADCASTSD 16(BX), Y14 // a10r
+	VBROADCASTSD 24(BX), Y15 // a10i
+	XORQ R8, R8
+adgloop:
+	CMPQ R8, AX
+	JGE  adgdone
+	DEINT2(DI, Y0, Y2)
+	DEINT2(SI, Y1, Y3)
+	ANTI_FLAT
+	REPACK2(Y4, Y6, DI)
+	REPACK2(Y5, Y7, SI)
+	ADDQ $8, R8
+	JMP  adgloop
+adgdone:
 	VZEROUPPER
 	RET

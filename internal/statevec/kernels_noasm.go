@@ -1,13 +1,15 @@
-//go:build !amd64
+//go:build !amd64 || purego
 
 package statevec
 
-// kernelAVX2 is constant false off amd64: the dispatch branches in
-// kernels.go compile away and only the scalar bodies remain.
+// kernelAVX2 is constant false off amd64 (and under the purego tag, which
+// forces the scalar bodies on any architecture so CI can exercise the
+// portable fallback): the dispatch branches in kernels.go compile away
+// and only the scalar bodies remain.
 const kernelAVX2 = false
 
-// setKernelAVX2 is a no-op off amd64; ok reports whether the requested
-// value is in effect.
+// setKernelAVX2 is a no-op on this build; ok reports whether the
+// requested value is in effect.
 func setKernelAVX2(on bool) (old bool, ok bool) {
 	return false, !on
 }
@@ -16,29 +18,45 @@ func setKernelAVX2(on bool) (old bool, ok bool) {
 // these stubs exist only to satisfy the compiler.
 
 func mul1QAVX(loR, loI, hiR, hiI *float64, n int, m *[8]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func cscaleAVX(re, im *float64, n int, cr, ci float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func cscalePatAVX(re, im *float64, n int, cr, ci *[4]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func antiAVX(loR, loI, hiR, hiI *float64, n int, c *[4]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func mul2QAVX(r0, i0, r1, i1, r2, i2, r3, i3 *float64, n int, mm *[32]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func mul2QPairsB0AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
 }
 
 func mul2QPairsB1AVX(loR, loI, hiR, hiI *float64, n int, mm *[32]float64) {
-	panic("statevec: AVX2 kernel on non-amd64")
+	panic("statevec: AVX2 kernel on scalar-only build")
+}
+
+func mul1QPairsAVX(re, im *float64, n int, m *[8]float64) {
+	panic("statevec: AVX2 kernel on scalar-only build")
+}
+
+func mul1QGap2AVX(re, im *float64, n int, m *[8]float64) {
+	panic("statevec: AVX2 kernel on scalar-only build")
+}
+
+func antiPairsAVX(re, im *float64, n int, c *[4]float64) {
+	panic("statevec: AVX2 kernel on scalar-only build")
+}
+
+func antiGap2AVX(re, im *float64, n int, c *[4]float64) {
+	panic("statevec: AVX2 kernel on scalar-only build")
 }

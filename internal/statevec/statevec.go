@@ -34,14 +34,17 @@ import (
 const MaxQubits = 24
 
 // State is the statevector of an n-qubit register. re[b] and im[b] are
-// the real and imaginary parts of the amplitude of basis state b; both
-// slices alias one backing buffer (buf) so snapshot copies and pooling
-// work on a single allocation.
+// the real and imaginary parts of the amplitude of basis state b; for an
+// owned state both slices alias one backing buffer (buf) so snapshot
+// copies and pooling work on a single allocation. A Batch lane view
+// (Batch.Lane) has buf nil and re/im aliasing the batch's storage; every
+// State method works on re/im only, so views and owned states are
+// interchangeable.
 type State struct {
 	n   int
 	re  []float64
 	im  []float64
-	buf []float64 // len 2*2^n; re = buf[:2^n], im = buf[2^n:]
+	buf []float64 // owned states: len 2*2^n, re = buf[:2^n], im = buf[2^n:]; nil for lane views
 }
 
 // split carves the re/im views out of a backing buffer of 2*2^n floats.
@@ -84,9 +87,10 @@ func GetState(n int) *State {
 }
 
 // PutState returns a GetState state's buffer to the free list. The
-// state must not be used afterwards. PutState(nil) is a no-op.
+// state must not be used afterwards. PutState(nil) is a no-op, as is
+// PutState of a Batch lane view (the batch owns that storage).
 func PutState(s *State) {
-	if s == nil {
+	if s == nil || s.buf == nil {
 		return
 	}
 	scratch.Put(s.buf)
@@ -107,8 +111,11 @@ func (s *State) N() int { return s.n }
 // Reset returns the state to |0...0> in place, so one allocation can be
 // reused across many Monte-Carlo trajectories.
 func (s *State) Reset() {
-	for i := range s.buf {
-		s.buf[i] = 0
+	for i := range s.re {
+		s.re[i] = 0
+	}
+	for i := range s.im {
+		s.im[i] = 0
 	}
 	s.re[0] = 1
 }
@@ -121,8 +128,9 @@ func (s *State) Amplitude(b uint64) complex128 {
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
 	c := &State{}
-	c.split(s.n, make([]float64, len(s.buf)))
-	copy(c.buf, s.buf)
+	c.split(s.n, make([]float64, 2*len(s.re)))
+	copy(c.re, s.re)
+	copy(c.im, s.im)
 	return c
 }
 
@@ -136,7 +144,8 @@ func (s *State) CopyFrom(src *State) {
 	if s.n != src.n {
 		panic(fmt.Sprintf("statevec: CopyFrom size mismatch (%d vs %d qubits)", s.n, src.n))
 	}
-	copy(s.buf, src.buf)
+	copy(s.re, src.re)
+	copy(s.im, src.im)
 }
 
 // Norm returns the 2-norm of the statevector (1 for a valid state).
@@ -173,58 +182,22 @@ func (s *State) Apply1Q(m circuit.Matrix2, q int) {
 		real(m[0][0]), imag(m[0][0]), real(m[0][1]), imag(m[0][1]),
 		real(m[1][0]), imag(m[1][0]), real(m[1][1]), imag(m[1][1]),
 	}
-	bit := 1 << uint(q)
-	n := len(s.re)
-	// Stride loop: enumerate only the 2^(n-1) base indices with qubit q
-	// clear, as contiguous runs of length 2^q.
-	for blk := 0; blk < n; blk += bit << 1 {
-		mul1QRuns(
-			s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit],
-			s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)],
-			&mm)
-	}
+	flat1QGeneral(s.re, s.im, 1<<uint(q), &mm)
 }
 
 // Apply1QDiag applies diag(d0, d1) to qubit q: amplitudes with the qubit
 // clear scale by d0, amplitudes with it set scale by d1.
 func (s *State) Apply1QDiag(d0, d1 complex128, q int) {
 	s.checkQubit(q)
-	bit := 1 << uint(q)
-	n := len(s.re)
-	if bit < 4 {
-		// Runs too short for the vector kernel individually, but the
-		// coefficient pattern repeats every 2*bit amplitudes, so one
-		// pattern-vector pass covers the whole array.
-		var cr, ci [4]float64
-		for i := 0; i < 4; i++ {
-			if i&bit == 0 {
-				cr[i], ci[i] = real(d0), imag(d0)
-			} else {
-				cr[i], ci[i] = real(d1), imag(d1)
-			}
-		}
-		cscalePattern(s.re, s.im, &cr, &ci)
-		return
-	}
-	for blk := 0; blk < n; blk += bit << 1 {
-		cscaleRun(s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit], real(d0), imag(d0))
-		cscaleRun(s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)], real(d1), imag(d1))
-	}
+	flat1QDiag(s.re, s.im, 1<<uint(q), d0, d1)
 }
 
 // Apply1QAntiDiag applies the X-like matrix [[0, a01], [a10, 0]] to qubit
 // q: a scaled swap of each amplitude pair.
 func (s *State) Apply1QAntiDiag(a01, a10 complex128, q int) {
 	s.checkQubit(q)
-	bit := 1 << uint(q)
-	n := len(s.re)
 	c := [4]float64{real(a01), imag(a01), real(a10), imag(a10)}
-	for blk := 0; blk < n; blk += bit << 1 {
-		antiRuns(
-			s.re[blk:blk+bit:blk+bit], s.im[blk:blk+bit:blk+bit],
-			s.re[blk+bit:blk+(bit<<1):blk+(bit<<1)], s.im[blk+bit:blk+(bit<<1):blk+(bit<<1)],
-			&c)
-	}
+	flat1QAnti(s.re, s.im, 1<<uint(q), &c)
 }
 
 // mat4SoA flattens a 4x4 complex matrix row-major into interleaved
@@ -253,34 +226,8 @@ func (s *State) Apply2Q(m circuit.Matrix4, q0, q1 int) {
 		s.Apply2QDiag(d, q0, q1)
 		return
 	}
-	b0 := 1 << uint(q0)
-	b1 := 1 << uint(q1)
-	lo, hi := b0, b1
-	if lo > hi {
-		lo, hi = hi, lo
-	}
 	mm := mat4SoA(m)
-	n := len(s.re)
-	if lo == 1 && hi >= 8 && kernelAVX2 {
-		// One of the qubits is bit 0: every base index is even and its
-		// b-low partner is the adjacent odd index, so the low and high
-		// halves of each block are two interleaved role streams. The
-		// pairs kernel deinterleaves them in registers.
-		for i2 := 0; i2 < n; i2 += hi << 1 {
-			mul2QPairs(
-				s.re[i2:i2+hi:i2+hi], s.im[i2:i2+hi:i2+hi],
-				s.re[i2+hi:i2+(hi<<1):i2+(hi<<1)], s.im[i2+hi:i2+(hi<<1):i2+(hi<<1)],
-				b0 == 1, &mm)
-		}
-		return
-	}
-	// Stride loop: enumerate only the 2^(n-2) base indices with both
-	// qubits clear via three nested strides.
-	for i2 := 0; i2 < n; i2 += hi << 1 {
-		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			mul2QRuns(s.re, s.im, i1, lo, b0, b1, &mm)
-		}
-	}
+	flat2QGeneral(s.re, s.im, 1<<uint(q0), 1<<uint(q1), &mm)
 }
 
 // Apply2QDiag applies diag(d) on the ordered pair (q0, q1), where the
@@ -293,64 +240,7 @@ func (s *State) Apply2QDiag(d [4]complex128, q0, q1 int) {
 	if q0 == q1 {
 		panic("statevec: Apply2QDiag with identical qubits")
 	}
-	b0 := 1 << uint(q0)
-	b1 := 1 << uint(q1)
-	lo, hi := b0, b1
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	n := len(s.re)
-	if hi < 4 {
-		// Two-qubit state: a single pattern pass covers all 4 amplitudes.
-		var cr, ci [4]float64
-		for i := 0; i < 4; i++ {
-			k := 0
-			if i&b0 != 0 {
-				k |= 1
-			}
-			if i&b1 != 0 {
-				k |= 2
-			}
-			cr[i], ci[i] = real(d[k]), imag(d[k])
-		}
-		cscalePattern(s.re, s.im, &cr, &ci)
-		return
-	}
-	if lo < 4 {
-		// The diagonal acts elementwise, so short inner runs reduce to a
-		// coefficient pattern of period 2*lo applied to each half-block:
-		// the low half holds matrix entries {0, lo-bit}, the high half
-		// {hi-bit, both}.
-		kHi := 2 // d-index contribution of the hi bit: +1 if q0, +2 if q1
-		if hi == b0 {
-			kHi = 1
-		}
-		var loCr, loCi, hiCr, hiCi [4]float64
-		for i := 0; i < 4; i++ {
-			k := 0
-			if i&lo != 0 {
-				k = 3 - kHi // the lo-bit entry index
-			}
-			loCr[i], loCi[i] = real(d[k]), imag(d[k])
-			hiCr[i], hiCi[i] = real(d[k|kHi]), imag(d[k|kHi])
-		}
-		for i2 := 0; i2 < n; i2 += hi << 1 {
-			cscalePattern(s.re[i2:i2+hi:i2+hi], s.im[i2:i2+hi:i2+hi], &loCr, &loCi)
-			cscalePattern(s.re[i2+hi:i2+(hi<<1):i2+(hi<<1)], s.im[i2+hi:i2+(hi<<1):i2+(hi<<1)], &hiCr, &hiCi)
-		}
-		return
-	}
-	for i2 := 0; i2 < n; i2 += hi << 1 {
-		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			cscaleRun(s.re[i1:i1+lo:i1+lo], s.im[i1:i1+lo:i1+lo], real(d[0]), imag(d[0]))
-			j := i1 + b0
-			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[1]), imag(d[1]))
-			j = i1 + b1
-			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[2]), imag(d[2]))
-			j = i1 + b0 + b1
-			cscaleRun(s.re[j:j+lo:j+lo], s.im[j:j+lo:j+lo], real(d[3]), imag(d[3]))
-		}
-	}
+	flat2QDiag(s.re, s.im, 1<<uint(q0), 1<<uint(q1), d)
 }
 
 // Perm4 is a two-qubit permutation-with-phases unitary: row r of the
@@ -395,22 +285,11 @@ func (s *State) Apply2QPerm(p Perm4, q0, q1 int) {
 	if q0 == q1 {
 		panic("statevec: Apply2QPerm with identical qubits")
 	}
-	b0 := 1 << uint(q0)
-	b1 := 1 << uint(q1)
-	lo, hi := b0, b1
-	if lo > hi {
-		lo, hi = hi, lo
-	}
 	c := [8]float64{
 		real(p.Coef[0]), imag(p.Coef[0]), real(p.Coef[1]), imag(p.Coef[1]),
 		real(p.Coef[2]), imag(p.Coef[2]), real(p.Coef[3]), imag(p.Coef[3]),
 	}
-	n := len(s.re)
-	for i2 := 0; i2 < n; i2 += hi << 1 {
-		for i1 := i2; i1 < i2+hi; i1 += lo << 1 {
-			perm2QRuns(s.re, s.im, i1, lo, b0, b1, &p.Src, &c)
-		}
-	}
+	flat2QPerm(s.re, s.im, 1<<uint(q0), 1<<uint(q1), &p.Src, &c)
 }
 
 // ApplyOp applies a unitary circuit operation. It panics on Measure or

@@ -134,6 +134,44 @@ echo "== trajectory engine determinism (DESIGN.md §10) =="
 GOMAXPROCS=1 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
 go test -race -count=1 -run 'PrefixEngine|PrefixDrawOrder|PrefixPlan' ./internal/backend
 
+echo "== batched replay identity (DESIGN.md §15) =="
+# The batched divergent-suffix scheduler must match the sequential
+# tape-tree replay (and, transitively, the legacy loop) byte for byte:
+# GOMAXPROCS=1 pins the serial scheduler, the full-width pass runs the
+# two-phase walk/replay pipeline with work stealing under the race
+# detector.
+GOMAXPROCS=1 go test -race -count=1 -run 'BatchedReplay|MaxLanesFor' ./internal/backend
+go test -race -count=1 -run 'BatchedReplay|MaxLanesFor' ./internal/backend
+
+echo "== statevec batch kernels: purego path =="
+# The batch kernels' scalar fallbacks must pin the same frozen oracle
+# as the AVX2 path; -tags purego forces them on an amd64 host.
+go test -tags purego -count=1 ./internal/statevec
+
+echo "== trajectory bench non-regression (committed BENCH_trajectory.json) =="
+# The committed report must never regress the recorded q14 throughput
+# of the previous commit. This compares recorded files (not a live
+# measurement), so it is deterministic: it fails only when someone
+# commits a report whose best q14 engine is slower than what the prior
+# commit shipped. Older reports predate the batched engine, so fall
+# back to the sequential column there.
+if git rev-parse --verify -q HEAD:BENCH_trajectory.json >/dev/null; then
+	git show HEAD:BENCH_trajectory.json >/tmp/bench_traj_head.json
+	python3 - <<-'PY'
+	import json
+	def best(path):
+	    rows = {r["case"]: r for r in json.load(open(path))["rows"]}
+	    row = rows["RunTrajectory/q14"]
+	    return max(row.get("batched_trials_per_s", 0.0), row["prefix_trials_per_s"])
+	prior, current = best("/tmp/bench_traj_head.json"), best("BENCH_trajectory.json")
+	print(f"q14 trials/s: prior commit {prior:.0f}, working tree {current:.0f}")
+	if current < prior:
+	    raise SystemExit("BENCH_trajectory.json q14 regressed vs the prior commit")
+	PY
+else
+	echo "no committed BENCH_trajectory.json; skipping"
+fi
+
 echo "== stabilizer engine identity (DESIGN.md §13) =="
 # Fully-Clifford schedules route to the tableau engine; its histograms
 # must be byte-identical to both statevector engines at GOMAXPROCS=1
